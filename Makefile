@@ -1,0 +1,37 @@
+# picodriver-sim build targets.
+
+GO ?= go
+
+.PHONY: all build test vet bench artifacts artifacts-paper examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# One testing.B benchmark per paper table/figure, plus ablations.
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate every table/figure (text + CSV) at the default scale.
+artifacts:
+	$(GO) run ./cmd/experiments -scale small -out artifacts
+
+# The paper's full sweeps (slow).
+artifacts-paper:
+	$(GO) run ./cmd/experiments -scale paper -out artifacts-paper
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/structextract
+	$(GO) run ./examples/splitdriver
+	$(GO) run ./examples/halo3d -nodes 2 -rpn 4 -steps 3
+
+clean:
+	rm -rf artifacts artifacts-paper

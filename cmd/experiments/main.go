@@ -1,0 +1,122 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section and writes the rendered artifacts.
+//
+// Usage:
+//
+//	experiments [-scale small|paper] [-only fig4,fig5a,...] [-out DIR]
+//
+// Experiment ids: fig4, fig5a, fig5b, fig6a, fig6b, fig7, table1, fig8,
+// fig9. With -out, each artifact is also written to DIR/<id>.txt.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/miniapps"
+	"repro/internal/report"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "small", "experiment scale: small or paper")
+	onlyFlag := flag.String("only", "", "comma-separated experiment ids (default: all)")
+	outFlag := flag.String("out", "", "directory to write artifacts into")
+	flag.Parse()
+
+	var sc experiments.Scale
+	switch *scaleFlag {
+	case "small":
+		sc = experiments.SmallScale()
+	case "paper":
+		sc = experiments.PaperScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	want := map[string]bool{}
+	if *onlyFlag != "" {
+		for _, id := range strings.Split(*onlyFlag, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+	selected := func(id string) bool { return len(want) == 0 || want[id] }
+
+	emit := func(id, content, csv string) {
+		fmt.Printf("==== %s ====\n%s\n", id, content)
+		if *outFlag != "" {
+			if err := os.MkdirAll(*outFlag, 0o755); err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(*outFlag, id+".txt"), []byte(content), 0o644); err != nil {
+				fatal(err)
+			}
+			if csv != "" {
+				if err := os.WriteFile(filepath.Join(*outFlag, id+".csv"), []byte(csv), 0o644); err != nil {
+					fatal(err)
+				}
+			}
+		}
+	}
+
+	if selected("fig4") {
+		rows, err := experiments.Fig4(sc)
+		if err != nil {
+			fatal(err)
+		}
+		emit("fig4", report.Fig4Table(rows), report.Fig4CSV(rows))
+	}
+
+	scaling := []struct {
+		id, title string
+		app       *miniapps.App
+		nodes     []int
+	}{
+		{"fig5a", "Figure 5a: LAMMPS", miniapps.LAMMPS(), sc.AppNodes},
+		{"fig5b", "Figure 5b: Nekbone", miniapps.Nekbone(), sc.AppNodes},
+		{"fig6a", "Figure 6a: UMT2013", miniapps.UMT2013(), sc.AppNodes},
+		{"fig6b", "Figure 6b: HACC", miniapps.HACC(), sc.AppNodes},
+		{"fig7", "Figure 7: QBOX", miniapps.QBOX(), sc.QBoxNodes},
+	}
+	for _, s := range scaling {
+		if !selected(s.id) {
+			continue
+		}
+		pts, err := experiments.AppScaling(s.app, s.nodes, sc.RanksPerNode, sc.Seed)
+		if err != nil {
+			fatal(err)
+		}
+		emit(s.id, report.ScalingTable(s.title, pts), report.ScalingCSV(pts))
+	}
+
+	if selected("table1") {
+		profiles, err := experiments.Table1(sc)
+		if err != nil {
+			fatal(err)
+		}
+		emit("table1", report.Table1(profiles), report.Table1CSV(profiles))
+	}
+
+	for _, bd := range []struct{ id, app string }{
+		{"fig8", "UMT2013"},
+		{"fig9", "QBOX"},
+	} {
+		if !selected(bd.id) {
+			continue
+		}
+		orig, pico, err := experiments.SyscallBreakdown(bd.app, sc)
+		if err != nil {
+			fatal(err)
+		}
+		emit(bd.id, report.BreakdownTable(orig, pico), report.BreakdownCSV(orig, pico))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,58 @@
+// Command miniapp runs one CORAL mini-application skeleton across a node
+// sweep and reports runtime per OS configuration relative to Linux
+// (Figures 5-7).
+//
+// Usage:
+//
+//	miniapp -app UMT2013 [-nodes 1,2,4,8] [-rpn 16] [-steps N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/miniapps"
+	"repro/internal/report"
+)
+
+func main() {
+	appFlag := flag.String("app", "UMT2013", "application: LAMMPS, Nekbone, UMT2013, HACC, QBOX")
+	nodesFlag := flag.String("nodes", "1,2,4,8", "node counts")
+	rpnFlag := flag.Int("rpn", 16, "ranks per node (0 = app default)")
+	stepsFlag := flag.Int("steps", 0, "override timestep count (0 = app default)")
+	seedFlag := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	app, err := miniapps.ByName(*appFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "miniapp:", err)
+		os.Exit(2)
+	}
+	if *stepsFlag > 0 {
+		app.Steps = *stepsFlag
+	}
+	var nodes []int
+	for _, part := range strings.Split(*nodesFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "miniapp: bad node count %q\n", part)
+			os.Exit(2)
+		}
+		nodes = append(nodes, n)
+	}
+	pts, err := experiments.AppScaling(app, nodes, *rpnFlag, *seedFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "miniapp:", err)
+		os.Exit(1)
+	}
+	fmt.Print(report.ScalingTable(app.Name+" weak scaling", pts))
+	fmt.Println()
+	fmt.Printf("%-7s %14s\n", "nodes", "Linux runtime")
+	for _, p := range pts {
+		fmt.Printf("%-7d %14v\n", p.Nodes, p.Elapsed["Linux"].Round(1000))
+	}
+}

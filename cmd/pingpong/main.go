@@ -1,0 +1,57 @@
+// Command pingpong runs the Figure 4 microbenchmark: IMB-style ping-pong
+// bandwidth between two nodes under the three OS configurations.
+//
+// Usage:
+//
+//	pingpong [-sizes 1K,64K,4M] [-reps N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+func parseSize(s string) (uint64, error) {
+	s = strings.ToUpper(strings.TrimSpace(s))
+	mult := uint64(1)
+	switch {
+	case strings.HasSuffix(s, "M") || strings.HasSuffix(s, "MB"):
+		mult = 1 << 20
+		s = strings.TrimSuffix(strings.TrimSuffix(s, "B"), "M")
+	case strings.HasSuffix(s, "K") || strings.HasSuffix(s, "KB"):
+		mult = 1 << 10
+		s = strings.TrimSuffix(strings.TrimSuffix(s, "B"), "K")
+	}
+	v, err := strconv.ParseUint(s, 10, 64)
+	return v * mult, err
+}
+
+func main() {
+	sizesFlag := flag.String("sizes", "1K,4K,16K,64K,256K,1M,4M", "message sizes")
+	repsFlag := flag.Int("reps", 4, "timed repetitions per size")
+	flag.Parse()
+
+	sc := experiments.SmallScale()
+	sc.PingPongReps = *repsFlag
+	sc.PingPongSizes = nil
+	for _, part := range strings.Split(*sizesFlag, ",") {
+		size, err := parseSize(part)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pingpong: bad size %q: %v\n", part, err)
+			os.Exit(2)
+		}
+		sc.PingPongSizes = append(sc.PingPongSizes, size)
+	}
+	rows, err := experiments.Fig4(sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pingpong:", err)
+		os.Exit(1)
+	}
+	fmt.Print(report.Fig4Table(rows))
+}

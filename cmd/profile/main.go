@@ -1,0 +1,56 @@
+// Command profile reproduces the paper's profiling artifacts: the MPI
+// communication profile of Table 1 and the kernel-level system call
+// breakdowns of Figures 8 and 9.
+//
+// Usage:
+//
+//	profile [-nodes 8] [-rpn 16] [-what table1,fig8,fig9]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+func main() {
+	nodesFlag := flag.Int("nodes", 8, "compute nodes (the paper profiles on 8)")
+	rpnFlag := flag.Int("rpn", 16, "ranks per node")
+	whatFlag := flag.String("what", "table1,fig8,fig9", "artifacts to produce")
+	flag.Parse()
+
+	sc := experiments.SmallScale()
+	sc.ProfileNodes = *nodesFlag
+	sc.ProfileRPN = *rpnFlag
+	want := map[string]bool{}
+	for _, w := range strings.Split(*whatFlag, ",") {
+		want[strings.TrimSpace(w)] = true
+	}
+
+	if want["table1"] {
+		profiles, err := experiments.Table1(sc)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(report.Table1(profiles))
+	}
+	for id, app := range map[string]string{"fig8": "UMT2013", "fig9": "QBOX"} {
+		if !want[id] {
+			continue
+		}
+		orig, pico, err := experiments.SyscallBreakdown(app, sc)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(report.BreakdownTable(orig, pico))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "profile:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,219 @@
+// Package cluster assembles simulated compute nodes into an OmniPath-
+// connected machine under one of the paper's three OS configurations —
+// Linux, the original McKernel, and McKernel with the HFI PicoDriver —
+// and provides the per-rank OS personalities that PSM runs against.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/hfi"
+	"repro/internal/ihk"
+	"repro/internal/kmem"
+	"repro/internal/linux"
+	"repro/internal/mckernel"
+	"repro/internal/mem"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/vas"
+)
+
+// OSType selects the node operating system configuration.
+type OSType int
+
+const (
+	// OSLinux runs the application on Linux (the Fujitsu HPC-tuned
+	// production baseline).
+	OSLinux OSType = iota
+	// OSMcKernel is the original multi-kernel: every device system
+	// call is offloaded.
+	OSMcKernel
+	// OSMcKernelHFI is McKernel with the HFI PicoDriver fast path.
+	OSMcKernelHFI
+)
+
+func (o OSType) String() string {
+	switch o {
+	case OSLinux:
+		return "Linux"
+	case OSMcKernel:
+		return "McKernel"
+	case OSMcKernelHFI:
+		return "McKernel+HFI1"
+	}
+	return fmt.Sprintf("OSType(%d)", int(o))
+}
+
+// AllOSTypes lists the three evaluated configurations in paper order.
+var AllOSTypes = []OSType{OSLinux, OSMcKernel, OSMcKernelHFI}
+
+// Config sizes a cluster.
+type Config struct {
+	Nodes int
+	OS    OSType
+	// Params are the model constants (model.Default() if zero-valued
+	// fields — callers pass a full set).
+	Params model.Params
+	Spec   ihk.NodeSpec
+	Seed   int64
+	// Synthetic disables payload materialization (large-scale mode).
+	Synthetic bool
+}
+
+// Cluster is the simulated machine.
+type Cluster struct {
+	E      *sim.Engine
+	Fab    *fabric.Fabric
+	Params *model.Params
+	Cfg    Config
+	Nodes  []*Node
+}
+
+// Node is one compute node.
+type Node struct {
+	ID   int
+	OS   OSType
+	Phys *mem.PhysMem
+
+	LinSpace *kmem.Space
+	LWKSpace *kmem.Space
+	Lin      *linux.Kernel
+	Mck      *mckernel.Kernel
+	Del      *ihk.Delegator
+	NIC      *hfi.NIC
+	Drv      *hfi.LinuxDriver
+	Pico     *core.HFIPico
+
+	appCPUs []int
+	nextApp int
+
+	pr        *model.Params
+	synthetic bool
+}
+
+const kernelImageSize = 8 << 20
+
+// New builds and boots the cluster.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("cluster: need at least one node")
+	}
+	if cfg.Spec.TotalCPUs == 0 {
+		cfg.Spec = ihk.DefaultNodeSpec()
+	}
+	c := &Cluster{
+		E:      sim.NewEngine(cfg.Seed),
+		Params: &cfg.Params,
+		Cfg:    cfg,
+	}
+	c.Fab = fabric.New(c.E, c.Params)
+	for i := 0; i < cfg.Nodes; i++ {
+		n, err := c.buildNode(i)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: node %d: %w", i, err)
+		}
+		c.Nodes = append(c.Nodes, n)
+	}
+	return c, nil
+}
+
+func (c *Cluster) buildNode(id int) (*Node, error) {
+	cfg := c.Cfg
+	n := &Node{ID: id, OS: cfg.OS, pr: c.Params, synthetic: cfg.Synthetic}
+
+	plan, err := ihk.Partition(cfg.Spec)
+	if err != nil {
+		return nil, err
+	}
+	regions := plan.Regions
+	linuxCPUs := plan.LinuxCPUs
+	if cfg.OS == OSLinux {
+		// No partitioning: Linux owns every resource; application
+		// cores remain the non-OS cores.
+		regions = []mem.Region{
+			{Base: 0, Size: cfg.Spec.MCDRAM, Kind: mem.MCDRAM, NUMANode: 0, Owner: "linux"},
+			{Base: 256 << 30, Size: cfg.Spec.DDR, Kind: mem.DDR4, NUMANode: 4, Owner: "linux"},
+		}
+	}
+	n.Phys, err = mem.NewPhysMem(regions...)
+	if err != nil {
+		return nil, err
+	}
+
+	// Linux kernel space: on pure Linux it owns all CPUs; in the multi-
+	// kernel configurations only the OS cores.
+	linKernCPUs := linuxCPUs
+	if cfg.OS == OSLinux {
+		for c := 0; c < cfg.Spec.TotalCPUs; c++ {
+			if c >= cfg.Spec.LinuxCPUs {
+				linKernCPUs = append(linKernCPUs, c)
+			}
+		}
+	}
+	n.LinSpace, err = kmem.NewSpace("linux", vas.LinuxLayout(), n.Phys.Partition("linux"), linKernCPUs)
+	if err != nil {
+		return nil, err
+	}
+	if err := n.LinSpace.LoadImage(kernelImageSize); err != nil {
+		return nil, err
+	}
+	n.Lin = linux.NewKernel(c.E, c.Params, n.LinSpace, linuxCPUs, cfg.Seed*7919+int64(id))
+	n.appCPUs = append([]int(nil), plan.LWKCPUs...)
+
+	worlds := []*kmem.Space{n.LinSpace}
+	if cfg.OS != OSLinux {
+		layout := vas.McKernelOriginalLayout()
+		if cfg.OS == OSMcKernelHFI {
+			layout = vas.McKernelUnifiedLayout()
+		}
+		n.LWKSpace, err = kmem.NewSpace("mckernel", layout, n.Phys.Partition("lwk"), plan.LWKCPUs)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := ihk.BootLWK(n.LinSpace, n.LWKSpace, kernelImageSize); err != nil {
+			return nil, err
+		}
+		n.Del = ihk.NewDelegator(n.Lin.Pool, c.Params)
+		n.Mck = mckernel.NewKernel(c.E, c.Params, n.LWKSpace, n.Lin, n.Del)
+		worlds = append(worlds, n.LWKSpace)
+	}
+
+	n.NIC, err = hfi.NewNIC(c.E, c.Params, id, n.Phys, c.Fab)
+	if err != nil {
+		return nil, err
+	}
+	n.Drv, err = hfi.NewLinuxDriver(n.Lin, n.NIC, c.Params, worlds)
+	if err != nil {
+		return nil, err
+	}
+	if err := n.Lin.RegisterDevice("/dev/hfi1", n.Drv); err != nil {
+		return nil, err
+	}
+
+	if cfg.OS == OSMcKernelHFI {
+		fw, err := core.NewFramework(n.Lin, n.Mck)
+		if err != nil {
+			return nil, err
+		}
+		n.Pico, err = core.NewHFIPico(fw, n.NIC, n.Drv.DWARFBlob, c.Params)
+		if err != nil {
+			return nil, err
+		}
+		if err := n.Pico.Attach(fw, "/dev/hfi1"); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+// AppCPUs returns the node's application core ids.
+func (n *Node) AppCPUs() []int { return n.appCPUs }
+
+// nextAppCPU assigns application cores round-robin.
+func (n *Node) nextAppCPU() int {
+	cpu := n.appCPUs[n.nextApp%len(n.appCPUs)]
+	n.nextApp++
+	return cpu
+}

@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/hfi"
+	"repro/internal/kernel"
+	"repro/internal/linux"
+	"repro/internal/psm"
+	"repro/internal/sim"
+	"repro/internal/uproc"
+)
+
+// NewRankOS creates the per-rank OS personality: the process (with the
+// OS-appropriate memory policy) plus the system call surface PSM uses.
+func (n *Node) NewRankOS(rank int) psm.OSOps {
+	cpu := n.nextAppCPU()
+	name := fmt.Sprintf("rank%d@node%d", rank, n.ID)
+	switch n.OS {
+	case OSLinux:
+		proc := uproc.NewProcess(name, n.Phys.Partition("linux"), uproc.BackingScattered4K)
+		return &linuxOS{node: n, proc: proc, cpu: cpu}
+	default:
+		proc := n.Mck.NewProcess(name)
+		return &mckOS{node: n, proc: proc, cpu: cpu}
+	}
+}
+
+// linuxOS executes system calls locally on the application core, with
+// full Linux costs and OS noise during computation.
+type linuxOS struct {
+	node *Node
+	proc *uproc.Process
+	cpu  int
+}
+
+func (o *linuxOS) ctx(p *sim.Proc) *kernel.Ctx { return &kernel.Ctx{P: p, CPU: o.cpu} }
+
+func (o *linuxOS) Name() string         { return OSLinux.String() }
+func (o *linuxOS) NodeID() int          { return o.node.ID }
+func (o *linuxOS) Proc() *uproc.Process { return o.proc }
+func (o *linuxOS) NIC() *hfi.NIC        { return o.node.NIC }
+
+func (o *linuxOS) Open(p *sim.Proc, path string) (psm.Handle, error) {
+	return o.node.Lin.Open(o.ctx(p), o.proc, path)
+}
+
+func (o *linuxOS) Close(p *sim.Proc, h psm.Handle) error {
+	return o.node.Lin.Close(o.ctx(p), h.(*linux.File))
+}
+
+func (o *linuxOS) Writev(p *sim.Proc, h psm.Handle, iov []hfi.IOVec) (uint64, error) {
+	return o.node.Lin.Writev(o.ctx(p), h.(*linux.File), toLinuxIOV(iov))
+}
+
+func (o *linuxOS) Ioctl(p *sim.Proc, h psm.Handle, cmd uint32, arg uproc.VirtAddr) (uint64, error) {
+	return o.node.Lin.Ioctl(o.ctx(p), h.(*linux.File), cmd, arg)
+}
+
+func (o *linuxOS) MmapDevice(p *sim.Proc, h psm.Handle, kind uint32, length uint64) (uproc.VirtAddr, error) {
+	return o.node.Lin.MmapDevice(o.ctx(p), h.(*linux.File), kind, length)
+}
+
+func (o *linuxOS) Poll(p *sim.Proc, h psm.Handle) (uint32, error) {
+	return o.node.Lin.Poll(o.ctx(p), h.(*linux.File))
+}
+
+func (o *linuxOS) MmapAnon(p *sim.Proc, size uint64) (uproc.VirtAddr, error) {
+	return o.node.Lin.MmapAnon(o.ctx(p), o.proc, size)
+}
+
+func (o *linuxOS) Munmap(p *sim.Proc, va uproc.VirtAddr) error {
+	return o.node.Lin.Munmap(o.ctx(p), o.proc, va)
+}
+
+func (o *linuxOS) Compute(p *sim.Proc, d time.Duration) { o.node.Lin.Compute(p, d) }
+
+func (o *linuxOS) Misc(p *sim.Proc, name string, cost time.Duration) {
+	o.node.Lin.Misc(o.ctx(p), name, cost)
+}
+
+// mckOS executes the LWK syscall table: local memory management and fast
+// paths on the LWK core, everything else offloaded through IKC.
+type mckOS struct {
+	node *Node
+	proc *uproc.Process
+	cpu  int
+}
+
+func (o *mckOS) ctx(p *sim.Proc) *kernel.Ctx { return &kernel.Ctx{P: p, CPU: o.cpu} }
+
+func (o *mckOS) Name() string         { return o.node.OS.String() }
+func (o *mckOS) NodeID() int          { return o.node.ID }
+func (o *mckOS) Proc() *uproc.Process { return o.proc }
+func (o *mckOS) NIC() *hfi.NIC        { return o.node.NIC }
+
+func (o *mckOS) Open(p *sim.Proc, path string) (psm.Handle, error) {
+	return o.node.Mck.Open(o.ctx(p), o.proc, path)
+}
+
+func (o *mckOS) Close(p *sim.Proc, h psm.Handle) error {
+	return o.node.Mck.Close(o.ctx(p), h.(*linux.File))
+}
+
+func (o *mckOS) Writev(p *sim.Proc, h psm.Handle, iov []hfi.IOVec) (uint64, error) {
+	return o.node.Mck.Writev(o.ctx(p), h.(*linux.File), toLinuxIOV(iov))
+}
+
+func (o *mckOS) Ioctl(p *sim.Proc, h psm.Handle, cmd uint32, arg uproc.VirtAddr) (uint64, error) {
+	return o.node.Mck.Ioctl(o.ctx(p), h.(*linux.File), cmd, arg)
+}
+
+func (o *mckOS) MmapDevice(p *sim.Proc, h psm.Handle, kind uint32, length uint64) (uproc.VirtAddr, error) {
+	return o.node.Mck.MmapDevice(o.ctx(p), h.(*linux.File), kind, length)
+}
+
+func (o *mckOS) Poll(p *sim.Proc, h psm.Handle) (uint32, error) {
+	return o.node.Mck.Poll(o.ctx(p), h.(*linux.File))
+}
+
+func (o *mckOS) MmapAnon(p *sim.Proc, size uint64) (uproc.VirtAddr, error) {
+	return o.node.Mck.MmapAnon(o.ctx(p), o.proc, size)
+}
+
+func (o *mckOS) Munmap(p *sim.Proc, va uproc.VirtAddr) error {
+	return o.node.Mck.Munmap(o.ctx(p), o.proc, va)
+}
+
+func (o *mckOS) Compute(p *sim.Proc, d time.Duration) { o.node.Mck.Compute(p, d) }
+
+func (o *mckOS) Misc(p *sim.Proc, name string, cost time.Duration) {
+	o.node.Mck.OffloadSimple(o.ctx(p), name, cost)
+}
+
+func toLinuxIOV(iov []hfi.IOVec) []linux.IOVec {
+	out := make([]linux.IOVec, len(iov))
+	for i, v := range iov {
+		out[i] = linux.IOVec{Base: v.Base, Len: v.Len}
+	}
+	return out
+}

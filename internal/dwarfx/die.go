@@ -1,0 +1,220 @@
+// Package dwarfx implements a DWARF-subset debugging-information format:
+// a DIE (Debugging Information Entry) tree with abbreviation tables, a
+// compact binary encoding, and structure-layout extraction.
+//
+// It plays the role DWARF plays in §3.2 of the PicoDriver paper: the
+// simulated Linux HFI driver "module binary" ships a blob produced by
+// Build from its authoritative structure layouts; the PicoDriver port
+// runs the equivalent of the dwarf-extract-struct tool over that blob to
+// learn field offsets instead of copying driver headers by hand. Tag and
+// attribute numbers follow the DWARF specification where they exist.
+package dwarfx
+
+import "fmt"
+
+// Tag identifies the kind of a DIE. Values match the DWARF standard.
+type Tag uint32
+
+// DWARF standard tag values used by this subset.
+const (
+	TagArrayType       Tag = 0x01
+	TagEnumerationType Tag = 0x04
+	TagMember          Tag = 0x0d
+	TagPointerType     Tag = 0x0f
+	TagCompileUnit     Tag = 0x11
+	TagStructureType   Tag = 0x13
+	TagTypedef         Tag = 0x16
+	TagUnionType       Tag = 0x17
+	TagSubrangeType    Tag = 0x21
+	TagBaseType        Tag = 0x24
+)
+
+func (t Tag) String() string {
+	switch t {
+	case TagArrayType:
+		return "DW_TAG_array_type"
+	case TagEnumerationType:
+		return "DW_TAG_enumeration_type"
+	case TagMember:
+		return "DW_TAG_member"
+	case TagPointerType:
+		return "DW_TAG_pointer_type"
+	case TagCompileUnit:
+		return "DW_TAG_compile_unit"
+	case TagStructureType:
+		return "DW_TAG_structure_type"
+	case TagTypedef:
+		return "DW_TAG_typedef"
+	case TagUnionType:
+		return "DW_TAG_union_type"
+	case TagSubrangeType:
+		return "DW_TAG_subrange_type"
+	case TagBaseType:
+		return "DW_TAG_base_type"
+	}
+	return fmt.Sprintf("DW_TAG_%#x", uint32(t))
+}
+
+// Attr identifies a DIE attribute. Values match the DWARF standard.
+type Attr uint32
+
+// DWARF standard attribute values used by this subset.
+const (
+	AttrName               Attr = 0x03
+	AttrByteSize           Attr = 0x0b
+	AttrProducer           Attr = 0x25
+	AttrCount              Attr = 0x37
+	AttrDataMemberLocation Attr = 0x38
+	AttrEncoding           Attr = 0x3e
+	AttrType               Attr = 0x49
+)
+
+func (a Attr) String() string {
+	switch a {
+	case AttrName:
+		return "DW_AT_name"
+	case AttrByteSize:
+		return "DW_AT_byte_size"
+	case AttrProducer:
+		return "DW_AT_producer"
+	case AttrCount:
+		return "DW_AT_count"
+	case AttrDataMemberLocation:
+		return "DW_AT_data_member_location"
+	case AttrEncoding:
+		return "DW_AT_encoding"
+	case AttrType:
+		return "DW_AT_type"
+	}
+	return fmt.Sprintf("DW_AT_%#x", uint32(a))
+}
+
+// Form is the on-disk representation of an attribute value.
+type Form uint8
+
+// Forms supported by this subset (values follow DWARF where defined).
+const (
+	// FormString is a ULEB length-prefixed UTF-8 string.
+	FormString Form = 0x08
+	// FormUData is a ULEB128 unsigned value.
+	FormUData Form = 0x0f
+	// FormRef4 is a 4-byte little-endian offset of another DIE within
+	// the info section.
+	FormRef4 Form = 0x13
+)
+
+// DWARF base-type encodings (DW_ATE_*).
+const (
+	EncodingUnsigned     = 0x07
+	EncodingSignedChar   = 0x06
+	EncodingUnsignedChar = 0x08
+)
+
+// Value is one attribute value: exactly one of Str, U64 or Ref is
+// meaningful, chosen by Form.
+type Value struct {
+	Attr Attr
+	Form Form
+	Str  string
+	U64  uint64
+	Ref  *DIE
+}
+
+// DIE is one debugging information entry.
+type DIE struct {
+	Tag      Tag
+	Values   []Value
+	Children []*DIE
+
+	// offset is the DIE's position in the encoded info section. It is
+	// populated by Encode and Decode.
+	offset uint32
+}
+
+// Attr returns the value of the given attribute, if present.
+func (d *DIE) Attr(a Attr) (Value, bool) {
+	for _, v := range d.Values {
+		if v.Attr == a {
+			return v, true
+		}
+	}
+	return Value{}, false
+}
+
+// Name returns the DW_AT_name string, or "".
+func (d *DIE) Name() string {
+	v, ok := d.Attr(AttrName)
+	if !ok {
+		return ""
+	}
+	return v.Str
+}
+
+// U64Attr returns a numeric attribute, or (0, false).
+func (d *DIE) U64Attr(a Attr) (uint64, bool) {
+	v, ok := d.Attr(a)
+	if !ok || v.Form != FormUData {
+		return 0, false
+	}
+	return v.U64, true
+}
+
+// TypeRef follows DW_AT_type, or nil.
+func (d *DIE) TypeRef() *DIE {
+	v, ok := d.Attr(AttrType)
+	if !ok || v.Form != FormRef4 {
+		return nil
+	}
+	return v.Ref
+}
+
+// AddStr appends a string attribute.
+func (d *DIE) AddStr(a Attr, s string) *DIE {
+	d.Values = append(d.Values, Value{Attr: a, Form: FormString, Str: s})
+	return d
+}
+
+// AddU64 appends a numeric attribute.
+func (d *DIE) AddU64(a Attr, v uint64) *DIE {
+	d.Values = append(d.Values, Value{Attr: a, Form: FormUData, U64: v})
+	return d
+}
+
+// AddRef appends a reference attribute.
+func (d *DIE) AddRef(a Attr, ref *DIE) *DIE {
+	d.Values = append(d.Values, Value{Attr: a, Form: FormRef4, Ref: ref})
+	return d
+}
+
+// AddChild appends a child DIE and returns it.
+func (d *DIE) AddChild(c *DIE) *DIE {
+	d.Children = append(d.Children, c)
+	return c
+}
+
+// Walk visits d and all descendants in depth-first order; fn returning
+// false prunes the subtree.
+func (d *DIE) Walk(fn func(*DIE) bool) {
+	if !fn(d) {
+		return
+	}
+	for _, c := range d.Children {
+		c.Walk(fn)
+	}
+}
+
+// FindStruct locates the first DW_TAG_structure_type named name.
+func (d *DIE) FindStruct(name string) *DIE {
+	var found *DIE
+	d.Walk(func(n *DIE) bool {
+		if found != nil {
+			return false
+		}
+		if n.Tag == TagStructureType && n.Name() == name {
+			found = n
+			return false
+		}
+		return true
+	})
+	return found
+}

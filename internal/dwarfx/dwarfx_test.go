@@ -1,0 +1,320 @@
+package dwarfx
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/kstruct"
+)
+
+// listing1Registry reproduces the HFI sdma_state structure of the
+// paper's Listing 1: current_state at offset 40, go_s99_running at 48,
+// previous_state at 52, total size 64.
+func listing1Registry(t *testing.T) *kstruct.Registry {
+	t.Helper()
+	reg := kstruct.NewRegistry("10.8-0")
+	reg.MustAdd(&kstruct.Layout{
+		Name:     "sdma_state",
+		ByteSize: 64,
+		Fields: []kstruct.Field{
+			{Name: "ss_lock", Offset: 0, Kind: kstruct.Bytes, ByteLen: 32, TypeName: "spinlock_t"},
+			{Name: "current_state", Offset: 40, Kind: kstruct.Enum, TypeName: "sdma_states"},
+			{Name: "go_s99_running", Offset: 48, Kind: kstruct.U32, TypeName: "unsigned int"},
+			{Name: "previous_state", Offset: 52, Kind: kstruct.Enum, TypeName: "sdma_states"},
+		},
+	})
+	reg.MustAdd(&kstruct.Layout{
+		Name:     "sdma_engine",
+		ByteSize: 256,
+		Fields: []kstruct.Field{
+			{Name: "this_idx", Offset: 0, Kind: kstruct.U32},
+			{Name: "descq_cnt", Offset: 8, Kind: kstruct.U64},
+			{Name: "tail_csr", Offset: 16, Kind: kstruct.Ptr, TypeName: "u64"},
+			{Name: "state", Offset: 64, Kind: kstruct.Bytes, ByteLen: 64, TypeName: "sdma_state"},
+			{Name: "sde_irqs", Offset: 160, Kind: kstruct.U32, Count: 16},
+		},
+	})
+	return reg
+}
+
+func TestExtractListing1Offsets(t *testing.T) {
+	root, err := Build(listing1Registry(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := ExtractStruct(root, "sdma_state",
+		[]string{"current_state", "go_s99_running", "previous_state"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.ByteSize != 64 {
+		t.Fatalf("byte size = %d", l.ByteSize)
+	}
+	want := map[string]uint64{"current_state": 40, "go_s99_running": 48, "previous_state": 52}
+	for name, off := range want {
+		f, err := l.Field(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Offset != off {
+			t.Errorf("%s offset = %d, want %d", name, f.Offset, off)
+		}
+	}
+	cs := l.MustField("current_state")
+	if cs.Kind != kstruct.Enum || cs.TypeName != "enum sdma_states" {
+		t.Errorf("current_state type = %v %q", cs.Kind, cs.TypeName)
+	}
+	if l.MustField("go_s99_running").Kind != kstruct.U32 {
+		t.Error("go_s99_running not u32")
+	}
+}
+
+func TestExtractArrayAndPointerFields(t *testing.T) {
+	root, err := Build(listing1Registry(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := ExtractStruct(root, "sdma_engine",
+		[]string{"sde_irqs", "tail_csr", "state"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	irqs := l.MustField("sde_irqs")
+	if irqs.Count != 16 || irqs.Kind != kstruct.U32 || irqs.Offset != 160 {
+		t.Fatalf("sde_irqs = %+v", irqs)
+	}
+	if l.MustField("tail_csr").Kind != kstruct.Ptr {
+		t.Fatal("tail_csr not a pointer")
+	}
+	st := l.MustField("state")
+	if st.Kind != kstruct.Bytes || st.ByteLen != 64 {
+		t.Fatalf("embedded struct = %+v", st)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	reg := listing1Registry(t)
+	root, err := Build(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := Encode(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Producer(back) != "hfi1 10.8-0" {
+		t.Fatalf("producer = %q", Producer(back))
+	}
+	// Extraction from the decoded tree agrees with the original.
+	for _, name := range []string{"sdma_state", "sdma_engine"} {
+		a, err := ExtractAll(root, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ExtractAll(back, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: decoded extraction differs:\n%+v\n%+v", name, a, b)
+		}
+	}
+	if got := StructNames(back); len(got) != 2 || got[0] != "sdma_engine" || got[1] != "sdma_state" {
+		t.Fatalf("struct names = %v", got)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode([]byte("XXXX")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	root, _ := Build(listing1Registry(t))
+	blob, _ := Encode(root)
+	if _, err := Decode(blob[:len(blob)/2]); err == nil {
+		t.Fatal("truncated blob accepted")
+	}
+	bad := append([]byte(nil), blob...)
+	bad[4] = 99
+	if _, err := Decode(bad); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestExtractErrors(t *testing.T) {
+	root, _ := Build(listing1Registry(t))
+	if _, err := ExtractStruct(root, "no_such_struct", nil); err == nil {
+		t.Fatal("unknown struct accepted")
+	}
+	if _, err := ExtractStruct(root, "sdma_state", []string{"bogus_field"}); err == nil {
+		t.Fatal("unknown member accepted")
+	}
+}
+
+// TestVersionSkew models the paper's update scenario: a new driver
+// release moves fields around; regenerating from the new module's DWARF
+// yields the new offsets while stale manual offsets would not.
+func TestVersionSkew(t *testing.T) {
+	regV2 := kstruct.NewRegistry("10.9-1")
+	regV2.MustAdd(&kstruct.Layout{
+		Name:     "sdma_state",
+		ByteSize: 80, // grew in the new release
+		Fields: []kstruct.Field{
+			{Name: "current_state", Offset: 56, Kind: kstruct.Enum, TypeName: "sdma_states"},
+			{Name: "go_s99_running", Offset: 64, Kind: kstruct.U32},
+			{Name: "previous_state", Offset: 68, Kind: kstruct.Enum, TypeName: "sdma_states"},
+		},
+	})
+	rootV1, _ := Build(listing1Registry(t))
+	rootV2, _ := Build(regV2)
+	b1, _ := Encode(rootV1)
+	b2, _ := Encode(rootV2)
+	d1, err := Decode(b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Decode(b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Producer(d1) == Producer(d2) {
+		t.Fatal("version skew not detectable via producer")
+	}
+	l1, err := ExtractStruct(d1, "sdma_state", []string{"current_state"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := ExtractStruct(d2, "sdma_state", []string{"current_state"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1.MustField("current_state").Offset != 40 || l2.MustField("current_state").Offset != 56 {
+		t.Fatalf("offsets: v1=%d v2=%d", l1.MustField("current_state").Offset,
+			l2.MustField("current_state").Offset)
+	}
+}
+
+func TestGenerateCHeaderListing1Shape(t *testing.T) {
+	root, _ := Build(listing1Registry(t))
+	l, err := ExtractStruct(root, "sdma_state",
+		[]string{"current_state", "go_s99_running", "previous_state"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := GenerateCHeader(l)
+	for _, want := range []string{
+		"struct sdma_state {",
+		"union {",
+		"char whole_struct[64];",
+		"char padding0[40];",
+		"enum sdma_states current_state;",
+		"char padding1[48];",
+		"unsigned int go_s99_running;",
+		"char padding2[52];",
+		"enum sdma_states previous_state;",
+	} {
+		if !strings.Contains(h, want) {
+			t.Errorf("header missing %q:\n%s", want, h)
+		}
+	}
+}
+
+func TestULEBRoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		var buf bytes.Buffer
+		putULEB(&buf, v)
+		got, pos, err := getULEB(buf.Bytes(), 0)
+		return err == nil && got == v && pos == buf.Len() && pos == ulebLen(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(29))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: random registries survive Build → Encode → Decode →
+// ExtractAll with every offset, size, kind and count intact.
+func TestRegistryRoundTripProperty(t *testing.T) {
+	kinds := []kstruct.Kind{kstruct.U8, kstruct.U16, kstruct.U32, kstruct.U64, kstruct.Enum, kstruct.Ptr, kstruct.Bytes}
+	f := func(seed int64, nStructs uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		reg := kstruct.NewRegistry("vX")
+		n := int(nStructs%4) + 1
+		for si := 0; si < n; si++ {
+			l := &kstruct.Layout{Name: string(rune('a'+si)) + "_struct"}
+			off := uint64(0)
+			for fi := 0; fi < rng.Intn(6)+1; fi++ {
+				k := kinds[rng.Intn(len(kinds))]
+				fld := kstruct.Field{
+					Name: string(rune('a'+fi)) + "_f",
+					Kind: k,
+				}
+				switch k {
+				case kstruct.Bytes:
+					fld.ByteLen = uint64(rng.Intn(60) + 1)
+				case kstruct.Enum:
+					fld.TypeName = "some_states"
+				default:
+					if rng.Intn(3) == 0 {
+						fld.Count = uint64(rng.Intn(7) + 2)
+					}
+				}
+				// Aligned-ish placement with random gaps.
+				align := fld.Kind.Size()
+				if align == 0 {
+					align = 1
+				}
+				off = (off + align - 1) &^ (align - 1)
+				fld.Offset = off
+				off += fld.Size() + uint64(rng.Intn(16))
+				l.Fields = append(l.Fields, fld)
+			}
+			l.ByteSize = off + uint64(rng.Intn(32)) + 1
+			if reg.Add(l) != nil {
+				return false
+			}
+		}
+		root, err := Build(reg)
+		if err != nil {
+			return false
+		}
+		blob, err := Encode(root)
+		if err != nil {
+			return false
+		}
+		back, err := Decode(blob)
+		if err != nil {
+			return false
+		}
+		for _, name := range reg.Names() {
+			orig, _ := reg.Lookup(name)
+			got, err := ExtractAll(back, name)
+			if err != nil {
+				return false
+			}
+			if got.ByteSize != orig.ByteSize || len(got.Fields) != len(orig.Fields) {
+				return false
+			}
+			for _, of := range orig.Fields {
+				gf, err := got.Field(of.Name)
+				if err != nil {
+					return false
+				}
+				if gf.Offset != of.Offset || gf.Kind != of.Kind || gf.Size() != of.Size() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(31))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,354 @@
+package dwarfx
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+)
+
+// Binary layout of an encoded module-info blob:
+//
+//	magic   "DWSX"
+//	version u8 (1)
+//	abbrev section:
+//	    count ULEB
+//	    per abbrev: code ULEB, tag ULEB, hasChildren u8,
+//	                nattrs ULEB, {attr ULEB, form u8}*
+//	info section:
+//	    length ULEB
+//	    DIE stream: abbrev-code ULEB (0 terminates a child list),
+//	                attribute values encoded per form
+//
+// References (FormRef4) are byte offsets within the info section.
+
+var magic = []byte("DWSX")
+
+const version = 1
+
+// abbrev is one abbreviation-table entry.
+type abbrev struct {
+	code        uint64
+	tag         Tag
+	hasChildren bool
+	attrs       []Attr
+	forms       []Form
+}
+
+func abbrevKey(d *DIE) string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "%d/%t", d.Tag, len(d.Children) > 0)
+	for _, v := range d.Values {
+		fmt.Fprintf(&b, ":%d.%d", v.Attr, v.Form)
+	}
+	return b.String()
+}
+
+func putULEB(buf *bytes.Buffer, v uint64) {
+	for {
+		b := byte(v & 0x7f)
+		v >>= 7
+		if v != 0 {
+			b |= 0x80
+		}
+		buf.WriteByte(b)
+		if v == 0 {
+			return
+		}
+	}
+}
+
+func ulebLen(v uint64) int {
+	n := 1
+	for v >>= 7; v != 0; v >>= 7 {
+		n++
+	}
+	return n
+}
+
+func getULEB(data []byte, pos int) (uint64, int, error) {
+	var v uint64
+	shift := uint(0)
+	for {
+		if pos >= len(data) {
+			return 0, 0, fmt.Errorf("dwarfx: truncated ULEB")
+		}
+		b := data[pos]
+		pos++
+		v |= uint64(b&0x7f) << shift
+		if b&0x80 == 0 {
+			return v, pos, nil
+		}
+		shift += 7
+		if shift > 63 {
+			return 0, 0, fmt.Errorf("dwarfx: ULEB overflow")
+		}
+	}
+}
+
+// Encode serializes the DIE tree rooted at root.
+func Encode(root *DIE) ([]byte, error) {
+	// Collect abbreviations.
+	table := make(map[string]*abbrev)
+	var order []*abbrev
+	root.Walk(func(d *DIE) bool {
+		key := abbrevKey(d)
+		if _, ok := table[key]; !ok {
+			a := &abbrev{
+				code:        uint64(len(order) + 1),
+				tag:         d.Tag,
+				hasChildren: len(d.Children) > 0,
+			}
+			for _, v := range d.Values {
+				a.attrs = append(a.attrs, v.Attr)
+				a.forms = append(a.forms, v.Form)
+			}
+			table[key] = a
+			order = append(order, a)
+		}
+		return true
+	})
+
+	// Pass 1: assign info-section offsets.
+	var assign func(d *DIE, off uint32) (uint32, error)
+	assign = func(d *DIE, off uint32) (uint32, error) {
+		d.offset = off
+		a := table[abbrevKey(d)]
+		off += uint32(ulebLen(a.code))
+		for _, v := range d.Values {
+			switch v.Form {
+			case FormString:
+				off += uint32(ulebLen(uint64(len(v.Str))) + len(v.Str))
+			case FormUData:
+				off += uint32(ulebLen(v.U64))
+			case FormRef4:
+				off += 4
+			default:
+				return 0, fmt.Errorf("dwarfx: unknown form %d", v.Form)
+			}
+		}
+		if len(d.Children) > 0 {
+			var err error
+			for _, c := range d.Children {
+				off, err = assign(c, off)
+				if err != nil {
+					return 0, err
+				}
+			}
+			off++ // terminator
+		}
+		return off, nil
+	}
+	infoLen, err := assign(root, 0)
+	if err != nil {
+		return nil, err
+	}
+
+	// Pass 2: emit.
+	var out bytes.Buffer
+	out.Write(magic)
+	out.WriteByte(version)
+	putULEB(&out, uint64(len(order)))
+	for _, a := range order {
+		putULEB(&out, a.code)
+		putULEB(&out, uint64(a.tag))
+		if a.hasChildren {
+			out.WriteByte(1)
+		} else {
+			out.WriteByte(0)
+		}
+		putULEB(&out, uint64(len(a.attrs)))
+		for i := range a.attrs {
+			putULEB(&out, uint64(a.attrs[i]))
+			out.WriteByte(byte(a.forms[i]))
+		}
+	}
+	putULEB(&out, uint64(infoLen))
+
+	var emit func(d *DIE) error
+	emit = func(d *DIE) error {
+		a := table[abbrevKey(d)]
+		putULEB(&out, a.code)
+		for _, v := range d.Values {
+			switch v.Form {
+			case FormString:
+				putULEB(&out, uint64(len(v.Str)))
+				out.WriteString(v.Str)
+			case FormUData:
+				putULEB(&out, v.U64)
+			case FormRef4:
+				if v.Ref == nil {
+					return fmt.Errorf("dwarfx: nil reference in %s", d.Tag)
+				}
+				ref := v.Ref.offset
+				out.Write([]byte{byte(ref), byte(ref >> 8), byte(ref >> 16), byte(ref >> 24)})
+			}
+		}
+		if len(d.Children) > 0 {
+			for _, c := range d.Children {
+				if err := emit(c); err != nil {
+					return err
+				}
+			}
+			out.WriteByte(0)
+		}
+		return nil
+	}
+	if err := emit(root); err != nil {
+		return nil, err
+	}
+	return out.Bytes(), nil
+}
+
+// Decode parses a blob produced by Encode and returns the root DIE.
+func Decode(blob []byte) (*DIE, error) {
+	if len(blob) < len(magic)+1 || !bytes.Equal(blob[:4], magic) {
+		return nil, fmt.Errorf("dwarfx: bad magic")
+	}
+	if blob[4] != version {
+		return nil, fmt.Errorf("dwarfx: unsupported version %d", blob[4])
+	}
+	pos := 5
+	nab, pos, err := getULEB(blob, pos)
+	if err != nil {
+		return nil, err
+	}
+	abbrevs := make(map[uint64]*abbrev, nab)
+	for i := uint64(0); i < nab; i++ {
+		var a abbrev
+		if a.code, pos, err = getULEB(blob, pos); err != nil {
+			return nil, err
+		}
+		var tag uint64
+		if tag, pos, err = getULEB(blob, pos); err != nil {
+			return nil, err
+		}
+		a.tag = Tag(tag)
+		if pos >= len(blob) {
+			return nil, fmt.Errorf("dwarfx: truncated abbrev")
+		}
+		a.hasChildren = blob[pos] == 1
+		pos++
+		var nattrs uint64
+		if nattrs, pos, err = getULEB(blob, pos); err != nil {
+			return nil, err
+		}
+		for j := uint64(0); j < nattrs; j++ {
+			var at uint64
+			if at, pos, err = getULEB(blob, pos); err != nil {
+				return nil, err
+			}
+			if pos >= len(blob) {
+				return nil, fmt.Errorf("dwarfx: truncated abbrev forms")
+			}
+			a.attrs = append(a.attrs, Attr(at))
+			a.forms = append(a.forms, Form(blob[pos]))
+			pos++
+		}
+		abbrevs[a.code] = &a
+	}
+	infoLen, pos, err := getULEB(blob, pos)
+	if err != nil {
+		return nil, err
+	}
+	info := blob[pos:]
+	if uint64(len(info)) < infoLen {
+		return nil, fmt.Errorf("dwarfx: truncated info section")
+	}
+
+	byOffset := make(map[uint32]*DIE)
+	type pendingRef struct {
+		die  *DIE
+		vi   int
+		woff uint32
+	}
+	var pending []pendingRef
+
+	var parse func(ipos int) (*DIE, int, error)
+	parse = func(ipos int) (*DIE, int, error) {
+		start := ipos
+		code, ipos, err := getULEB(info, ipos)
+		if err != nil {
+			return nil, 0, err
+		}
+		if code == 0 {
+			return nil, ipos, nil // child-list terminator
+		}
+		a, ok := abbrevs[code]
+		if !ok {
+			return nil, 0, fmt.Errorf("dwarfx: unknown abbrev code %d", code)
+		}
+		d := &DIE{Tag: a.tag, offset: uint32(start)}
+		byOffset[d.offset] = d
+		for i := range a.attrs {
+			v := Value{Attr: a.attrs[i], Form: a.forms[i]}
+			switch v.Form {
+			case FormString:
+				var n uint64
+				if n, ipos, err = getULEB(info, ipos); err != nil {
+					return nil, 0, err
+				}
+				if ipos+int(n) > len(info) {
+					return nil, 0, fmt.Errorf("dwarfx: truncated string")
+				}
+				v.Str = string(info[ipos : ipos+int(n)])
+				ipos += int(n)
+			case FormUData:
+				if v.U64, ipos, err = getULEB(info, ipos); err != nil {
+					return nil, 0, err
+				}
+			case FormRef4:
+				if ipos+4 > len(info) {
+					return nil, 0, fmt.Errorf("dwarfx: truncated ref")
+				}
+				off := uint32(info[ipos]) | uint32(info[ipos+1])<<8 |
+					uint32(info[ipos+2])<<16 | uint32(info[ipos+3])<<24
+				pending = append(pending, pendingRef{d, len(d.Values), off})
+				ipos += 4
+			default:
+				return nil, 0, fmt.Errorf("dwarfx: unknown form %d", v.Form)
+			}
+			d.Values = append(d.Values, v)
+		}
+		if a.hasChildren {
+			for {
+				var c *DIE
+				if c, ipos, err = parse(ipos); err != nil {
+					return nil, 0, err
+				}
+				if c == nil {
+					break
+				}
+				d.Children = append(d.Children, c)
+			}
+		}
+		return d, ipos, nil
+	}
+	root, _, err := parse(0)
+	if err != nil {
+		return nil, err
+	}
+	if root == nil {
+		return nil, fmt.Errorf("dwarfx: empty info section")
+	}
+	for _, p := range pending {
+		ref, ok := byOffset[p.woff]
+		if !ok {
+			return nil, fmt.Errorf("dwarfx: dangling reference to offset %#x", p.woff)
+		}
+		p.die.Values[p.vi].Ref = ref
+	}
+	return root, nil
+}
+
+// StructNames lists every DW_TAG_structure_type name under root, sorted.
+func StructNames(root *DIE) []string {
+	var names []string
+	root.Walk(func(d *DIE) bool {
+		if d.Tag == TagStructureType {
+			names = append(names, d.Name())
+		}
+		return true
+	})
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,175 @@
+package dwarfx
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/kstruct"
+)
+
+// ExtractStruct walks the DIE tree for the named structure and resolves
+// the requested fields into a kstruct.Layout, the way the paper's
+// dwarf-extract-struct tool produces a header with only the fields the
+// PicoDriver cares about. Requesting every field is possible but the
+// point of the tool is that most driver fields are used exclusively by
+// code that stays in Linux.
+func ExtractStruct(root *DIE, structName string, fields []string) (*kstruct.Layout, error) {
+	st := root.FindStruct(structName)
+	if st == nil {
+		return nil, fmt.Errorf("dwarfx: no DW_TAG_structure_type named %q", structName)
+	}
+	size, ok := st.U64Attr(AttrByteSize)
+	if !ok {
+		return nil, fmt.Errorf("dwarfx: %q has no DW_AT_byte_size", structName)
+	}
+	layout := &kstruct.Layout{Name: structName, ByteSize: size}
+	for _, fname := range fields {
+		member := findMember(st, fname)
+		if member == nil {
+			return nil, fmt.Errorf("dwarfx: %q has no member %q", structName, fname)
+		}
+		off, ok := member.U64Attr(AttrDataMemberLocation)
+		if !ok {
+			return nil, fmt.Errorf("dwarfx: member %q lacks DW_AT_data_member_location", fname)
+		}
+		f, err := resolveType(member.TypeRef())
+		if err != nil {
+			return nil, fmt.Errorf("dwarfx: member %q: %w", fname, err)
+		}
+		f.Name = fname
+		f.Offset = off
+		layout.Fields = append(layout.Fields, f)
+	}
+	if err := layout.Validate(); err != nil {
+		return nil, fmt.Errorf("dwarfx: extracted layout invalid: %w", err)
+	}
+	return layout, nil
+}
+
+// ExtractAll extracts every member of the named structure.
+func ExtractAll(root *DIE, structName string) (*kstruct.Layout, error) {
+	st := root.FindStruct(structName)
+	if st == nil {
+		return nil, fmt.Errorf("dwarfx: no DW_TAG_structure_type named %q", structName)
+	}
+	var names []string
+	for _, c := range st.Children {
+		if c.Tag == TagMember {
+			names = append(names, c.Name())
+		}
+	}
+	return ExtractStruct(root, structName, names)
+}
+
+func findMember(st *DIE, name string) *DIE {
+	for _, c := range st.Children {
+		if c.Tag == TagMember && c.Name() == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// resolveType follows a member's type chain (typedefs, arrays) down to a
+// kstruct field description.
+func resolveType(ty *DIE) (kstruct.Field, error) {
+	if ty == nil {
+		return kstruct.Field{}, fmt.Errorf("missing DW_AT_type")
+	}
+	switch ty.Tag {
+	case TagTypedef:
+		f, err := resolveType(ty.TypeRef())
+		if err == nil && f.TypeName == "" {
+			f.TypeName = ty.Name()
+		}
+		return f, err
+	case TagBaseType:
+		size, _ := ty.U64Attr(AttrByteSize)
+		var k kstruct.Kind
+		switch size {
+		case 1:
+			k = kstruct.U8
+		case 2:
+			k = kstruct.U16
+		case 4:
+			k = kstruct.U32
+		case 8:
+			k = kstruct.U64
+		default:
+			return kstruct.Field{}, fmt.Errorf("base type of %d bytes", size)
+		}
+		return kstruct.Field{Kind: k, TypeName: ty.Name()}, nil
+	case TagEnumerationType:
+		return kstruct.Field{Kind: kstruct.Enum, TypeName: "enum " + ty.Name()}, nil
+	case TagPointerType:
+		return kstruct.Field{Kind: kstruct.Ptr, TypeName: ty.Name()}, nil
+	case TagArrayType:
+		elem, err := resolveType(ty.TypeRef())
+		if err != nil {
+			return kstruct.Field{}, err
+		}
+		var count uint64
+		for _, c := range ty.Children {
+			if c.Tag == TagSubrangeType {
+				count, _ = c.U64Attr(AttrCount)
+			}
+		}
+		if count == 0 {
+			return kstruct.Field{}, fmt.Errorf("array without subrange count")
+		}
+		if elem.Kind == kstruct.U8 && elem.TypeName == "char" {
+			return kstruct.Field{Kind: kstruct.Bytes, ByteLen: count, TypeName: "char[]"}, nil
+		}
+		elem.Count = count
+		return elem, nil
+	case TagStructureType, TagUnionType:
+		size, _ := ty.U64Attr(AttrByteSize)
+		return kstruct.Field{Kind: kstruct.Bytes, ByteLen: size, TypeName: ty.Name()}, nil
+	}
+	return kstruct.Field{}, fmt.Errorf("unsupported type %v", ty.Tag)
+}
+
+// GenerateCHeader renders a layout in the style of the paper's Listing 1:
+// a struct containing an unnamed union with a whole-struct character
+// array (so the size matches) and one anonymous struct per member, each
+// preceded by its own padding.
+func GenerateCHeader(l *kstruct.Layout) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "struct %s {\n", l.Name)
+	b.WriteString("\tunion {\n")
+	fmt.Fprintf(&b, "\t\tchar whole_struct[%d];\n", l.ByteSize)
+	for i, f := range l.Fields {
+		b.WriteString("\t\tstruct {\n")
+		if f.Offset > 0 {
+			fmt.Fprintf(&b, "\t\t\tchar padding%d[%d];\n", i, f.Offset)
+		}
+		fmt.Fprintf(&b, "\t\t\t%s;\n", cDecl(f))
+		b.WriteString("\t\t};\n")
+	}
+	b.WriteString("\t};\n};\n")
+	return b.String()
+}
+
+func cDecl(f kstruct.Field) string {
+	switch f.Kind {
+	case kstruct.Bytes:
+		return fmt.Sprintf("char %s[%d]", f.Name, f.ByteLen)
+	case kstruct.Ptr:
+		tn := f.TypeName
+		if tn == "" {
+			tn = "void *"
+		} else if !strings.HasSuffix(tn, "*") {
+			tn += " *"
+		}
+		return tn + f.Name
+	default:
+		tn := f.TypeName
+		if tn == "" {
+			tn = f.Kind.String()
+		}
+		if f.Count > 1 {
+			return fmt.Sprintf("%s %s[%d]", tn, f.Name, f.Count)
+		}
+		return fmt.Sprintf("%s %s", tn, f.Name)
+	}
+}

@@ -1,0 +1,357 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4): the ping-pong bandwidth sweep (Figure 4), the five
+// mini-application scaling studies (Figures 5–7), the communication
+// profile (Table 1) and the kernel-level system call breakdowns
+// (Figures 8 and 9).
+//
+// Each experiment builds fresh clusters per OS configuration and node
+// count, runs deterministically, and returns structured results that the
+// report package renders in the layout of the paper's artifacts.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/miniapps"
+	"repro/internal/model"
+	"repro/internal/mpi"
+	"repro/internal/psm"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/uproc"
+)
+
+// Scale bounds an experiment run. SmallScale finishes in minutes on a
+// laptop; PaperScale sweeps the paper's node counts (hours).
+type Scale struct {
+	Name string
+	// PingPongSizes for Figure 4.
+	PingPongSizes []uint64
+	// PingPongReps per size.
+	PingPongReps int
+	// AppNodes is the node-count sweep for Figures 5-7.
+	AppNodes []int
+	// QBoxNodes starts at 4 (the paper's input constraint).
+	QBoxNodes []int
+	// RanksPerNode caps each app's configured density (0 = app default).
+	RanksPerNode int
+	// ProfileNodes/ProfileRPN size the Table 1 / Figures 8-9 runs.
+	ProfileNodes int
+	ProfileRPN   int
+	Seed         int64
+}
+
+// SmallScale is the default: shapes are visible, runtime is modest.
+func SmallScale() Scale {
+	return Scale{
+		Name:          "small",
+		PingPongSizes: []uint64{1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20},
+		PingPongReps:  4,
+		AppNodes:      []int{1, 2, 4, 8},
+		QBoxNodes:     []int{4, 8},
+		RanksPerNode:  16,
+		ProfileNodes:  8,
+		ProfileRPN:    16,
+		Seed:          1,
+	}
+}
+
+// PaperScale follows the paper's sweeps (expensive).
+func PaperScale() Scale {
+	return Scale{
+		Name: "paper",
+		PingPongSizes: []uint64{
+			1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10,
+			128 << 10, 256 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20,
+		},
+		PingPongReps: 6,
+		AppNodes:     []int{1, 2, 4, 8, 16, 32, 64},
+		QBoxNodes:    []int{4, 8, 16, 32, 64},
+		RanksPerNode: 32,
+		ProfileNodes: 8,
+		ProfileRPN:   32,
+		Seed:         1,
+	}
+}
+
+// OSNames in paper order.
+var OSNames = []string{"Linux", "McKernel", "McKernel+HFI1"}
+
+func osName(o cluster.OSType) string { return o.String() }
+
+// ---------------------------------------------------------------------
+// Figure 4: ping-pong bandwidth.
+// ---------------------------------------------------------------------
+
+// Fig4Row is one message size across the three OS configurations.
+type Fig4Row struct {
+	Size uint64
+	// MBps is bandwidth in MB/s per OS name.
+	MBps map[string]float64
+}
+
+// Fig4 runs the IMB-style ping-pong sweep on a two-node cluster.
+func Fig4(sc Scale) ([]Fig4Row, error) {
+	rows := make([]Fig4Row, 0, len(sc.PingPongSizes))
+	for _, size := range sc.PingPongSizes {
+		row := Fig4Row{Size: size, MBps: make(map[string]float64)}
+		for _, os := range cluster.AllOSTypes {
+			oneWay, err := pingPong(os, size, sc.PingPongReps, sc.Seed)
+			if err != nil {
+				return nil, fmt.Errorf("fig4 %s %dB: %w", osName(os), size, err)
+			}
+			row.MBps[osName(os)] = float64(size) / oneWay.Seconds() / 1e6
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// pingPong returns the average one-way time for the given message size.
+func pingPong(os cluster.OSType, size uint64, reps int, seed int64) (time.Duration, error) {
+	cl, err := cluster.New(cluster.Config{
+		Nodes: 2, OS: os, Params: model.Default(), Seed: seed, Synthetic: true,
+	})
+	if err != nil {
+		return 0, err
+	}
+	var total time.Duration
+	var runErr error
+	eps := make([]*psm.Endpoint, 2)
+	book := psm.MapBook{}
+	ready := sim.NewWaitGroup(cl.E)
+	ready.Add(2)
+	for r := 0; r < 2; r++ {
+		r := r
+		osops := cl.Nodes[r].NewRankOS(r)
+		cl.E.Go(fmt.Sprintf("pp%d", r), func(p *sim.Proc) {
+			ep, err := psm.NewEndpoint(p, osops, r, book, true)
+			if err != nil {
+				runErr = err
+				ready.Done()
+				return
+			}
+			eps[r] = ep
+			book[r] = psm.Addr{Node: osops.NodeID(), Ctx: ep.CtxID}
+			ready.Done()
+			ready.Wait(p)
+			buf, err := osops.MmapAnon(p, size)
+			if err != nil {
+				runErr = err
+				return
+			}
+			// Warmup round, then timed rounds.
+			for i := 0; i <= reps; i++ {
+				tag := uint64(10 + i)
+				var start time.Duration
+				if r == 0 {
+					start = p.Now()
+					if err := ep.Send(p, 1, tag, buf, size); err != nil {
+						runErr = err
+						return
+					}
+					if err := ep.Recv(p, 1, tag, buf, size); err != nil {
+						runErr = err
+						return
+					}
+					if i > 0 {
+						total += p.Now() - start
+					}
+				} else {
+					if err := ep.Recv(p, 0, tag, buf, size); err != nil {
+						runErr = err
+						return
+					}
+					if err := ep.Send(p, 0, tag, buf, size); err != nil {
+						runErr = err
+						return
+					}
+				}
+			}
+		})
+	}
+	if err := cl.E.Run(0); err != nil {
+		return 0, err
+	}
+	if runErr != nil {
+		return 0, runErr
+	}
+	return total / time.Duration(2*reps), nil
+}
+
+// ---------------------------------------------------------------------
+// Figures 5-7: mini-application scaling.
+// ---------------------------------------------------------------------
+
+// ScalingPoint is one node count of a scaling study.
+type ScalingPoint struct {
+	Nodes int
+	// Elapsed is the runtime per OS name.
+	Elapsed map[string]time.Duration
+	// RelToLinux is performance relative to Linux (1.0 = parity;
+	// > 1 means faster than Linux), matching the paper's y axes.
+	RelToLinux map[string]float64
+}
+
+// AppScaling runs one mini-app across the node sweep.
+func AppScaling(app *miniapps.App, nodes []int, rpn int, seed int64) ([]ScalingPoint, error) {
+	if rpn <= 0 {
+		rpn = app.RanksPerNode
+	}
+	var out []ScalingPoint
+	for _, n := range nodes {
+		pt := ScalingPoint{
+			Nodes:      n,
+			Elapsed:    make(map[string]time.Duration),
+			RelToLinux: make(map[string]float64),
+		}
+		for _, os := range cluster.AllOSTypes {
+			res, err := runApp(app, n, rpn, os, seed)
+			if err != nil {
+				return nil, fmt.Errorf("%s on %d nodes (%s): %w", app.Name, n, osName(os), err)
+			}
+			pt.Elapsed[osName(os)] = res.Elapsed
+		}
+		lin := pt.Elapsed["Linux"]
+		for name, d := range pt.Elapsed {
+			pt.RelToLinux[name] = lin.Seconds() / d.Seconds()
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+func runApp(app *miniapps.App, nodes, rpn int, os cluster.OSType, seed int64) (*mpi.JobResult, error) {
+	cl, err := cluster.New(cluster.Config{
+		Nodes: nodes, OS: os, Params: model.Default(), Seed: seed, Synthetic: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return mpi.RunJob(cl, rpn, func(c *mpi.Comm) error { return app.Body(c, app) })
+}
+
+// ---------------------------------------------------------------------
+// Table 1: communication profile.
+// ---------------------------------------------------------------------
+
+// ProfileEntry is one row of the Table 1 reproduction.
+type ProfileEntry struct {
+	Call   string
+	Time   time.Duration
+	PctMPI float64
+	PctRt  float64
+}
+
+// AppProfile is one (application, OS) cell of Table 1: the top-5 MPI
+// calls with their share of MPI time and of overall runtime.
+type AppProfile struct {
+	App     string
+	OS      string
+	Top     []ProfileEntry
+	Elapsed time.Duration
+}
+
+// Table1 profiles UMT2013, HACC and QBOX on the configured node count
+// under all three OS configurations.
+func Table1(sc Scale) ([]AppProfile, error) {
+	var out []AppProfile
+	for _, name := range []string{"UMT2013", "HACC", "QBOX"} {
+		app, err := miniapps.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, os := range cluster.AllOSTypes {
+			res, err := runApp(app, sc.ProfileNodes, sc.ProfileRPN, os, sc.Seed)
+			if err != nil {
+				return nil, fmt.Errorf("table1 %s %s: %w", name, osName(os), err)
+			}
+			prof := AppProfile{App: name, OS: osName(os), Elapsed: res.Elapsed}
+			mpiTotal := res.MPI.Total()
+			// %Rt is relative to the cumulative runtime over all ranks,
+			// including initialization (the paper's profiles contain
+			// MPI_Init).
+			rtTotal := res.WallTime * time.Duration(res.Ranks)
+			for _, e := range res.MPI.Top(5) {
+				prof.Top = append(prof.Top, ProfileEntry{
+					Call:   e.Name,
+					Time:   e.Time,
+					PctMPI: 100 * float64(e.Time) / float64(mpiTotal),
+					PctRt:  100 * float64(e.Time) / float64(rtTotal),
+				})
+			}
+			out = append(out, prof)
+		}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------
+// Figures 8-9: kernel-level system call breakdown.
+// ---------------------------------------------------------------------
+
+// Breakdown is the LWK profiler view of one (app, OS) run: per-syscall
+// shares of in-kernel time, as in the pie charts of Figures 8 and 9.
+type Breakdown struct {
+	App    string
+	OS     string
+	Shares []trace.Entry
+	// KernelTime is the total time spent in (local or offloaded)
+	// system calls across the LWK.
+	KernelTime time.Duration
+}
+
+// SyscallBreakdown runs app on both McKernel configurations and returns
+// their kernel profiles. The paper reports that with the HFI PicoDriver
+// the kernel time shrinks to 7% (UMT2013) and 25% (QBOX) of the original
+// McKernel's, with ioctl+writev dropping from >70% to <30% of it.
+func SyscallBreakdown(appName string, sc Scale) (orig, pico Breakdown, err error) {
+	app, err := miniapps.ByName(appName)
+	if err != nil {
+		return orig, pico, err
+	}
+	run := func(os cluster.OSType) (Breakdown, error) {
+		cl, err := cluster.New(cluster.Config{
+			Nodes: sc.ProfileNodes, OS: os, Params: model.Default(), Seed: sc.Seed, Synthetic: true,
+		})
+		if err != nil {
+			return Breakdown{}, err
+		}
+		// Snapshot each node's kernel profile at body start so the
+		// breakdown covers steady-state execution, not MPI_Init (the
+		// paper's applications run long enough to amortize startup).
+		baselines := make([]*trace.SyscallProfile, len(cl.Nodes))
+		if _, err := mpi.RunJob(cl, sc.ProfileRPN, func(c *mpi.Comm) error {
+			node := c.Rank / c.RanksPerNode
+			if c.Rank%c.RanksPerNode == 0 {
+				baselines[node] = cl.Nodes[node].Mck.Syscalls.Clone()
+			}
+			return app.Body(c, app)
+		}); err != nil {
+			return Breakdown{}, err
+		}
+		merged := trace.NewSyscallProfile()
+		for i, n := range cl.Nodes {
+			prof := n.Mck.Syscalls.Clone()
+			if baselines[i] != nil {
+				prof.Sub(baselines[i])
+			}
+			merged.Merge(prof)
+		}
+		return Breakdown{
+			App: appName, OS: osName(os),
+			Shares:     merged.Top(7),
+			KernelTime: merged.Total(),
+		}, nil
+	}
+	if orig, err = run(cluster.OSMcKernel); err != nil {
+		return orig, pico, err
+	}
+	pico, err = run(cluster.OSMcKernelHFI)
+	return orig, pico, err
+}
+
+// uint64VA helps build user addresses in harness code.
+func uint64VA(v uint64) uproc.VirtAddr { return uproc.VirtAddr(v) }

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/miniapps"
+)
+
+// tinyScale keeps the smoke tests fast.
+func tinyScale() Scale {
+	return Scale{
+		Name:          "tiny",
+		PingPongSizes: []uint64{4 << 10, 256 << 10},
+		PingPongReps:  2,
+		AppNodes:      []int{1, 2},
+		QBoxNodes:     []int{4},
+		RanksPerNode:  4,
+		ProfileNodes:  2,
+		ProfileRPN:    4,
+		Seed:          1,
+	}
+}
+
+func TestFig4ShapesAndDeterminism(t *testing.T) {
+	sc := tinyScale()
+	rows, err := Fig4(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		for _, name := range OSNames {
+			if r.MBps[name] <= 0 {
+				t.Fatalf("%s bandwidth missing at %d", name, r.Size)
+			}
+		}
+	}
+	// At 256 KB (rendezvous) the paper's ordering must hold.
+	big := rows[1]
+	if !(big.MBps["McKernel"] < big.MBps["Linux"] && big.MBps["Linux"] < big.MBps["McKernel+HFI1"]) {
+		t.Fatalf("fig4 ordering broken: %+v", big.MBps)
+	}
+	// Determinism.
+	again, err := Fig4(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rows {
+		for _, name := range OSNames {
+			if rows[i].MBps[name] != again[i].MBps[name] {
+				t.Fatal("fig4 not deterministic")
+			}
+		}
+	}
+}
+
+func TestAppScalingRelatives(t *testing.T) {
+	pts, err := AppScaling(miniapps.UMT2013(), []int{1, 2}, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0].RelToLinux["Linux"] != 1.0 {
+		t.Fatal("Linux must be the 100% baseline")
+	}
+	// Single node: all configurations near parity (everything is local).
+	if rel := pts[0].RelToLinux["McKernel"]; rel < 0.9 || rel > 1.2 {
+		t.Fatalf("1-node McKernel relative = %.2f, want near parity", rel)
+	}
+	// Two nodes: offload degradation must appear (the full collapse
+	// needs the paper's 32 ranks/node; this smoke test runs 8).
+	if rel := pts[1].RelToLinux["McKernel"]; rel > 0.85 {
+		t.Fatalf("2-node McKernel relative = %.2f, degradation missing", rel)
+	}
+	if rel := pts[1].RelToLinux["McKernel+HFI1"]; rel < 0.9 {
+		t.Fatalf("2-node +HFI relative = %.2f", rel)
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	sc := tinyScale()
+	profiles, err := Table1(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profiles) != 9 { // 3 apps x 3 OSes
+		t.Fatalf("profiles = %d", len(profiles))
+	}
+	for _, p := range profiles {
+		if len(p.Top) == 0 || len(p.Top) > 5 {
+			t.Fatalf("%s/%s top = %d", p.App, p.OS, len(p.Top))
+		}
+		for _, e := range p.Top {
+			if !strings.HasPrefix(e.Call, "MPI_") {
+				t.Fatalf("unexpected call %q", e.Call)
+			}
+			if e.PctMPI < 0 || e.PctMPI > 100 || e.PctRt > e.PctMPI+0.01 {
+				t.Fatalf("shares inconsistent: %+v", e)
+			}
+		}
+	}
+}
+
+func TestSyscallBreakdownUMT(t *testing.T) {
+	orig, pico, err := SyscallBreakdown("UMT2013", tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	share := func(b Breakdown, names ...string) float64 {
+		var s float64
+		for _, e := range b.Shares {
+			for _, n := range names {
+				if e.Name == n {
+					s += e.Share
+				}
+			}
+		}
+		return s
+	}
+	// The paper's headline: ioctl+writev dominate the original McKernel
+	// kernel time (>70%) and drop below 30% with the PicoDriver.
+	if got := share(orig, "ioctl", "writev"); got < 0.7 {
+		t.Fatalf("McKernel ioctl+writev share = %.2f", got)
+	}
+	if got := share(pico, "ioctl", "writev"); got > 0.3 {
+		t.Fatalf("+HFI ioctl+writev share = %.2f", got)
+	}
+	if pico.KernelTime >= orig.KernelTime {
+		t.Fatal("PicoDriver did not reduce kernel time")
+	}
+}

@@ -1,0 +1,118 @@
+// Package fabric models the OmniPath interconnect between nodes: per-node
+// egress serialization at link bandwidth and a fixed one-way latency.
+// Packets carry either real payload bytes (copied between the nodes'
+// simulated physical memories by the NIC models) or synthetic lengths for
+// large-scale runs.
+package fabric
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// PacketKind distinguishes receive-side handling.
+type PacketKind uint8
+
+const (
+	// KindEager is delivered into the destination context's eager ring.
+	KindEager PacketKind = iota
+	// KindExpected is delivered through a programmed RcvArray (TID)
+	// entry directly into user memory.
+	KindExpected
+)
+
+// Header carries the PSM-protocol fields of a packet. The NIC copies
+// these into receive-header-queue entries; PSM never sees Go pointers,
+// only what was serialized into host memory.
+type Header struct {
+	Op      uint32 // psm-level opcode
+	SrcRank uint32
+	Tag     uint64
+	MsgID   uint64
+	MsgLen  uint64
+	Offset  uint64 // payload offset within the message
+	Aux     uint64 // opcode-specific (e.g. TID count in a CTS)
+}
+
+// Packet is one wire transfer unit.
+type Packet struct {
+	SrcNode int
+	DstNode int
+	DstCtx  int // receive context id at the destination
+	Kind    PacketKind
+	Hdr     Header
+	// Payload is the real data (nil in synthetic mode).
+	Payload []byte
+	// Bytes is the payload length on the wire (also set when Payload
+	// is nil).
+	Bytes uint64
+	// TIDIdx/TIDOff place expected packets within a programmed
+	// RcvArray entry.
+	TIDIdx int
+	TIDOff uint64
+	// Last marks the final packet of a message (triggers a completion
+	// header entry for expected receives).
+	Last bool
+}
+
+// Port is one node's attachment to the fabric.
+type Port struct {
+	Node    int
+	egress  *sim.Resource
+	deliver func(*Packet)
+	// TxBytes/TxPackets count egress traffic.
+	TxBytes   uint64
+	TxPackets uint64
+}
+
+// Fabric connects node ports.
+type Fabric struct {
+	e     *sim.Engine
+	pr    *model.Params
+	ports map[int]*Port
+}
+
+// New creates an empty fabric.
+func New(e *sim.Engine, pr *model.Params) *Fabric {
+	return &Fabric{e: e, pr: pr, ports: make(map[int]*Port)}
+}
+
+// Attach registers a node's port. deliver is invoked (in event context,
+// zero duration) when a packet arrives; the NIC model queues it for its
+// receive pipeline.
+func (f *Fabric) Attach(node int, deliver func(*Packet)) (*Port, error) {
+	if _, dup := f.ports[node]; dup {
+		return nil, fmt.Errorf("fabric: node %d already attached", node)
+	}
+	p := &Port{Node: node, egress: sim.NewResource(f.e, 1), deliver: deliver}
+	f.ports[node] = p
+	return p, nil
+}
+
+// Nodes returns the number of attached ports.
+func (f *Fabric) Nodes() int { return len(f.ports) }
+
+// Send transmits pkt from the caller's node, blocking proc for the wire
+// serialization time (the sender's egress link is a shared resource; SDMA
+// engines of one NIC contend here). Delivery happens LinkLatency later
+// without blocking the sender.
+func (f *Fabric) Send(proc *sim.Proc, pkt *Packet) error {
+	src, ok := f.ports[pkt.SrcNode]
+	if !ok {
+		return fmt.Errorf("fabric: source node %d not attached", pkt.SrcNode)
+	}
+	dst, ok := f.ports[pkt.DstNode]
+	if !ok {
+		return fmt.Errorf("fabric: destination node %d not attached", pkt.DstNode)
+	}
+	if pkt.Payload != nil {
+		pkt.Bytes = uint64(len(pkt.Payload))
+	}
+	src.egress.Use(proc, f.pr.WireTime(pkt.Bytes))
+	src.TxBytes += pkt.Bytes
+	src.TxPackets++
+	f.e.After(f.pr.LinkLatency, func() { dst.deliver(pkt) })
+	return nil
+}

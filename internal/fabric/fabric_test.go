@@ -1,0 +1,138 @@
+package fabric
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+func TestAttachRejectsDuplicates(t *testing.T) {
+	e := sim.NewEngine(1)
+	pr := model.Default()
+	f := New(e, &pr)
+	if _, err := f.Attach(0, func(*Packet) {}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Attach(0, func(*Packet) {}); err == nil {
+		t.Fatal("duplicate attach accepted")
+	}
+	if f.Nodes() != 1 {
+		t.Fatalf("nodes = %d", f.Nodes())
+	}
+}
+
+func TestSendLatencyAndSerialization(t *testing.T) {
+	e := sim.NewEngine(1)
+	pr := model.Default()
+	f := New(e, &pr)
+	var arrivals []time.Duration
+	if _, err := f.Attach(0, func(*Packet) {}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Attach(1, func(p *Packet) { arrivals = append(arrivals, e.Now()) }); err != nil {
+		t.Fatal(err)
+	}
+	const bytes = 1 << 20
+	wire := pr.WireTime(bytes)
+	e.Go("sender", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			if err := f.Send(p, &Packet{SrcNode: 0, DstNode: 1, Bytes: bytes}); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(arrivals) != 3 {
+		t.Fatalf("arrivals = %d", len(arrivals))
+	}
+	// Packet i arrives at (i+1)*wire + latency: egress serializes.
+	for i, at := range arrivals {
+		want := time.Duration(i+1)*wire + pr.LinkLatency
+		if at != want {
+			t.Fatalf("arrival %d at %v, want %v", i, at, want)
+		}
+	}
+}
+
+func TestEgressSharedBetweenSenders(t *testing.T) {
+	e := sim.NewEngine(1)
+	pr := model.Default()
+	f := New(e, &pr)
+	got := 0
+	if _, err := f.Attach(0, func(*Packet) {}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Attach(1, func(*Packet) { got++ }); err != nil {
+		t.Fatal(err)
+	}
+	var finish []time.Duration
+	for i := 0; i < 2; i++ {
+		e.Go("s", func(p *sim.Proc) {
+			if err := f.Send(p, &Packet{SrcNode: 0, DstNode: 1, Bytes: 1 << 20}); err != nil {
+				t.Error(err)
+			}
+			finish = append(finish, p.Now())
+		})
+	}
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Fatalf("delivered %d", got)
+	}
+	if finish[0] == finish[1] {
+		t.Fatal("two senders shared the egress link without serialization")
+	}
+}
+
+func TestSendUnknownNodes(t *testing.T) {
+	e := sim.NewEngine(1)
+	pr := model.Default()
+	f := New(e, &pr)
+	if _, err := f.Attach(0, func(*Packet) {}); err != nil {
+		t.Fatal(err)
+	}
+	e.Go("s", func(p *sim.Proc) {
+		if err := f.Send(p, &Packet{SrcNode: 0, DstNode: 9}); err == nil {
+			t.Error("send to unattached node accepted")
+		}
+		if err := f.Send(p, &Packet{SrcNode: 9, DstNode: 0}); err == nil {
+			t.Error("send from unattached node accepted")
+		}
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPayloadSetsBytes(t *testing.T) {
+	e := sim.NewEngine(1)
+	pr := model.Default()
+	f := New(e, &pr)
+	var gotBytes uint64
+	if _, err := f.Attach(0, func(*Packet) {}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Attach(1, func(p *Packet) { gotBytes = p.Bytes }); err != nil {
+		t.Fatal(err)
+	}
+	port0 := f.ports[0]
+	e.Go("s", func(p *sim.Proc) {
+		if err := f.Send(p, &Packet{SrcNode: 0, DstNode: 1, Payload: make([]byte, 777)}); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if gotBytes != 777 {
+		t.Fatalf("bytes = %d", gotBytes)
+	}
+	if port0.TxBytes != 777 || port0.TxPackets != 1 {
+		t.Fatalf("tx stats = %d/%d", port0.TxBytes, port0.TxPackets)
+	}
+}

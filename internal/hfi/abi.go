@@ -1,0 +1,284 @@
+// Package hfi models the Intel OmniPath Host Fabric Interface: the NIC
+// hardware (SDMA engines, RcvArray/TID expected receive, eager rings,
+// receive header queues) and the unmodified Linux HFI1 device driver.
+//
+// This file defines the user/kernel ABI: the binary layouts of writev
+// SDMA request headers, ioctl argument structures and receive-header-
+// queue entries. PSM encodes these into user memory; the driver decodes
+// them through the calling process's page tables, exactly like the real
+// driver copies them from user space.
+package hfi
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/uproc"
+)
+
+// IOVec is one element of a writev vector.
+type IOVec struct {
+	Base uproc.VirtAddr
+	Len  uint64
+}
+
+// Ioctl command numbers. The real driver multiplexes over a dozen
+// functionalities through ioctl; only the three TID commands are on the
+// performance-critical path (§2.2.2).
+const (
+	CmdAssignCtxt  uint32 = 0xE001 // assign a receive context (open time)
+	CmdCtxtInfo    uint32 = 0xE002 // query context geometry
+	CmdUserInfo    uint32 = 0xE003 // query per-user version info
+	CmdSetPKey     uint32 = 0xE004
+	CmdAckEvent    uint32 = 0xE005
+	CmdCreditUpd   uint32 = 0xE006
+	CmdRecvCtrl    uint32 = 0xE007
+	CmdPollType    uint32 = 0xE008
+	CmdGetVers     uint32 = 0xE009
+	CmdEPInfo      uint32 = 0xE00A
+	CmdSDMAStatus  uint32 = 0xE00B
+	CmdTIDUpdate   uint32 = 0xE010 // register expected-receive buffer
+	CmdTIDFree     uint32 = 0xE011 // unregister
+	CmdTIDInvalRdy uint32 = 0xE012 // invalidation handshake
+)
+
+// TIDCmds lists the reception-buffer-registration commands, the only
+// ioctls the PicoDriver fast path implements.
+var TIDCmds = map[uint32]bool{CmdTIDUpdate: true, CmdTIDFree: true, CmdTIDInvalRdy: true}
+
+// SDMA opcode in a writev request header.
+const (
+	OpEager    uint32 = 1 // target: destination eager ring
+	OpExpected uint32 = 2 // target: destination TID entries
+)
+
+// SDMAHeaderSize is the encoded size of an SDMA request header, carried
+// in iov[0] of the writev call (the paper: "the first of these describes
+// metadata about the operation").
+const SDMAHeaderSize = 72
+
+// SDMAHeader is the metadata block of a writev SDMA submission.
+type SDMAHeader struct {
+	Op        uint32
+	DstNode   uint32
+	DstCtx    uint32
+	SrcRank   uint32
+	Tag       uint64
+	MsgID     uint64
+	MsgLen    uint64
+	TIDListVA uproc.VirtAddr // user address of []TIDPair (expected only)
+	TIDCount  uint32
+	CompSeq   uint32 // completion sequence number chosen by PSM
+	Flags     uint32
+	// Aux is protocol-defined; PSM uses it for the rendezvous window
+	// offset so the receiver can attribute expected-receive completions.
+	Aux uint64
+}
+
+// Header flag bits.
+const (
+	// FlagSynthetic marks a transfer whose payload bytes are not
+	// materialized (large-scale simulation mode); timing is identical.
+	FlagSynthetic uint32 = 1 << 0
+)
+
+// EncodeSDMAHeader writes the header at va in the process's memory.
+func EncodeSDMAHeader(p *uproc.Process, va uproc.VirtAddr, h *SDMAHeader) error {
+	var b [SDMAHeaderSize]byte
+	le := binary.LittleEndian
+	le.PutUint32(b[0:], h.Op)
+	le.PutUint32(b[4:], h.DstNode)
+	le.PutUint32(b[8:], h.DstCtx)
+	le.PutUint32(b[12:], h.SrcRank)
+	le.PutUint64(b[16:], h.Tag)
+	le.PutUint64(b[24:], h.MsgID)
+	le.PutUint64(b[32:], h.MsgLen)
+	le.PutUint64(b[40:], uint64(h.TIDListVA))
+	le.PutUint32(b[48:], h.TIDCount)
+	le.PutUint32(b[52:], h.CompSeq)
+	le.PutUint32(b[56:], h.Flags)
+	le.PutUint64(b[64:], h.Aux)
+	return p.WriteAt(va, b[:])
+}
+
+// DecodeSDMAHeader reads the header from user memory.
+func DecodeSDMAHeader(p *uproc.Process, va uproc.VirtAddr) (*SDMAHeader, error) {
+	var b [SDMAHeaderSize]byte
+	if err := p.ReadAt(va, b[:]); err != nil {
+		return nil, fmt.Errorf("hfi: reading sdma header: %w", err)
+	}
+	le := binary.LittleEndian
+	h := &SDMAHeader{
+		Op:        le.Uint32(b[0:]),
+		DstNode:   le.Uint32(b[4:]),
+		DstCtx:    le.Uint32(b[8:]),
+		SrcRank:   le.Uint32(b[12:]),
+		Tag:       le.Uint64(b[16:]),
+		MsgID:     le.Uint64(b[24:]),
+		MsgLen:    le.Uint64(b[32:]),
+		TIDListVA: uproc.VirtAddr(le.Uint64(b[40:])),
+		TIDCount:  le.Uint32(b[48:]),
+		CompSeq:   le.Uint32(b[52:]),
+		Flags:     le.Uint32(b[56:]),
+		Aux:       le.Uint64(b[64:]),
+	}
+	if h.Op != OpEager && h.Op != OpExpected {
+		return nil, fmt.Errorf("hfi: bad sdma opcode %d", h.Op)
+	}
+	return h, nil
+}
+
+// TIDPair describes one programmed RcvArray entry: its index and the
+// number of bytes it covers. Encoded as two little-endian u64s.
+type TIDPair struct {
+	Idx uint64
+	Len uint64
+}
+
+// TIDPairSize is the encoded size of one TIDPair.
+const TIDPairSize = 16
+
+// WriteTIDList stores pairs at va in user memory.
+func WriteTIDList(p *uproc.Process, va uproc.VirtAddr, pairs []TIDPair) error {
+	buf := make([]byte, len(pairs)*TIDPairSize)
+	for i, tp := range pairs {
+		binary.LittleEndian.PutUint64(buf[i*TIDPairSize:], tp.Idx)
+		binary.LittleEndian.PutUint64(buf[i*TIDPairSize+8:], tp.Len)
+	}
+	return p.WriteAt(va, buf)
+}
+
+// ReadTIDList loads count pairs from va.
+func ReadTIDList(p *uproc.Process, va uproc.VirtAddr, count int) ([]TIDPair, error) {
+	buf := make([]byte, count*TIDPairSize)
+	if err := p.ReadAt(va, buf); err != nil {
+		return nil, err
+	}
+	pairs := make([]TIDPair, count)
+	for i := range pairs {
+		pairs[i].Idx = binary.LittleEndian.Uint64(buf[i*TIDPairSize:])
+		pairs[i].Len = binary.LittleEndian.Uint64(buf[i*TIDPairSize+8:])
+	}
+	return pairs, nil
+}
+
+// TIDInfoSize is the encoded size of a TIDInfo ioctl argument.
+const TIDInfoSize = 32
+
+// TIDInfo is the argument of CmdTIDUpdate / CmdTIDFree: a user virtual
+// range to (un)register and a user buffer receiving the TID list.
+type TIDInfo struct {
+	VAddr     uproc.VirtAddr
+	Length    uint64
+	TIDListVA uproc.VirtAddr
+	TIDCount  uint32 // in: capacity / list length; out: entries written
+}
+
+// EncodeTIDInfo writes the argument struct into user memory.
+func EncodeTIDInfo(p *uproc.Process, va uproc.VirtAddr, ti *TIDInfo) error {
+	var b [TIDInfoSize]byte
+	le := binary.LittleEndian
+	le.PutUint64(b[0:], uint64(ti.VAddr))
+	le.PutUint64(b[8:], ti.Length)
+	le.PutUint64(b[16:], uint64(ti.TIDListVA))
+	le.PutUint32(b[24:], ti.TIDCount)
+	return p.WriteAt(va, b[:])
+}
+
+// DecodeTIDInfo reads the argument struct from user memory.
+func DecodeTIDInfo(p *uproc.Process, va uproc.VirtAddr) (*TIDInfo, error) {
+	var b [TIDInfoSize]byte
+	if err := p.ReadAt(va, b[:]); err != nil {
+		return nil, err
+	}
+	le := binary.LittleEndian
+	return &TIDInfo{
+		VAddr:     uproc.VirtAddr(le.Uint64(b[0:])),
+		Length:    le.Uint64(b[8:]),
+		TIDListVA: uproc.VirtAddr(le.Uint64(b[16:])),
+		TIDCount:  le.Uint32(b[24:]),
+	}, nil
+}
+
+// WriteTIDCountBack updates the TIDCount field of a TIDInfo in user
+// memory (the ioctl's "out" half).
+func WriteTIDCountBack(p *uproc.Process, va uproc.VirtAddr, count uint32) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], count)
+	return p.WriteAt(va+24, b[:])
+}
+
+// Receive header queue entry layout (64 bytes, written by the NIC into
+// host memory, read by PSM through its mmap).
+const (
+	HdrqEntrySize = 64
+
+	// HdrqTypeEager announces a filled eager slot.
+	HdrqTypeEager uint32 = 1
+	// HdrqTypeExpectedDone announces completion of an expected
+	// (TID-placed) message.
+	HdrqTypeExpectedDone uint32 = 2
+)
+
+// HdrqEntry is the decoded form of a receive header queue entry.
+type HdrqEntry struct {
+	Type     uint32
+	SrcRank  uint32
+	Tag      uint64
+	MsgID    uint64
+	MsgLen   uint64
+	Offset   uint64
+	Aux      uint64
+	EagerIdx uint32
+	Op       uint32
+	Bytes    uint64
+}
+
+// EncodeHdrqEntry serializes an entry.
+func EncodeHdrqEntry(e *HdrqEntry) []byte {
+	b := make([]byte, HdrqEntrySize)
+	le := binary.LittleEndian
+	le.PutUint32(b[0:], e.Type)
+	le.PutUint32(b[4:], e.SrcRank)
+	le.PutUint64(b[8:], e.Tag)
+	le.PutUint64(b[16:], e.MsgID)
+	le.PutUint64(b[24:], e.MsgLen)
+	le.PutUint64(b[32:], e.Offset)
+	le.PutUint64(b[40:], e.Aux)
+	le.PutUint32(b[48:], e.EagerIdx)
+	le.PutUint32(b[52:], e.Op)
+	le.PutUint64(b[56:], e.Bytes)
+	return b
+}
+
+// DecodeHdrqEntry parses an entry.
+func DecodeHdrqEntry(b []byte) (*HdrqEntry, error) {
+	if len(b) < HdrqEntrySize {
+		return nil, fmt.Errorf("hfi: short hdrq entry (%d bytes)", len(b))
+	}
+	le := binary.LittleEndian
+	return &HdrqEntry{
+		Type:     le.Uint32(b[0:]),
+		SrcRank:  le.Uint32(b[4:]),
+		Tag:      le.Uint64(b[8:]),
+		MsgID:    le.Uint64(b[16:]),
+		MsgLen:   le.Uint64(b[24:]),
+		Offset:   le.Uint64(b[32:]),
+		Aux:      le.Uint64(b[40:]),
+		EagerIdx: le.Uint32(b[48:]),
+		Op:       le.Uint32(b[52:]),
+		Bytes:    le.Uint64(b[56:]),
+	}, nil
+}
+
+// Status page offsets (one 64-byte page per context, shared between NIC,
+// driver and PSM).
+const (
+	StatusHdrqHead  = 0  // u64, NIC-written count of hdrq entries
+	StatusHdrqTail  = 8  // u64, PSM-written consumed count
+	StatusEagerHead = 16 // u64, NIC-written count of filled eager slots
+	StatusEagerTail = 24 // u64, PSM-written freed count
+	StatusCQHead    = 32 // u64, driver-written count of send completions
+	StatusCQTail    = 40 // u64, PSM-written consumed count
+	StatusPageSize  = 64
+)

@@ -1,0 +1,424 @@
+package hfi
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/mem"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// SDMATxn is one submitted send transaction: the descriptor list built by
+// a driver from a single writev call, plus completion routing. The
+// callback address is an opaque 64-bit kernel TEXT address stored in the
+// descriptor metadata; the IRQ handler (driver code) dereferences it.
+type SDMATxn struct {
+	Engine    int
+	Requests  []SDMARequest
+	DstNode   int
+	DstCtx    int
+	Kind      fabric.PacketKind
+	Hdr       fabric.Header
+	Synthetic bool
+	// CallbackVA/CallbackArg identify the completion callback: a kernel
+	// TEXT symbol and the kernel virtual address of the completion
+	// metadata record allocated by the submitting driver.
+	CallbackVA  uint64
+	CallbackArg uint64
+}
+
+// Bytes returns the transaction's total payload length.
+func (t *SDMATxn) Bytes() uint64 {
+	var n uint64
+	for _, r := range t.Requests {
+		n += r.Src.Len
+	}
+	return n
+}
+
+type tidEntry struct {
+	valid bool
+	ext   mem.Extent
+}
+
+// Context is one hardware receive context (one per opened device file,
+// i.e. per rank). The host-memory areas are allocated by the driver and
+// programmed here; the NIC DMAs into them.
+type Context struct {
+	ID          int
+	StatusPA    mem.PhysAddr
+	HdrqPA      mem.PhysAddr
+	EagerPA     mem.PhysAddr
+	CQPA        mem.PhysAddr
+	HdrqEntries int
+	EagerSlots  int
+	CQEntries   int
+
+	tids []tidEntry
+	// Notify is signaled whenever the NIC or the completion path posts
+	// an event for this context. It stands in for PSM's busy-polling:
+	// instead of burning simulated cycles in empty poll loops, PSM
+	// blocks here and re-checks its counters when woken.
+	Notify *sim.Cond
+
+	// TIDsProgrammed counts ProgramTID calls (instrumentation).
+	TIDsProgrammed uint64
+}
+
+// SDMAEngine is one of the NIC's send-DMA engines with its descriptor
+// queue.
+type SDMAEngine struct {
+	Index int
+	q     *sim.Queue[*SDMATxn]
+	// BytesSent and Submitted are instrumentation counters.
+	BytesSent uint64
+	Submitted uint64
+}
+
+// NIC is the HFI hardware model of one node.
+type NIC struct {
+	Node int
+
+	e    *sim.Engine
+	pr   *model.Params
+	phys *mem.PhysMem
+	fab  *fabric.Fabric
+	port *fabric.Port
+
+	contexts map[int]*Context
+	engines  []*SDMAEngine
+	rxq      *sim.Queue[*fabric.Packet]
+
+	irqSink      func(completed []*SDMATxn)
+	pendingIRQ   []*SDMATxn
+	irqScheduled bool
+
+	// Instrumentation.
+	RxPackets    uint64
+	SDMARequests uint64
+	SDMAFullSize uint64 // requests at exactly MaxSDMARequest
+	IRQsRaised   uint64
+}
+
+// NewNIC creates the NIC, attaches it to the fabric and starts its SDMA
+// engine and receive pipelines.
+func NewNIC(e *sim.Engine, pr *model.Params, node int, phys *mem.PhysMem, fab *fabric.Fabric) (*NIC, error) {
+	n := &NIC{
+		Node:     node,
+		e:        e,
+		pr:       pr,
+		phys:     phys,
+		fab:      fab,
+		contexts: make(map[int]*Context),
+		rxq:      sim.NewQueue[*fabric.Packet](e),
+	}
+	port, err := fab.Attach(node, func(pkt *fabric.Packet) { n.rxq.Push(pkt) })
+	if err != nil {
+		return nil, err
+	}
+	n.port = port
+	for i := 0; i < pr.SDMAEngines; i++ {
+		eng := &SDMAEngine{Index: i, q: sim.NewQueue[*SDMATxn](e)}
+		n.engines = append(n.engines, eng)
+		e.GoDaemon(fmt.Sprintf("nic%d-sdma%d", node, i), func(p *sim.Proc) { n.runEngine(p, eng) })
+	}
+	e.GoDaemon(fmt.Sprintf("nic%d-rx", node), func(p *sim.Proc) { n.runRx(p) })
+	return n, nil
+}
+
+// Params exposes the model constants the NIC was built with (PSM reads
+// geometry and thresholds from here, standing in for sysfs/ioctl
+// discovery).
+func (n *NIC) Params() *model.Params { return n.pr }
+
+// SetIRQSink registers the completion interrupt handler entry point
+// (wired by the Linux driver at module init: completions are always
+// processed on Linux CPUs, §3.3).
+func (n *NIC) SetIRQSink(sink func(completed []*SDMATxn)) { n.irqSink = sink }
+
+// Engines returns the number of SDMA engines.
+func (n *NIC) Engines() int { return len(n.engines) }
+
+// Engine returns instrumentation for engine i.
+func (n *NIC) Engine(i int) *SDMAEngine { return n.engines[i] }
+
+// AllocContext registers a receive context with its host-memory areas.
+func (n *NIC) AllocContext(id int, statusPA, hdrqPA, eagerPA, cqPA mem.PhysAddr,
+	hdrqEntries, eagerSlots, cqEntries, tidCount int) (*Context, error) {
+	if _, dup := n.contexts[id]; dup {
+		return nil, fmt.Errorf("hfi: context %d already allocated on node %d", id, n.Node)
+	}
+	ctx := &Context{
+		ID: id, StatusPA: statusPA, HdrqPA: hdrqPA, EagerPA: eagerPA, CQPA: cqPA,
+		HdrqEntries: hdrqEntries, EagerSlots: eagerSlots, CQEntries: cqEntries,
+		tids:   make([]tidEntry, tidCount),
+		Notify: sim.NewCond(n.e),
+	}
+	n.contexts[id] = ctx
+	return ctx, nil
+}
+
+// FreeContext releases a context.
+func (n *NIC) FreeContext(id int) { delete(n.contexts, id) }
+
+// Context returns a receive context by id.
+func (n *NIC) Context(id int) (*Context, bool) {
+	c, ok := n.contexts[id]
+	return c, ok
+}
+
+// ProgramTID writes one RcvArray entry: expected-receive packets naming
+// this index land at ext.Addr + offset.
+func (n *NIC) ProgramTID(ctxID, idx int, ext mem.Extent) error {
+	ctx, ok := n.contexts[ctxID]
+	if !ok {
+		return fmt.Errorf("hfi: no context %d", ctxID)
+	}
+	if idx < 0 || idx >= len(ctx.tids) {
+		return fmt.Errorf("hfi: TID index %d out of range", idx)
+	}
+	if ctx.tids[idx].valid {
+		return fmt.Errorf("hfi: TID %d already programmed", idx)
+	}
+	ctx.tids[idx] = tidEntry{valid: true, ext: ext}
+	ctx.TIDsProgrammed++
+	return nil
+}
+
+// ClearTID invalidates an RcvArray entry.
+func (n *NIC) ClearTID(ctxID, idx int) error {
+	ctx, ok := n.contexts[ctxID]
+	if !ok {
+		return fmt.Errorf("hfi: no context %d", ctxID)
+	}
+	if idx < 0 || idx >= len(ctx.tids) || !ctx.tids[idx].valid {
+		return fmt.Errorf("hfi: clearing unprogrammed TID %d", idx)
+	}
+	ctx.tids[idx] = tidEntry{}
+	return nil
+}
+
+// SubmitSDMA queues a transaction on its engine. The caller (driver code)
+// has already paid the descriptor-construction costs; the doorbell MMIO
+// cost is paid here.
+func (n *NIC) SubmitSDMA(p *sim.Proc, txn *SDMATxn) error {
+	if txn.Engine < 0 || txn.Engine >= len(n.engines) {
+		return fmt.Errorf("hfi: engine %d out of range", txn.Engine)
+	}
+	if len(txn.Requests) == 0 {
+		return fmt.Errorf("hfi: empty transaction")
+	}
+	for _, r := range txn.Requests {
+		if r.Src.Len > n.pr.MaxSDMARequest {
+			return fmt.Errorf("hfi: request of %d bytes exceeds hardware maximum %d",
+				r.Src.Len, n.pr.MaxSDMARequest)
+		}
+	}
+	p.Sleep(n.pr.SDMADoorbell)
+	eng := n.engines[txn.Engine]
+	eng.Submitted++
+	eng.q.Push(txn)
+	return nil
+}
+
+// PIOSend transmits a small message by programmed I/O: the calling
+// process pays the store cost and the wire serialization; no SDMA engine
+// and no system call are involved.
+func (n *NIC) PIOSend(p *sim.Proc, dstNode, dstCtx int, hdr fabric.Header, payload []byte, bytes uint64) error {
+	if payload != nil {
+		bytes = uint64(len(payload))
+	}
+	if bytes > n.pr.PIOMaxSize {
+		return fmt.Errorf("hfi: PIO send of %d bytes exceeds PIO limit", bytes)
+	}
+	p.Sleep(n.pr.PIOTime(bytes))
+	return n.fab.Send(p, &fabric.Packet{
+		SrcNode: n.Node, DstNode: dstNode, DstCtx: dstCtx,
+		Kind: fabric.KindEager, Hdr: hdr, Payload: payload, Bytes: bytes,
+	})
+}
+
+// LocalDeliver models PSM's shared-memory transport for ranks on the
+// same node: the sender pays the intra-node copy cost and the chunk is
+// posted directly into the destination context's eager ring — no fabric,
+// no SDMA engine, no system call.
+func (n *NIC) LocalDeliver(p *sim.Proc, dstCtx int, hdr fabric.Header, payload []byte, bytes uint64) error {
+	if payload != nil {
+		bytes = uint64(len(payload))
+	}
+	if bytes > n.pr.EagerChunk {
+		return fmt.Errorf("hfi: local delivery of %d bytes exceeds eager chunk", bytes)
+	}
+	ctx, ok := n.contexts[dstCtx]
+	if !ok {
+		return fmt.Errorf("hfi: local delivery to unknown context %d", dstCtx)
+	}
+	p.Sleep(n.pr.LocalCopyTime(bytes))
+	n.rxEager(ctx, &fabric.Packet{
+		SrcNode: n.Node, DstNode: n.Node, DstCtx: dstCtx,
+		Kind: fabric.KindEager, Hdr: hdr, Payload: payload, Bytes: bytes,
+	})
+	ctx.Notify.Broadcast()
+	return nil
+}
+
+func (n *NIC) runEngine(p *sim.Proc, eng *SDMAEngine) {
+	for {
+		txn := eng.q.Pop(p)
+		if txn == nil {
+			return
+		}
+		for _, req := range txn.Requests {
+			p.Sleep(n.pr.SDMADescCost)
+			n.SDMARequests++
+			if req.Src.Len == n.pr.MaxSDMARequest {
+				n.SDMAFullSize++
+			}
+			var payload []byte
+			if !txn.Synthetic {
+				payload = make([]byte, req.Src.Len)
+				if err := n.phys.ReadAt(req.Src.Addr, payload); err != nil {
+					panic(fmt.Sprintf("hfi: node %d engine %d DMA read: %v", n.Node, eng.Index, err))
+				}
+			}
+			hdr := txn.Hdr
+			hdr.Offset = req.MsgOff
+			pkt := &fabric.Packet{
+				SrcNode: n.Node, DstNode: txn.DstNode, DstCtx: txn.DstCtx,
+				Kind: txn.Kind, Hdr: hdr,
+				Payload: payload, Bytes: req.Src.Len,
+				TIDIdx: req.TIDIdx, TIDOff: req.TIDOff, Last: req.Last,
+			}
+			if err := n.fab.Send(p, pkt); err != nil {
+				panic(fmt.Sprintf("hfi: node %d send: %v", n.Node, err))
+			}
+			eng.BytesSent += req.Src.Len
+		}
+		n.complete(txn)
+	}
+}
+
+// complete queues a finished transaction for interrupt delivery,
+// coalescing completions that occur while an interrupt is pending.
+func (n *NIC) complete(txn *SDMATxn) {
+	n.pendingIRQ = append(n.pendingIRQ, txn)
+	if n.irqScheduled {
+		return
+	}
+	n.irqScheduled = true
+	n.e.After(n.pr.IRQLatency, func() {
+		n.irqScheduled = false
+		batch := n.pendingIRQ
+		n.pendingIRQ = nil
+		n.IRQsRaised++
+		if n.irqSink == nil {
+			panic(fmt.Sprintf("hfi: node %d completion IRQ with no handler", n.Node))
+		}
+		n.irqSink(batch)
+	})
+}
+
+func (n *NIC) runRx(p *sim.Proc) {
+	for {
+		pkt := n.rxq.Pop(p)
+		p.Sleep(n.pr.RcvPacketCost)
+		n.RxPackets++
+		ctx, ok := n.contexts[pkt.DstCtx]
+		if !ok {
+			panic(fmt.Sprintf("hfi: node %d packet for unknown context %d", n.Node, pkt.DstCtx))
+		}
+		switch pkt.Kind {
+		case fabric.KindEager:
+			n.rxEager(ctx, pkt)
+		case fabric.KindExpected:
+			n.rxExpected(ctx, pkt)
+		}
+		ctx.Notify.Broadcast()
+	}
+}
+
+func (n *NIC) rxEager(ctx *Context, pkt *fabric.Packet) {
+	head := n.readStatus(ctx, StatusEagerHead)
+	tail := n.readStatus(ctx, StatusEagerTail)
+	if head-tail >= uint64(ctx.EagerSlots) {
+		panic(fmt.Sprintf("hfi: node %d ctx %d eager ring overflow (head=%d tail=%d)",
+			n.Node, ctx.ID, head, tail))
+	}
+	slot := head % uint64(ctx.EagerSlots)
+	if pkt.Payload != nil {
+		pa := ctx.EagerPA + mem.PhysAddr(slot*n.pr.EagerChunk)
+		if err := n.phys.WriteAt(pa, pkt.Payload); err != nil {
+			panic(fmt.Sprintf("hfi: eager DMA write: %v", err))
+		}
+	}
+	n.writeStatus(ctx, StatusEagerHead, head+1)
+	n.postHdrq(ctx, &HdrqEntry{
+		Type: HdrqTypeEager, SrcRank: pkt.Hdr.SrcRank, Tag: pkt.Hdr.Tag,
+		MsgID: pkt.Hdr.MsgID, MsgLen: pkt.Hdr.MsgLen, Offset: pkt.Hdr.Offset,
+		Aux: pkt.Hdr.Aux, EagerIdx: uint32(slot), Op: pkt.Hdr.Op, Bytes: pkt.Bytes,
+	})
+}
+
+func (n *NIC) rxExpected(ctx *Context, pkt *fabric.Packet) {
+	if pkt.TIDIdx < 0 || pkt.TIDIdx >= len(ctx.tids) || !ctx.tids[pkt.TIDIdx].valid {
+		panic(fmt.Sprintf("hfi: node %d ctx %d expected packet for invalid TID %d",
+			n.Node, ctx.ID, pkt.TIDIdx))
+	}
+	ent := ctx.tids[pkt.TIDIdx]
+	if pkt.TIDOff+pkt.Bytes > ent.ext.Len {
+		panic(fmt.Sprintf("hfi: expected packet overruns TID %d (%d+%d > %d)",
+			pkt.TIDIdx, pkt.TIDOff, pkt.Bytes, ent.ext.Len))
+	}
+	if pkt.Payload != nil {
+		if err := n.phys.WriteAt(ent.ext.Addr+mem.PhysAddr(pkt.TIDOff), pkt.Payload); err != nil {
+			panic(fmt.Sprintf("hfi: expected DMA write: %v", err))
+		}
+	}
+	if pkt.Last {
+		n.postHdrq(ctx, &HdrqEntry{
+			Type: HdrqTypeExpectedDone, SrcRank: pkt.Hdr.SrcRank, Tag: pkt.Hdr.Tag,
+			MsgID: pkt.Hdr.MsgID, MsgLen: pkt.Hdr.MsgLen, Op: pkt.Hdr.Op,
+			Aux: pkt.Hdr.Aux, Bytes: pkt.Bytes,
+		})
+	}
+}
+
+func (n *NIC) postHdrq(ctx *Context, e *HdrqEntry) {
+	head := n.readStatus(ctx, StatusHdrqHead)
+	tail := n.readStatus(ctx, StatusHdrqTail)
+	if head-tail >= uint64(ctx.HdrqEntries) {
+		panic(fmt.Sprintf("hfi: node %d ctx %d hdrq overflow", n.Node, ctx.ID))
+	}
+	slot := head % uint64(ctx.HdrqEntries)
+	pa := ctx.HdrqPA + mem.PhysAddr(slot*HdrqEntrySize)
+	if err := n.phys.WriteAt(pa, EncodeHdrqEntry(e)); err != nil {
+		panic(fmt.Sprintf("hfi: hdrq DMA write: %v", err))
+	}
+	n.writeStatus(ctx, StatusHdrqHead, head+1)
+}
+
+func (n *NIC) readStatus(ctx *Context, off int) uint64 {
+	v, err := n.phys.ReadU64(ctx.StatusPA + mem.PhysAddr(off))
+	if err != nil {
+		panic(fmt.Sprintf("hfi: status read: %v", err))
+	}
+	return v
+}
+
+func (n *NIC) writeStatus(ctx *Context, off int, v uint64) {
+	if err := n.phys.WriteU64(ctx.StatusPA+mem.PhysAddr(off), v); err != nil {
+		panic(fmt.Sprintf("hfi: status write: %v", err))
+	}
+}
+
+// NotifyContext wakes any process blocked on the context's event
+// condition (used by the driver's completion path after CQ writes).
+func (n *NIC) NotifyContext(ctxID int) {
+	if ctx, ok := n.contexts[ctxID]; ok {
+		ctx.Notify.Broadcast()
+	}
+}
+
+// TxBytes returns the total bytes transmitted by this NIC.
+func (n *NIC) TxBytes() uint64 { return n.port.TxBytes }

@@ -1,0 +1,313 @@
+package hfi
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/mem"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// nicRig wires two NICs with raw host memory (no kernels, no drivers) so
+// the hardware model can be tested in isolation.
+type nicRig struct {
+	e    *sim.Engine
+	pr   model.Params
+	phys [2]*mem.PhysMem
+	nic  [2]*NIC
+	// ctx area base addresses per node.
+	status, hdrq, eager, cq [2]mem.PhysAddr
+	completed               [][]*SDMATxn
+}
+
+func newNICRig(t *testing.T) *nicRig {
+	t.Helper()
+	r := &nicRig{e: sim.NewEngine(5), pr: model.Default()}
+	fab := fabric.New(r.e, &r.pr)
+	for n := 0; n < 2; n++ {
+		pm, err := mem.NewPhysMem(mem.Region{Base: 0, Size: 256 << 20, Kind: mem.DDR4, Owner: "x"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.phys[n] = pm
+		nic, err := NewNIC(r.e, &r.pr, n, pm, fab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.nic[n] = nic
+		alloc := func(size uint64) mem.PhysAddr {
+			e, err := pm.AllocContig(size, mem.DDROnly)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return e.Addr
+		}
+		r.status[n] = alloc(mem.PageSize4K)
+		r.hdrq[n] = alloc(64 * HdrqEntrySize)
+		r.eager[n] = alloc(64 * r.pr.EagerChunk)
+		r.cq[n] = alloc(mem.PageSize4K)
+		if _, err := nic.AllocContext(0, r.status[n], r.hdrq[n], r.eager[n], r.cq[n],
+			64, 64, 64, 128); err != nil {
+			t.Fatal(err)
+		}
+		nn := n
+		nic.SetIRQSink(func(batch []*SDMATxn) {
+			_ = nn
+			r.completed = append(r.completed, batch)
+		})
+	}
+	return r
+}
+
+// readEntry decodes hdrq entry i of node n.
+func (r *nicRig) readEntry(t *testing.T, n int, i uint64) *HdrqEntry {
+	t.Helper()
+	raw := make([]byte, HdrqEntrySize)
+	if err := r.phys[n].ReadAt(r.hdrq[n]+mem.PhysAddr((i%64)*HdrqEntrySize), raw); err != nil {
+		t.Fatal(err)
+	}
+	e, err := DecodeHdrqEntry(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func (r *nicRig) head(t *testing.T, n, off int) uint64 {
+	t.Helper()
+	v, err := r.phys[n].ReadU64(r.status[n] + mem.PhysAddr(off))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestNICEagerDelivery(t *testing.T) {
+	r := newNICRig(t)
+	payload := []byte("eager payload through the NIC")
+	r.e.Go("sender", func(p *sim.Proc) {
+		if err := r.nic[0].PIOSend(p, 1, 0, fabric.Header{
+			Op: OpEager, SrcRank: 7, Tag: 42, MsgID: 9, MsgLen: uint64(len(payload)),
+		}, payload, 0); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := r.e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.head(t, 1, StatusHdrqHead); got != 1 {
+		t.Fatalf("hdrq head = %d", got)
+	}
+	if got := r.head(t, 1, StatusEagerHead); got != 1 {
+		t.Fatalf("eager head = %d", got)
+	}
+	e := r.readEntry(t, 1, 0)
+	if e.Type != HdrqTypeEager || e.SrcRank != 7 || e.Tag != 42 || e.Bytes != uint64(len(payload)) {
+		t.Fatalf("entry = %+v", e)
+	}
+	// Payload landed in slot 0 of the eager ring.
+	got := make([]byte, len(payload))
+	if err := r.phys[1].ReadAt(r.eager[1], got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("eager payload corrupted")
+	}
+}
+
+func TestNICExpectedDelivery(t *testing.T) {
+	r := newNICRig(t)
+	// Destination buffer in node 1's memory, programmed as TID 5.
+	dst, err := r.phys[1].AllocContig(64<<10, mem.DDROnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.nic[1].ProgramTID(0, 5, dst); err != nil {
+		t.Fatal(err)
+	}
+	src, err := r.phys[0].AllocContig(64<<10, mem.DDROnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0xEE}, 20<<10)
+	if err := r.phys[0].WriteAt(src.Addr, payload); err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := BuildExpectedRequests(
+		[]mem.Extent{{Addr: src.Addr, Len: 20 << 10}},
+		r.pr.MaxSDMARequest,
+		[]TIDPair{{Idx: 5, Len: 64 << 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.e.Go("submit", func(p *sim.Proc) {
+		if err := r.nic[0].SubmitSDMA(p, &SDMATxn{
+			Engine: 3, DstNode: 1, DstCtx: 0, Kind: fabric.KindExpected,
+			Hdr:      fabric.Header{Op: OpExpected, MsgID: 77, MsgLen: 20 << 10},
+			Requests: reqs, CallbackVA: 0xdead, CallbackArg: 1,
+		}); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := r.e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	// Data placed directly at the TID's physical address.
+	got := make([]byte, 20<<10)
+	if err := r.phys[1].ReadAt(dst.Addr, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("expected payload corrupted")
+	}
+	// Exactly one completion entry (the Last-flagged request).
+	if got := r.head(t, 1, StatusHdrqHead); got != 1 {
+		t.Fatalf("hdrq head = %d", got)
+	}
+	e := r.readEntry(t, 1, 0)
+	if e.Type != HdrqTypeExpectedDone || e.MsgID != 77 {
+		t.Fatalf("entry = %+v", e)
+	}
+	// No eager slot consumed by expected traffic.
+	if got := r.head(t, 1, StatusEagerHead); got != 0 {
+		t.Fatalf("eager head = %d", got)
+	}
+	// Sender got its completion IRQ with the callback cookie.
+	if len(r.completed) != 1 || r.completed[0][0].CallbackArg != 1 {
+		t.Fatalf("completions = %+v", r.completed)
+	}
+	// Requests obeyed the hardware maximum: 20KB → 10+10.
+	if r.nic[0].SDMARequests != 2 || r.nic[0].SDMAFullSize != 2 {
+		t.Fatalf("requests = %d full = %d", r.nic[0].SDMARequests, r.nic[0].SDMAFullSize)
+	}
+}
+
+func TestNICRejectsOversizedRequest(t *testing.T) {
+	r := newNICRig(t)
+	r.e.Go("submit", func(p *sim.Proc) {
+		err := r.nic[0].SubmitSDMA(p, &SDMATxn{
+			Engine:   0,
+			Requests: []SDMARequest{{Src: mem.Extent{Addr: 0, Len: 20 << 10}}},
+		})
+		if err == nil {
+			t.Error("oversized request accepted")
+		}
+		if err := r.nic[0].SubmitSDMA(p, &SDMATxn{Engine: 99}); err == nil {
+			t.Error("bad engine accepted")
+		}
+		if err := r.nic[0].SubmitSDMA(p, &SDMATxn{Engine: 0}); err == nil {
+			t.Error("empty txn accepted")
+		}
+	})
+	if err := r.e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNICPIOSizeLimit(t *testing.T) {
+	r := newNICRig(t)
+	r.e.Go("send", func(p *sim.Proc) {
+		err := r.nic[0].PIOSend(p, 1, 0, fabric.Header{Op: OpEager}, nil, r.pr.PIOMaxSize+1)
+		if err == nil {
+			t.Error("oversized PIO accepted")
+		}
+	})
+	if err := r.e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNICTIDManagement(t *testing.T) {
+	r := newNICRig(t)
+	ext := mem.Extent{Addr: 0x1000, Len: 4096}
+	if err := r.nic[0].ProgramTID(0, 5, ext); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.nic[0].ProgramTID(0, 5, ext); err == nil {
+		t.Fatal("double programming accepted")
+	}
+	if err := r.nic[0].ProgramTID(0, 4096, ext); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+	if err := r.nic[0].ClearTID(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.nic[0].ClearTID(0, 5); err == nil {
+		t.Fatal("double clear accepted")
+	}
+	if err := r.nic[0].ProgramTID(9, 0, ext); err == nil {
+		t.Fatal("unknown context accepted")
+	}
+}
+
+func TestNICIRQCoalescing(t *testing.T) {
+	r := newNICRig(t)
+	// Two transactions completing back to back share one IRQ when they
+	// finish within the coalescing latency.
+	src, _ := r.phys[0].AllocContig(8<<10, mem.DDROnly)
+	mkTxn := func(engine int) *SDMATxn {
+		return &SDMATxn{
+			Engine: engine, DstNode: 1, DstCtx: 0, Kind: fabric.KindEager,
+			Hdr:       fabric.Header{Op: OpEager, MsgLen: 4096},
+			Synthetic: true,
+			Requests:  []SDMARequest{{Src: mem.Extent{Addr: src.Addr, Len: 4096}, Last: true}},
+		}
+	}
+	r.e.Go("submit", func(p *sim.Proc) {
+		if err := r.nic[0].SubmitSDMA(p, mkTxn(0)); err != nil {
+			t.Error(err)
+		}
+		if err := r.nic[0].SubmitSDMA(p, mkTxn(1)); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := r.e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, batch := range r.completed {
+		total += len(batch)
+	}
+	if total != 2 {
+		t.Fatalf("completions = %d", total)
+	}
+	if r.nic[0].IRQsRaised != 1 {
+		t.Fatalf("IRQs = %d, want 1 (coalesced)", r.nic[0].IRQsRaised)
+	}
+}
+
+func TestNICLocalDeliver(t *testing.T) {
+	r := newNICRig(t)
+	payload := []byte("shared memory transport")
+	var sendTime time.Duration
+	r.e.Go("send", func(p *sim.Proc) {
+		start := p.Now()
+		if err := r.nic[0].LocalDeliver(p, 0, fabric.Header{
+			Op: OpEager, MsgLen: uint64(len(payload)),
+		}, payload, 0); err != nil {
+			t.Error(err)
+		}
+		sendTime = p.Now() - start
+	})
+	if err := r.e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if r.head(t, 0, StatusHdrqHead) != 1 {
+		t.Fatal("local delivery posted no entry")
+	}
+	if sendTime < r.pr.LocalCopyTime(uint64(len(payload))) {
+		t.Fatalf("local copy cost not charged: %v", sendTime)
+	}
+	// Oversized local chunks are rejected (PSM must chunk).
+	r.e.Go("big", func(p *sim.Proc) {
+		if err := r.nic[0].LocalDeliver(p, 0, fabric.Header{}, nil, r.pr.EagerChunk+1); err == nil {
+			t.Error("oversized local chunk accepted")
+		}
+	})
+	if err := r.e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,173 @@
+package hfi
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/kmem"
+	"repro/internal/kstruct"
+	"repro/internal/mem"
+	"repro/internal/model"
+)
+
+// AllocAndProgramTIDs allocates one RcvArray entry per segment from the
+// context's TID bitmap (under the context TID lock), programs the NIC
+// and returns the TID list. It operates entirely through structure
+// layouts from reg over the given kernel's address space, so the Linux
+// driver (authoritative layouts) and the PicoDriver (DWARF-extracted
+// layouts) share this protocol against the same kernel memory.
+//
+// On failure every entry programmed so far is rolled back.
+func AllocAndProgramTIDs(ctx *kernel.Ctx, space *kmem.Space, reg *kstruct.Registry, nic *NIC,
+	ctxtVA kmem.VirtAddr, ctxtID int, segments []mem.Extent, pr *model.Params) ([]TIDPair, map[int]mem.Extent, error) {
+
+	ctxtLayout, err := reg.Lookup("hfi1_ctxtdata")
+	if err != nil {
+		return nil, nil, err
+	}
+	cctx := kstruct.Obj{Space: space, Addr: ctxtVA, Layout: ctxtLayout}
+	lock, err := tidLock(space, cctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := lock.Lock(ctx.P); err != nil {
+		return nil, nil, err
+	}
+	defer lock.Unlock()
+
+	bitmap, err := cctx.GetBytes("tid_map")
+	if err != nil {
+		return nil, nil, err
+	}
+	var pairs []TIDPair
+	idxExts := make(map[int]mem.Extent)
+	rollback := func() {
+		for idx := range idxExts {
+			clearBit(bitmap, idx)
+			_ = nic.ClearTID(ctxtID, idx)
+		}
+	}
+	for _, seg := range segments {
+		idx := findClearBit(bitmap)
+		if idx < 0 {
+			rollback()
+			return nil, nil, fmt.Errorf("hfi: RcvArray exhausted on context %d", ctxtID)
+		}
+		setBit(bitmap, idx)
+		if err := nic.ProgramTID(ctxtID, idx, seg); err != nil {
+			rollback()
+			return nil, nil, err
+		}
+		ctx.Spend(pr.TIDProgramCost)
+		pairs = append(pairs, TIDPair{Idx: uint64(idx), Len: seg.Len})
+		idxExts[idx] = seg
+	}
+	if err := cctx.SetBytes("tid_map", bitmap); err != nil {
+		rollback()
+		return nil, nil, err
+	}
+	used, err := cctx.GetU("tid_used")
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := cctx.SetU("tid_used", used+uint64(len(pairs))); err != nil {
+		return nil, nil, err
+	}
+	return pairs, idxExts, nil
+}
+
+// FreeTIDs releases RcvArray entries under the TID lock.
+func FreeTIDs(ctx *kernel.Ctx, space *kmem.Space, reg *kstruct.Registry, nic *NIC,
+	ctxtVA kmem.VirtAddr, ctxtID int, pairs []TIDPair, pr *model.Params) error {
+
+	ctxtLayout, err := reg.Lookup("hfi1_ctxtdata")
+	if err != nil {
+		return err
+	}
+	cctx := kstruct.Obj{Space: space, Addr: ctxtVA, Layout: ctxtLayout}
+	lock, err := tidLock(space, cctx)
+	if err != nil {
+		return err
+	}
+	if err := lock.Lock(ctx.P); err != nil {
+		return err
+	}
+	defer lock.Unlock()
+
+	bitmap, err := cctx.GetBytes("tid_map")
+	if err != nil {
+		return err
+	}
+	for _, tp := range pairs {
+		idx := int(tp.Idx)
+		if !testBit(bitmap, idx) {
+			return fmt.Errorf("hfi: freeing unallocated TID %d on context %d", idx, ctxtID)
+		}
+		clearBit(bitmap, idx)
+		if err := nic.ClearTID(ctxtID, idx); err != nil {
+			return err
+		}
+		ctx.Spend(pr.TIDProgramCost / 2)
+	}
+	if err := cctx.SetBytes("tid_map", bitmap); err != nil {
+		return err
+	}
+	used, err := cctx.GetU("tid_used")
+	if err != nil {
+		return err
+	}
+	if used < uint64(len(pairs)) {
+		return fmt.Errorf("hfi: tid_used underflow on context %d", ctxtID)
+	}
+	return cctx.SetU("tid_used", used-uint64(len(pairs)))
+}
+
+// SplitForTIDs cuts physical extents into TID-entry segments of at most
+// maxEntry bytes each. The Linux driver feeds per-page extents (so every
+// segment is one page); the PicoDriver feeds merged extents from page-
+// table walks, so large pages and contiguous runs become few large
+// entries (§3.4).
+func SplitForTIDs(extents []mem.Extent, maxEntry uint64) []mem.Extent {
+	var out []mem.Extent
+	for _, e := range extents {
+		for e.Len > 0 {
+			n := e.Len
+			if n > maxEntry {
+				n = maxEntry
+			}
+			out = append(out, mem.Extent{Addr: e.Addr, Len: n})
+			e.Addr += mem.PhysAddr(n)
+			e.Len -= n
+		}
+	}
+	return out
+}
+
+func tidLock(space *kmem.Space, cctx kstruct.Obj) (*kernel.SpinLock, error) {
+	la, err := cctx.FieldAddr("tid_lock", 0)
+	if err != nil {
+		return nil, err
+	}
+	return &kernel.SpinLock{Space: space, Addr: la,
+		Layout: kernel.LinuxSpinLockLayout, SpinDelay: kernel.DefaultSpinDelay}, nil
+}
+
+func findClearBit(bitmap []byte) int {
+	for i, b := range bitmap {
+		if b == 0xff {
+			continue
+		}
+		for bit := 0; bit < 8; bit++ {
+			if b&(1<<bit) == 0 {
+				return i*8 + bit
+			}
+		}
+	}
+	return -1
+}
+
+func setBit(bitmap []byte, idx int)   { bitmap[idx/8] |= 1 << (idx % 8) }
+func clearBit(bitmap []byte, idx int) { bitmap[idx/8] &^= 1 << (idx % 8) }
+func testBit(bitmap []byte, idx int) bool {
+	return bitmap[idx/8]&(1<<(idx%8)) != 0
+}

@@ -1,0 +1,18 @@
+package kstruct
+
+import (
+	"repro/internal/kmem"
+	"repro/internal/mem"
+	"repro/internal/vas"
+)
+
+// kmemSpace wraps kmem.Space for test brevity.
+type kmemSpace struct{ Space *kmem.Space }
+
+func newSpace(name string, layout vas.Layout, alloc *mem.Allocator, cpus []int) (*kmemSpace, error) {
+	s, err := kmem.NewSpace(name, layout, alloc, cpus)
+	if err != nil {
+		return nil, err
+	}
+	return &kmemSpace{Space: s}, nil
+}

@@ -1,0 +1,227 @@
+// Package mckernel models the McKernel lightweight co-kernel: a small
+// set of locally implemented, performance-sensitive system calls (its
+// own memory management above all), with everything else delegated to
+// Linux through IHK's IKC layer and the proxy process (§2.1).
+//
+// Device files are a hybrid: open/close/mmap/poll are always offloaded;
+// writev and ioctl are offloaded too — unless a PicoDriver has
+// registered a fast path for the device, in which case the performance-
+// critical subset executes locally on the LWK core (§3).
+package mckernel
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ihk"
+	"repro/internal/kernel"
+	"repro/internal/kmem"
+	"repro/internal/linux"
+	"repro/internal/mem"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/uproc"
+)
+
+// LWK syscall entry cost: far below Linux (no VFS, flat dispatch).
+const lwkSyscallEntry = 120 * time.Nanosecond
+
+// FastPath is the hook a PicoDriver registers for a device. Handlers
+// return handled=false to fall back to offloading (e.g. an ioctl command
+// outside the ported subset).
+type FastPath struct {
+	Writev func(ctx *kernel.Ctx, f *linux.File, iov []linux.IOVec) (uint64, bool, error)
+	Ioctl  func(ctx *kernel.Ctx, f *linux.File, cmd uint32, arg uproc.VirtAddr) (uint64, bool, error)
+}
+
+// Kernel is the McKernel instance of one node.
+type Kernel struct {
+	Space *kmem.Space
+	// Del is the syscall delegation channel to Linux.
+	Del *ihk.Delegator
+	// Syscalls is the in-house kernel profiler (Figures 8 and 9).
+	Syscalls *trace.SyscallProfile
+
+	lin  *linux.Kernel
+	pr   *model.Params
+	e    *sim.Engine
+	fast map[string]*FastPath // by device path
+}
+
+// NewKernel creates the LWK bound to its node's Linux kernel.
+func NewKernel(e *sim.Engine, pr *model.Params, space *kmem.Space, lin *linux.Kernel, del *ihk.Delegator) *Kernel {
+	return &Kernel{
+		Space:    space,
+		Del:      del,
+		Syscalls: trace.NewSyscallProfile(),
+		lin:      lin,
+		pr:       pr,
+		e:        e,
+		fast:     make(map[string]*FastPath),
+	}
+}
+
+// RegisterFastPath installs a PicoDriver's fast-path handlers for a
+// device path.
+func (k *Kernel) RegisterFastPath(path string, fp *FastPath) error {
+	if _, dup := k.fast[path]; dup {
+		return fmt.Errorf("mckernel: fast path for %s already registered", path)
+	}
+	k.fast[path] = fp
+	return nil
+}
+
+// ReplaceFastPath swaps the fast path of an already-registered device
+// (used by tests and by driver upgrades).
+func (k *Kernel) ReplaceFastPath(path string, fp *FastPath) {
+	k.fast[path] = fp
+}
+
+// HasFastPath reports whether a device has a registered PicoDriver.
+func (k *Kernel) HasFastPath(path string) bool { return k.fast[path] != nil }
+
+// NewProcess creates an application process with McKernel's memory
+// policy: physically contiguous, large-page-mapped, pinned anonymous
+// memory from the LWK partition.
+func (k *Kernel) NewProcess(name string) *uproc.Process {
+	return uproc.NewProcess(name, k.Space.Alloc, uproc.BackingContigLarge)
+}
+
+// Open opens a device file. McKernel has no VFS: the call is offloaded
+// and the Linux file object is returned; McKernel merely forwards the
+// descriptor (§2.1).
+func (k *Kernel) Open(ctx *kernel.Ctx, proc *uproc.Process, path string) (*linux.File, error) {
+	start := ctx.Now()
+	defer func() { k.Syscalls.Add("open", ctx.Now()-start) }()
+	ctx.Spend(lwkSyscallEntry)
+	var f *linux.File
+	var err error
+	k.Del.Offload(ctx.P, "open:"+path, func(lctx *kernel.Ctx) {
+		f, err = k.lin.Open(lctx, proc, path)
+	})
+	return f, err
+}
+
+// Close releases a device file (offloaded).
+func (k *Kernel) Close(ctx *kernel.Ctx, f *linux.File) error {
+	start := ctx.Now()
+	defer func() { k.Syscalls.Add("close", ctx.Now()-start) }()
+	ctx.Spend(lwkSyscallEntry)
+	var err error
+	k.Del.Offload(ctx.P, "close", func(lctx *kernel.Ctx) {
+		err = k.lin.Close(lctx, f)
+	})
+	return err
+}
+
+// Writev submits a vectored write. With a PicoDriver present the SDMA
+// fast path runs right here on the LWK core; otherwise the call pays the
+// full offload round trip plus Linux-CPU queueing.
+func (k *Kernel) Writev(ctx *kernel.Ctx, f *linux.File, iov []linux.IOVec) (uint64, error) {
+	start := ctx.Now()
+	defer func() { k.Syscalls.Add("writev", ctx.Now()-start) }()
+	ctx.Spend(lwkSyscallEntry)
+	if fp := k.fast[f.Path]; fp != nil && fp.Writev != nil {
+		n, handled, err := fp.Writev(ctx, f, iov)
+		if handled {
+			return n, err
+		}
+	}
+	var n uint64
+	var err error
+	k.Del.Offload(ctx.P, "writev", func(lctx *kernel.Ctx) {
+		n, err = k.lin.Writev(lctx, f, iov)
+	})
+	return n, err
+}
+
+// Ioctl dispatches an ioctl, fast-pathing the commands the PicoDriver
+// ported and offloading the rest transparently.
+func (k *Kernel) Ioctl(ctx *kernel.Ctx, f *linux.File, cmd uint32, arg uproc.VirtAddr) (uint64, error) {
+	start := ctx.Now()
+	defer func() { k.Syscalls.Add("ioctl", ctx.Now()-start) }()
+	ctx.Spend(lwkSyscallEntry)
+	if fp := k.fast[f.Path]; fp != nil && fp.Ioctl != nil {
+		res, handled, err := fp.Ioctl(ctx, f, cmd, arg)
+		if handled {
+			return res, err
+		}
+	}
+	var res uint64
+	var err error
+	k.Del.Offload(ctx.P, "ioctl", func(lctx *kernel.Ctx) {
+		res, err = k.lin.Ioctl(lctx, f, cmd, arg)
+	})
+	return res, err
+}
+
+// MmapDevice maps a driver region (offloaded; device mappings are
+// established through the proxy, §2.1).
+func (k *Kernel) MmapDevice(ctx *kernel.Ctx, f *linux.File, kind uint32, length uint64) (uproc.VirtAddr, error) {
+	start := ctx.Now()
+	defer func() { k.Syscalls.Add("mmap", ctx.Now()-start) }()
+	ctx.Spend(lwkSyscallEntry)
+	var va uproc.VirtAddr
+	var err error
+	k.Del.Offload(ctx.P, "mmap-dev", func(lctx *kernel.Ctx) {
+		va, err = k.lin.MmapDevice(lctx, f, kind, length)
+	})
+	return va, err
+}
+
+// Poll polls a device file (offloaded).
+func (k *Kernel) Poll(ctx *kernel.Ctx, f *linux.File) (uint32, error) {
+	start := ctx.Now()
+	defer func() { k.Syscalls.Add("poll", ctx.Now()-start) }()
+	ctx.Spend(lwkSyscallEntry)
+	var ev uint32
+	var err error
+	k.Del.Offload(ctx.P, "poll", func(lctx *kernel.Ctx) {
+		ev, err = k.lin.Poll(lctx, f)
+	})
+	return ev, err
+}
+
+// MmapAnon is served locally: memory management is exactly what McKernel
+// implements itself.
+func (k *Kernel) MmapAnon(ctx *kernel.Ctx, proc *uproc.Process, size uint64) (uproc.VirtAddr, error) {
+	start := ctx.Now()
+	defer func() { k.Syscalls.Add("mmap", ctx.Now()-start) }()
+	ctx.Spend(lwkSyscallEntry)
+	npages := (size + mem.PageSize4K - 1) / mem.PageSize4K
+	ctx.Spend(time.Duration(npages) * k.pr.McKMmapPerPage)
+	return proc.MmapAnon(size)
+}
+
+// Munmap is served locally; its per-page cost is the memory-management
+// shortcoming the paper's profiling exposed.
+func (k *Kernel) Munmap(ctx *kernel.Ctx, proc *uproc.Process, va uproc.VirtAddr) error {
+	start := ctx.Now()
+	defer func() { k.Syscalls.Add("munmap", ctx.Now()-start) }()
+	ctx.Spend(lwkSyscallEntry)
+	if v, ok := proc.VMAOf(va); ok {
+		npages := v.Range.Size / mem.PageSize4K
+		ctx.Spend(time.Duration(npages) * k.pr.McKMunmapPerPage)
+	}
+	return proc.Munmap(va)
+}
+
+// OffloadSimple models miscellaneous offloaded calls (read on config
+// files, nanosleep, ...) so that kernel profiles include them.
+func (k *Kernel) OffloadSimple(ctx *kernel.Ctx, name string, linuxCost time.Duration) {
+	start := ctx.Now()
+	defer func() { k.Syscalls.Add(name, ctx.Now()-start) }()
+	ctx.Spend(lwkSyscallEntry)
+	k.Del.Offload(ctx.P, name, func(lctx *kernel.Ctx) {
+		lctx.Spend(linuxCost)
+	})
+}
+
+// Compute runs application computation on an isolated LWK core: no
+// ticks, no daemons, no noise — the lightweight kernel promise.
+func (k *Kernel) Compute(p *sim.Proc, d time.Duration) {
+	if d > 0 {
+		p.Sleep(d)
+	}
+}

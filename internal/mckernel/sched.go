@@ -1,0 +1,192 @@
+package mckernel
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// This file implements McKernel's thread scheduler: "a simple
+// round-robin co-operative (tick-less) scheduler" (§2.1). Threads bound
+// to one LWK core run until they block or yield; there is no timer tick
+// and no involuntary preemption — which is precisely why LWK cores are
+// noise-free. The mini-app skeletons fold their OpenMP threads into
+// compute time; this scheduler exists for applications that want
+// explicit threads (and to complete the McKernel feature set the paper
+// describes).
+
+// ThreadState enumerates scheduler states.
+type ThreadState int
+
+const (
+	// ThreadReady is runnable, waiting for the core.
+	ThreadReady ThreadState = iota
+	// ThreadRunning holds the core.
+	ThreadRunning
+	// ThreadBlocked waits on an event (futex-style).
+	ThreadBlocked
+	// ThreadDone has exited.
+	ThreadDone
+)
+
+func (s ThreadState) String() string {
+	switch s {
+	case ThreadReady:
+		return "ready"
+	case ThreadRunning:
+		return "running"
+	case ThreadBlocked:
+		return "blocked"
+	case ThreadDone:
+		return "done"
+	}
+	return fmt.Sprintf("ThreadState(%d)", int(s))
+}
+
+// Thread is one cooperative thread on an LWK core.
+type Thread struct {
+	ID    int
+	core  *Core
+	state ThreadState
+	// wake is signaled when the scheduler hands this thread the core.
+	wake *sim.Cond
+	p    *sim.Proc
+	// CPUTime accumulates time spent running.
+	CPUTime time.Duration
+}
+
+// State returns the thread's scheduler state.
+func (t *Thread) State() ThreadState { return t.state }
+
+// Core is one LWK core's run queue: strict round-robin over ready
+// threads, run-until-yield.
+type Core struct {
+	CPU     int
+	e       *sim.Engine
+	ready   []*Thread // FIFO run queue
+	current *Thread
+	nextID  int
+	// Switches counts voluntary context switches.
+	Switches uint64
+	// switchCost is the (small) cooperative context-switch time.
+	switchCost time.Duration
+}
+
+// NewCore creates a scheduler for one LWK core.
+func NewCore(e *sim.Engine, cpu int) *Core {
+	return &Core{CPU: cpu, e: e, switchCost: 180 * time.Nanosecond}
+}
+
+// Spawn creates a thread executing fn. fn receives the thread handle;
+// it must use Thread methods (Run, Yield, Block) to consume time so the
+// scheduler can account and switch. Spawn may be called before or during
+// execution.
+func (c *Core) Spawn(name string, fn func(t *Thread)) *Thread {
+	t := &Thread{ID: c.nextID, core: c, state: ThreadReady, wake: sim.NewCond(c.e)}
+	c.nextID++
+	c.ready = append(c.ready, t)
+	c.e.Go(fmt.Sprintf("lwk%d-%s", c.CPU, name), func(p *sim.Proc) {
+		t.p = p
+		// Wait to be scheduled for the first time.
+		for t.state != ThreadRunning {
+			t.wake.Wait(p)
+		}
+		fn(t)
+		t.state = ThreadDone
+		c.current = nil
+		c.dispatch()
+	})
+	// Kick the scheduler if the core is idle.
+	if c.current == nil {
+		c.e.After(0, c.dispatch)
+	}
+	return t
+}
+
+// dispatch hands the core to the next ready thread.
+func (c *Core) dispatch() {
+	if c.current != nil || len(c.ready) == 0 {
+		return
+	}
+	t := c.ready[0]
+	c.ready = c.ready[1:]
+	t.state = ThreadRunning
+	c.current = t
+	c.Switches++
+	t.wake.Broadcast()
+}
+
+// Run consumes d of CPU time without yielding the core: cooperative
+// threads are never preempted, no matter how long they compute — the
+// tickless guarantee.
+func (t *Thread) Run(d time.Duration) {
+	if t.state != ThreadRunning {
+		panic(fmt.Sprintf("mckernel: Run from %v thread", t.state))
+	}
+	t.p.Sleep(d)
+	t.CPUTime += d
+}
+
+// Yield puts the thread at the back of the run queue and switches to the
+// next ready thread (sched_yield).
+func (t *Thread) Yield() {
+	c := t.core
+	if t.state != ThreadRunning {
+		panic("mckernel: Yield from non-running thread")
+	}
+	t.p.Sleep(c.switchCost)
+	t.state = ThreadReady
+	c.ready = append(c.ready, t)
+	c.current = nil
+	c.dispatch()
+	for t.state != ThreadRunning {
+		t.wake.Wait(t.p)
+	}
+}
+
+// Event is a futex-style wait object for threads.
+type Event struct {
+	core    *Core
+	waiters []*Thread
+	set     bool
+}
+
+// NewEvent creates an event on the core.
+func (c *Core) NewEvent() *Event { return &Event{core: c} }
+
+// Block parks the thread until the event is signaled, releasing the core
+// to the next ready thread.
+func (t *Thread) Block(ev *Event) {
+	c := t.core
+	if t.state != ThreadRunning {
+		panic("mckernel: Block from non-running thread")
+	}
+	if ev.set {
+		ev.set = false
+		return
+	}
+	t.state = ThreadBlocked
+	ev.waiters = append(ev.waiters, t)
+	c.current = nil
+	c.dispatch()
+	for t.state != ThreadRunning {
+		t.wake.Wait(t.p)
+	}
+}
+
+// Signal wakes the longest-blocked thread (or latches if none waits).
+// It may be called from any simulation context.
+func (ev *Event) Signal() {
+	if len(ev.waiters) == 0 {
+		ev.set = true
+		return
+	}
+	t := ev.waiters[0]
+	ev.waiters = ev.waiters[1:]
+	t.state = ThreadReady
+	ev.core.ready = append(ev.core.ready, t)
+	if ev.core.current == nil {
+		ev.core.e.After(0, ev.core.dispatch)
+	}
+}

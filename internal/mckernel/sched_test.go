@@ -1,0 +1,147 @@
+package mckernel
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestRoundRobinOrder(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := NewCore(e, 4)
+	var order []string
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("t%d", i)
+		c.Spawn(name, func(th *Thread) {
+			for round := 0; round < 3; round++ {
+				th.Run(100)
+				order = append(order, fmt.Sprintf("%s.%d", name, round))
+				th.Yield()
+			}
+		})
+	}
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	want := "[t0.0 t1.0 t2.0 t0.1 t1.1 t2.1 t0.2 t1.2 t2.2]"
+	if fmt.Sprint(order) != want {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+// TestTicklessNoPreemption: a long-running thread is never interrupted —
+// the LWK has no timer tick.
+func TestTicklessNoPreemption(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := NewCore(e, 4)
+	var hogDone, otherStart time.Duration
+	c.Spawn("hog", func(th *Thread) {
+		th.Run(10 * time.Millisecond) // far beyond any timeslice
+		hogDone = th.p.Now()
+		th.Yield()
+	})
+	c.Spawn("other", func(th *Thread) {
+		otherStart = th.p.Now()
+		th.Run(time.Microsecond)
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if otherStart < hogDone {
+		t.Fatalf("thread preempted: other started at %v, hog finished at %v", otherStart, hogDone)
+	}
+}
+
+func TestBlockSignal(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := NewCore(e, 4)
+	ev := c.NewEvent()
+	var consumed []int
+	c.Spawn("consumer", func(th *Thread) {
+		for i := 0; i < 2; i++ {
+			th.Block(ev)
+			th.Run(10)
+			consumed = append(consumed, i)
+		}
+	})
+	c.Spawn("producer", func(th *Thread) {
+		th.Run(100)
+		ev.Signal()
+		th.Yield()
+		th.Run(100)
+		ev.Signal()
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(consumed) != 2 {
+		t.Fatalf("consumed = %v", consumed)
+	}
+}
+
+func TestSignalLatchesWhenNoWaiter(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := NewCore(e, 4)
+	ev := c.NewEvent()
+	ev.Signal() // nobody waiting: latch
+	ran := false
+	c.Spawn("t", func(th *Thread) {
+		th.Block(ev) // consumes the latch without blocking
+		ran = true
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("latched signal not consumed")
+	}
+}
+
+func TestCPUTimeAccounting(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := NewCore(e, 4)
+	var th1 *Thread
+	th1 = c.Spawn("t", func(th *Thread) {
+		th.Run(500)
+		th.Yield()
+		th.Run(250)
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if th1.CPUTime != 750 {
+		t.Fatalf("cpu time = %v", th1.CPUTime)
+	}
+	if th1.State() != ThreadDone {
+		t.Fatalf("state = %v", th1.State())
+	}
+	if c.Switches < 2 {
+		t.Fatalf("switches = %d", c.Switches)
+	}
+}
+
+// TestSpawnDuringExecution: threads created mid-run join the queue.
+func TestSpawnDuringExecution(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := NewCore(e, 4)
+	var order []string
+	c.Spawn("parent", func(th *Thread) {
+		th.Run(10)
+		order = append(order, "parent")
+		c.Spawn("child", func(ch *Thread) {
+			ch.Run(10)
+			order = append(order, "child")
+		})
+		th.Yield()
+		order = append(order, "parent2")
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	want := "[parent child parent2]"
+	if fmt.Sprint(order) != want {
+		t.Fatalf("order = %v", order)
+	}
+}

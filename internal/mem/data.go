@@ -1,0 +1,115 @@
+package mem
+
+import "fmt"
+
+// ReadAt copies len(buf) bytes starting at physical address pa into buf.
+// Unwritten frames read as zero. Reading MMIO or unmapped addresses is an
+// error: device windows are handled by their device models.
+func (pm *PhysMem) ReadAt(pa PhysAddr, buf []byte) error {
+	return pm.access(pa, buf, false)
+}
+
+// WriteAt copies buf into physical memory starting at pa, allocating
+// sparse frame backing on demand.
+func (pm *PhysMem) WriteAt(pa PhysAddr, buf []byte) error {
+	return pm.access(pa, buf, true)
+}
+
+func (pm *PhysMem) access(pa PhysAddr, buf []byte, write bool) error {
+	off := 0
+	for off < len(buf) {
+		cur := pa + PhysAddr(off)
+		rs := pm.regionOf(cur)
+		if rs == nil {
+			return fmt.Errorf("mem: access to unmapped physical address %#x", cur)
+		}
+		if rs.Kind == MMIO {
+			return fmt.Errorf("mem: byte access to MMIO window %#x", cur)
+		}
+		frameBase := cur &^ (PageSize4K - 1)
+		inFrame := int(cur - frameBase)
+		n := PageSize4K - inFrame
+		if rem := len(buf) - off; n > rem {
+			n = rem
+		}
+		frame := pm.frames[frameBase]
+		if write {
+			if frame == nil {
+				frame = new([PageSize4K]byte)
+				pm.frames[frameBase] = frame
+			}
+			copy(frame[inFrame:inFrame+n], buf[off:off+n])
+		} else {
+			if frame == nil {
+				for i := off; i < off+n; i++ {
+					buf[i] = 0
+				}
+			} else {
+				copy(buf[off:off+n], frame[inFrame:inFrame+n])
+			}
+		}
+		off += n
+	}
+	return nil
+}
+
+// ReadU64 reads a little-endian uint64 at pa.
+func (pm *PhysMem) ReadU64(pa PhysAddr) (uint64, error) {
+	var b [8]byte
+	if err := pm.ReadAt(pa, b[:]); err != nil {
+		return 0, err
+	}
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v, nil
+}
+
+// WriteU64 writes a little-endian uint64 at pa.
+func (pm *PhysMem) WriteU64(pa PhysAddr, v uint64) error {
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+	return pm.WriteAt(pa, b[:])
+}
+
+// Pin increments the pin count of every 4K frame overlapping the extent,
+// as get_user_pages does. Pinned frames must not be freed.
+func (pm *PhysMem) Pin(e Extent) {
+	for _, pa := range framesOf(e) {
+		pm.pins[pa]++
+	}
+}
+
+// Unpin decrements pin counts; it panics on unbalanced unpins.
+func (pm *PhysMem) Unpin(e Extent) {
+	for _, pa := range framesOf(e) {
+		if pm.pins[pa] == 0 {
+			panic(fmt.Sprintf("mem: unpin of unpinned frame %#x", pa))
+		}
+		pm.pins[pa]--
+		if pm.pins[pa] == 0 {
+			delete(pm.pins, pa)
+		}
+	}
+}
+
+// Pinned reports whether the 4K frame containing pa is pinned.
+func (pm *PhysMem) Pinned(pa PhysAddr) bool {
+	return pm.pins[pa&^(PageSize4K-1)] > 0
+}
+
+// PinnedFrames returns the number of distinct pinned frames.
+func (pm *PhysMem) PinnedFrames() int { return len(pm.pins) }
+
+func framesOf(e Extent) []PhysAddr {
+	start := e.Addr &^ (PageSize4K - 1)
+	end := (e.End() + PageSize4K - 1) &^ (PageSize4K - 1)
+	var out []PhysAddr
+	for pa := start; pa < end; pa += PageSize4K {
+		out = append(out, pa)
+	}
+	return out
+}

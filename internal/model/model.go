@@ -1,0 +1,237 @@
+// Package model centralizes every calibrated timing and sizing constant
+// of the simulation. The absolute values are loosely based on published
+// OmniPath/KNL characteristics; what matters for reproducing the paper is
+// the *relationships* between them (per-descriptor overhead vs wire time,
+// offload latency vs Linux CPU count, PIO vs SDMA crossover), which the
+// experiment harness in internal/experiments validates against the
+// paper's shapes.
+package model
+
+import "time"
+
+// Params bundles all model constants. Obtain a baseline with Default and
+// override fields for ablation studies.
+type Params struct {
+	// ---- Fabric / NIC ----
+
+	// LinkBandwidth is the OmniPath wire rate in bytes/second
+	// (100 Gbit/s ≈ 12.5 GB/s).
+	LinkBandwidth float64
+	// LinkLatency is the one-way fabric latency between two nodes.
+	LinkLatency time.Duration
+	// PacketOverheadBytes approximates per-packet header/CRC framing.
+	PacketOverheadBytes int
+	// SDMAEngines is the number of send-DMA engines per NIC.
+	SDMAEngines int
+	// MaxSDMARequest is the largest physically contiguous SDMA request
+	// the NIC accepts (10 KB on HFI1).
+	MaxSDMARequest uint64
+	// SDMADescCost is the non-overlapped per-request cost in the SDMA
+	// engine (descriptor fetch, address programming). This is the cost
+	// the PicoDriver's 10 KB coalescing amortizes.
+	SDMADescCost time.Duration
+	// SDMADoorbell is the MMIO cost of ringing an engine's doorbell.
+	SDMADoorbell time.Duration
+	// RcvPacketCost is the receive-side per-packet processing time.
+	RcvPacketCost time.Duration
+	// IRQLatency is raise-to-handler-start latency for completions.
+	IRQLatency time.Duration
+	// IRQHandlerCost is the handler's base cost per completion IRQ,
+	// spent on a Linux CPU.
+	IRQHandlerCost time.Duration
+	// IRQCoalesce is the window within which completions share an IRQ.
+	IRQCoalesce time.Duration
+
+	// ---- PIO path ----
+
+	// PIOBandwidth is the CPU-driven store bandwidth into PIO buffers.
+	PIOBandwidth float64
+	// PIOPerMessage is the fixed cost of a PIO send.
+	PIOPerMessage time.Duration
+	// PIOMaxSize is the largest message PSM sends via PIO.
+	PIOMaxSize uint64
+
+	// ---- PSM thresholds ----
+
+	// SDMAThreshold is the message size above which PSM switches from
+	// PIO to SDMA (64 KB by default in PSM).
+	SDMAThreshold uint64
+	// RendezvousThreshold is the size above which expected receive
+	// (TID registration) is used instead of eager buffers.
+	RendezvousThreshold uint64
+	// RendezvousWindow is the PSM TID window: large expected transfers
+	// are split into windows, each with its own TID registration, CTS
+	// and SDMA submission.
+	RendezvousWindow uint64
+	// EagerChunk is the eager-buffer slot size.
+	EagerChunk uint64
+	// MemcpyBandwidth is the rate of the eager-receive copy into the
+	// application buffer.
+	MemcpyBandwidth float64
+
+	// ---- TID / expected receive ----
+
+	// TIDMaxEntryBytes is the maximum contiguous bytes one RcvArray
+	// entry can cover.
+	TIDMaxEntryBytes uint64
+	// TIDProgramCost is the driver cost to program one RcvArray entry.
+	TIDProgramCost time.Duration
+	// TIDMaxEntries is the per-ioctl entry limit.
+	TIDMaxEntries int
+
+	// ---- System calls ----
+
+	// SyscallEntry is the local user→kernel transition cost.
+	SyscallEntry time.Duration
+	// VFSDispatch is the VFS layer dispatch cost per file operation.
+	VFSDispatch time.Duration
+	// WritevBase is the HFI driver's fixed writev (SDMA submit) cost.
+	WritevBase time.Duration
+	// IoctlBase is the HFI driver's fixed ioctl cost.
+	IoctlBase time.Duration
+	// GetUserPagesPerPage is the per-4K-page pin/lookup cost.
+	GetUserPagesPerPage time.Duration
+	// PTWalkPerExtent is the PicoDriver's page-table walk cost per
+	// produced extent (pinned-by-design mappings need no page refs).
+	PTWalkPerExtent time.Duration
+	// FastPathBase is the PicoDriver fixed cost per fast-path call
+	// (no VFS, no fd table, direct dispatch).
+	FastPathBase time.Duration
+
+	// ---- Offloading (IKC) ----
+
+	// IKCLatency is the one-way inter-kernel notification latency.
+	IKCLatency time.Duration
+	// OffloadFixed is the fixed proxy-side bookkeeping per offloaded
+	// call (beyond the queueing on Linux CPUs).
+	OffloadFixed time.Duration
+	// OffloadThrashPerQueued models scheduler thrash: every runnable
+	// proxy process waiting on the Linux CPUs adds context-switch and
+	// wakeup overhead to the call being serviced. This is what turns
+	// high offload demand into the superlinear collapse of Figure 6a.
+	OffloadThrashPerQueued time.Duration
+	// LinuxCPUsPerNode is the number of cores reserved for OS services
+	// (4 on OFP; 64 go to the application).
+	LinuxCPUsPerNode int
+	// AppCPUsPerNode is the number of cores given to the application.
+	AppCPUsPerNode int
+
+	// ---- OS noise ----
+
+	// NoiseTickPeriod is the period of the residual scheduler tick on
+	// Linux application cores (nohz_full leaves ~1 Hz + RCU work; we
+	// fold daemons in at a higher effective rate).
+	NoiseTickPeriod time.Duration
+	// NoiseTickCost is the per-event stolen time.
+	NoiseTickCost time.Duration
+	// NoiseDaemonPeriod is the mean period of heavier per-node daemon
+	// interruptions on Linux.
+	NoiseDaemonPeriod time.Duration
+	// NoiseDaemonCost is the per-daemon-event stolen time.
+	NoiseDaemonCost time.Duration
+
+	// ---- MPI / runtime ----
+
+	// MPI_Init costs are scaled to the skeleton runtimes (the real
+	// applications run minutes; the skeletons run milliseconds), keeping
+	// the paper's ordering: Linux < McKernel < McKernel+HFI, the latter
+	// paying for the PicoDriver's kernel-mapping bootstrap.
+	//
+	// MPIInitBase is MPI_Init cost on Linux.
+	MPIInitBase time.Duration
+	// MPIInitOffloadExtra is added on McKernel (offloaded device open,
+	// proxy setup).
+	MPIInitOffloadExtra time.Duration
+	// MPIInitPicoExtra is added when the HFI PicoDriver initializes
+	// its kernel-level mappings of driver internals (the paper's
+	// Table 1 shows MPI_Init visibly larger with +HFI).
+	MPIInitPicoExtra time.Duration
+	// MemcpyLocalBandwidth is intra-node (shared-memory) copy rate
+	// used for self/local-rank messaging.
+	MemcpyLocalBandwidth float64
+	// McKMmapPerPage / McKMunmapPerPage are McKernel's local memory-
+	// management costs. The munmap path is deliberately unoptimized:
+	// the paper's profiling exposed it (Figure 9) and lists fixing it
+	// as immediate future work — lowering McKMunmapPerPage is that
+	// future-work ablation.
+	McKMmapPerPage   time.Duration
+	McKMunmapPerPage time.Duration
+}
+
+// Default returns the baseline calibration.
+func Default() Params {
+	return Params{
+		LinkBandwidth:       12.5e9,
+		LinkLatency:         900 * time.Nanosecond,
+		PacketOverheadBytes: 64,
+		SDMAEngines:         16,
+		MaxSDMARequest:      10240,
+		SDMADescCost:        82 * time.Nanosecond,
+		SDMADoorbell:        120 * time.Nanosecond,
+		RcvPacketCost:       25 * time.Nanosecond,
+		IRQLatency:          600 * time.Nanosecond,
+		IRQHandlerCost:      900 * time.Nanosecond,
+		IRQCoalesce:         4 * time.Microsecond,
+
+		PIOBandwidth:  3.2e9,
+		PIOPerMessage: 350 * time.Nanosecond,
+		PIOMaxSize:    16 << 10,
+
+		SDMAThreshold:       64 << 10,
+		RendezvousThreshold: 64 << 10,
+		RendezvousWindow:    512 << 10,
+		EagerChunk:          8 << 10,
+		MemcpyBandwidth:     6.0e9,
+
+		TIDMaxEntryBytes: 256 << 10,
+		TIDProgramCost:   20 * time.Nanosecond,
+		TIDMaxEntries:    2048,
+
+		SyscallEntry:        250 * time.Nanosecond,
+		VFSDispatch:         150 * time.Nanosecond,
+		WritevBase:          900 * time.Nanosecond,
+		IoctlBase:           700 * time.Nanosecond,
+		GetUserPagesPerPage: 16 * time.Nanosecond,
+		PTWalkPerExtent:     45 * time.Nanosecond,
+		FastPathBase:        300 * time.Nanosecond,
+
+		IKCLatency:             1600 * time.Nanosecond,
+		OffloadFixed:           8000 * time.Nanosecond,
+		OffloadThrashPerQueued: 6000 * time.Nanosecond,
+		LinuxCPUsPerNode:       4,
+		AppCPUsPerNode:         64,
+
+		NoiseTickPeriod:   1 * time.Millisecond,
+		NoiseTickCost:     2 * time.Microsecond,
+		NoiseDaemonPeriod: 50 * time.Millisecond,
+		NoiseDaemonCost:   70 * time.Microsecond,
+
+		MPIInitBase:          2 * time.Millisecond,
+		MPIInitOffloadExtra:  3 * time.Millisecond,
+		MPIInitPicoExtra:     8 * time.Millisecond,
+		MemcpyLocalBandwidth: 14.0e9,
+		McKMmapPerPage:       70 * time.Nanosecond,
+		McKMunmapPerPage:     260 * time.Nanosecond,
+	}
+}
+
+// WireTime returns the serialization time of n payload bytes on the link.
+func (p *Params) WireTime(n uint64) time.Duration {
+	bytes := float64(n + uint64(p.PacketOverheadBytes))
+	return time.Duration(bytes / p.LinkBandwidth * 1e9)
+}
+
+// PIOTime returns the sender-CPU cost of a PIO send of n bytes.
+func (p *Params) PIOTime(n uint64) time.Duration {
+	return p.PIOPerMessage + time.Duration(float64(n)/p.PIOBandwidth*1e9)
+}
+
+// MemcpyTime returns the receiver-side eager copy cost of n bytes.
+func (p *Params) MemcpyTime(n uint64) time.Duration {
+	return time.Duration(float64(n)/p.MemcpyBandwidth*1e9) + 100*time.Nanosecond
+}
+
+// LocalCopyTime returns the intra-node transfer cost of n bytes.
+func (p *Params) LocalCopyTime(n uint64) time.Duration {
+	return time.Duration(float64(n)/p.MemcpyLocalBandwidth*1e9) + 400*time.Nanosecond
+}

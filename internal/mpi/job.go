@@ -1,0 +1,159 @@
+package mpi
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/psm"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// RankFunc is a rank's main function.
+type RankFunc func(c *Comm) error
+
+// JobResult aggregates a finished run.
+type JobResult struct {
+	// Elapsed is the figure-of-merit runtime: the latest rank finish
+	// time minus the post-init barrier (MPI_Init excluded, like the
+	// mini-apps' own timers).
+	Elapsed time.Duration
+	// WallTime includes MPI_Init.
+	WallTime time.Duration
+	// MPI is the per-call profile summed over all ranks (Table 1's
+	// "cumulative time spent in the call summed over all ranks").
+	MPI *trace.SyscallProfile
+	// Ranks is the world size.
+	Ranks int
+	// PerRankElapsed is the mean of per-rank body times.
+	PerRankElapsed time.Duration
+}
+
+// RunJob launches ranksPerNode ranks on every node of the cluster, runs
+// MPI_Init (endpoint creation plus the OS-dependent initialization
+// costs), synchronizes, executes body on every rank and aggregates
+// profiles. It drives the engine to completion.
+func RunJob(cl *cluster.Cluster, ranksPerNode int, body RankFunc) (*JobResult, error) {
+	nRanks := len(cl.Nodes) * ranksPerNode
+	book := make(psm.MapBook, nRanks)
+	comms := make([]*Comm, nRanks)
+	errs := make([]error, nRanks)
+	bodyStart := make([]time.Duration, nRanks)
+	bodyEnd := make([]time.Duration, nRanks)
+
+	ready := sim.NewWaitGroup(cl.E)
+	ready.Add(nRanks)
+	start := cl.E.Now()
+
+	for r := 0; r < nRanks; r++ {
+		r := r
+		node := cl.Nodes[r/ranksPerNode]
+		osops := node.NewRankOS(r)
+		cl.E.Go(fmt.Sprintf("rank%d", r), func(p *sim.Proc) {
+			comm, err := initRank(p, cl, osops, r, nRanks, book, ready)
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			comms[r] = comm
+			// Post-init barrier: application timing starts here.
+			if err := comm.Barrier(); err != nil {
+				errs[r] = err
+				return
+			}
+			bodyStart[r] = p.Now()
+			if err := body(comm); err != nil {
+				errs[r] = fmt.Errorf("rank %d: %w", r, err)
+				return
+			}
+			// Completion barrier quiesces outstanding traffic.
+			if err := comm.Barrier(); err != nil {
+				errs[r] = err
+				return
+			}
+			bodyEnd[r] = p.Now()
+		})
+	}
+	if err := cl.E.Run(0); err != nil {
+		return nil, fmt.Errorf("mpi: job execution: %w", err)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res := &JobResult{MPI: trace.NewSyscallProfile(), Ranks: nRanks}
+	var latest, meanSum time.Duration
+	earliest := bodyStart[0]
+	for r := 0; r < nRanks; r++ {
+		if bodyEnd[r] > latest {
+			latest = bodyEnd[r]
+		}
+		if bodyStart[r] < earliest {
+			earliest = bodyStart[r]
+		}
+		meanSum += bodyEnd[r] - bodyStart[r]
+		res.MPI.Merge(comms[r].Prof)
+	}
+	res.Elapsed = latest - earliest
+	res.WallTime = latest - start
+	res.PerRankElapsed = meanSum / time.Duration(nRanks)
+	return res, nil
+}
+
+// initRank is MPI_Init: PSM endpoint creation (device open, context
+// setup, mmaps — all offloaded on McKernel) plus the runtime's own
+// startup costs, which differ per OS configuration (Table 1 shows
+// MPI_Init visibly larger with the PicoDriver because of its kernel-
+// level mapping bootstrap).
+func initRank(p *sim.Proc, cl *cluster.Cluster, osops psm.OSOps, rank, nRanks int,
+	book psm.MapBook, ready *sim.WaitGroup) (*Comm, error) {
+	initStart := p.Now()
+	ep, err := psm.NewEndpoint(p, osops, rank, book, cl.Cfg.Synthetic)
+	if err != nil {
+		ready.Done()
+		return nil, fmt.Errorf("rank %d init: %w", rank, err)
+	}
+	// Runtime init: configuration reads, shared-memory setup, PMI
+	// exchange. The base cost is amortized model time; per-OS extras
+	// reflect offloaded device initialization and the PicoDriver's
+	// kernel-mapping bootstrap.
+	pr := cl.Params
+	extra := time.Duration(0)
+	switch cl.Cfg.OS {
+	case cluster.OSMcKernel:
+		extra = pr.MPIInitOffloadExtra
+	case cluster.OSMcKernelHFI:
+		extra = pr.MPIInitOffloadExtra + pr.MPIInitPicoExtra
+	}
+	// A few visible miscellaneous syscalls during startup.
+	for i := 0; i < 4; i++ {
+		osops.Misc(p, "open", 2*time.Microsecond)
+		osops.Misc(p, "read", 3*time.Microsecond)
+	}
+	p.Sleep(pr.MPIInitBase + extra)
+
+	comm := &Comm{
+		EP: ep, P: p, Rank: rank, Size: nRanks,
+		RanksPerNode: nRanks / len(cl.Nodes),
+		Prof:         trace.NewSyscallProfile(),
+		bufCap:       collBufCap,
+	}
+	comm.sendBuf, err = osops.MmapAnon(p, collBufCap)
+	if err != nil {
+		ready.Done()
+		return nil, err
+	}
+	comm.recvBuf, err = osops.MmapAnon(p, collBufCap)
+	if err != nil {
+		ready.Done()
+		return nil, err
+	}
+	book[rank] = psm.Addr{Node: osops.NodeID(), Ctx: ep.CtxID}
+	comm.Prof.Add("MPI_Init", p.Now()-initStart)
+	ready.Done()
+	ready.Wait(p)
+	return comm, nil
+}

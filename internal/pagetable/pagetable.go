@@ -1,0 +1,332 @@
+// Package pagetable implements an x86_64-style four-level page table for
+// the simulated kernels.
+//
+// It supports 4 KiB, 2 MiB and 1 GiB translations. The PicoDriver fast
+// path (§3.4 of the paper) iterates page tables directly to discover
+// physically contiguous extents behind a user buffer — including runs
+// that cross page boundaries — instead of collecting per-page references
+// the way the Linux driver's get_user_pages path does. WalkExtents is
+// that operation.
+package pagetable
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// VirtAddr is a virtual address. Addresses must be canonical for 48-bit
+// addressing: bits 63..48 equal bit 47.
+type VirtAddr uint64
+
+// Canonical reports whether the address is canonical under 48-bit mode.
+func (v VirtAddr) Canonical() bool {
+	top := uint64(v) >> 47
+	return top == 0 || top == 0x1ffff
+}
+
+// Flags control a mapping's attributes.
+type Flags uint8
+
+const (
+	// Writable allows stores through the mapping.
+	Writable Flags = 1 << iota
+	// User marks a user-accessible mapping.
+	User
+	// Device marks an MMIO mapping (never byte-backed).
+	Device
+)
+
+// Page sizes supported by the table.
+const (
+	Size4K = 4 << 10
+	Size2M = 2 << 20
+	Size1G = 1 << 30
+)
+
+const (
+	entries    = 512
+	l1Shift    = 12 // PT
+	l2Shift    = 21 // PD
+	l3Shift    = 30 // PDPT
+	l4Shift    = 39 // PML4
+	indexMask  = entries - 1
+	offMask4K  = Size4K - 1
+	offMask2M  = Size2M - 1
+	offMask1G  = Size1G - 1
+	canonicalH = VirtAddr(0xffff800000000000)
+)
+
+// entry is one translation at some level. Leaf entries carry the physical
+// base; interior entries point at the next level table.
+type entry struct {
+	leaf  bool
+	pa    mem.PhysAddr
+	flags Flags
+	next  *table
+}
+
+type table struct {
+	slots [entries]entry
+}
+
+// Table is a four-level page table (one address space).
+type Table struct {
+	root *table
+	// mapped tracks the number of bytes currently mapped, per page size.
+	mapped map[uint64]uint64
+}
+
+// New returns an empty page table.
+func New() *Table {
+	return &Table{root: &table{}, mapped: make(map[uint64]uint64)}
+}
+
+// MappedBytes returns the number of mapped bytes using the given page
+// size (Size4K, Size2M or Size1G).
+func (t *Table) MappedBytes(pageSize uint64) uint64 { return t.mapped[pageSize] }
+
+func idx(v VirtAddr, shift uint) int { return int(uint64(v)>>shift) & indexMask }
+
+// Map establishes a translation of length bytes from va to pa using the
+// largest page sizes permitted by alignment. va, pa and length must be
+// 4K-aligned; the range must not overlap an existing mapping.
+func (t *Table) Map(va VirtAddr, pa mem.PhysAddr, length uint64, flags Flags) error {
+	if uint64(va)%Size4K != 0 || uint64(pa)%Size4K != 0 || length%Size4K != 0 {
+		return fmt.Errorf("pagetable: unaligned map va=%#x pa=%#x len=%#x", va, pa, length)
+	}
+	if length == 0 {
+		return fmt.Errorf("pagetable: zero-length map")
+	}
+	if !va.Canonical() || !(va + VirtAddr(length-1)).Canonical() {
+		return fmt.Errorf("pagetable: non-canonical range at %#x", va)
+	}
+	// Reject overlap first so failed maps leave no partial state.
+	for off := uint64(0); off < length; {
+		_, sz, ok := t.lookup(va + VirtAddr(off))
+		if ok {
+			return fmt.Errorf("pagetable: overlap at %#x", va+VirtAddr(off))
+		}
+		// Skip at least a 4K page; alignment of probing is fine since
+		// existing leaves are at least 4K aligned.
+		_ = sz
+		off += Size4K
+	}
+	for length > 0 {
+		var pgsz uint64
+		switch {
+		case uint64(va)%Size1G == 0 && uint64(pa)%Size1G == 0 && length >= Size1G:
+			pgsz = Size1G
+		case uint64(va)%Size2M == 0 && uint64(pa)%Size2M == 0 && length >= Size2M:
+			pgsz = Size2M
+		default:
+			pgsz = Size4K
+		}
+		t.mapOne(va, pa, pgsz, flags)
+		va += VirtAddr(pgsz)
+		pa += mem.PhysAddr(pgsz)
+		length -= pgsz
+	}
+	return nil
+}
+
+// MapExtents maps the extents consecutively starting at va. Each extent
+// must be 4K-aligned in address and length. It returns the first error
+// without unmapping earlier extents (callers unmap the whole range on
+// failure, as the kernels do).
+func (t *Table) MapExtents(va VirtAddr, exts []mem.Extent, flags Flags) error {
+	for _, e := range exts {
+		if err := t.Map(va, e.Addr, e.Len, flags); err != nil {
+			return err
+		}
+		va += VirtAddr(e.Len)
+	}
+	return nil
+}
+
+func (t *Table) mapOne(va VirtAddr, pa mem.PhysAddr, pgsz uint64, flags Flags) {
+	l4 := &t.root.slots[idx(va, l4Shift)]
+	if l4.next == nil {
+		l4.next = &table{}
+	}
+	l3 := &l4.next.slots[idx(va, l3Shift)]
+	if pgsz == Size1G {
+		*l3 = entry{leaf: true, pa: pa, flags: flags}
+		t.mapped[Size1G] += Size1G
+		return
+	}
+	if l3.next == nil {
+		l3.next = &table{}
+	}
+	l2 := &l3.next.slots[idx(va, l2Shift)]
+	if pgsz == Size2M {
+		*l2 = entry{leaf: true, pa: pa, flags: flags}
+		t.mapped[Size2M] += Size2M
+		return
+	}
+	if l2.next == nil {
+		l2.next = &table{}
+	}
+	l1 := &l2.next.slots[idx(va, l1Shift)]
+	*l1 = entry{leaf: true, pa: pa, flags: flags}
+	t.mapped[Size4K] += Size4K
+}
+
+// lookup finds the leaf covering va. It returns the leaf entry, the page
+// size of the translation and whether a mapping exists.
+func (t *Table) lookup(va VirtAddr) (entry, uint64, bool) {
+	l4 := t.root.slots[idx(va, l4Shift)]
+	if l4.next == nil {
+		return entry{}, 0, false
+	}
+	l3 := l4.next.slots[idx(va, l3Shift)]
+	if l3.leaf {
+		return l3, Size1G, true
+	}
+	if l3.next == nil {
+		return entry{}, 0, false
+	}
+	l2 := l3.next.slots[idx(va, l2Shift)]
+	if l2.leaf {
+		return l2, Size2M, true
+	}
+	if l2.next == nil {
+		return entry{}, 0, false
+	}
+	l1 := l2.next.slots[idx(va, l1Shift)]
+	if l1.leaf {
+		return l1, Size4K, true
+	}
+	return entry{}, 0, false
+}
+
+// Translate resolves va to a physical address and the mapping's flags.
+func (t *Table) Translate(va VirtAddr) (mem.PhysAddr, Flags, bool) {
+	if !va.Canonical() {
+		return 0, 0, false
+	}
+	e, pgsz, ok := t.lookup(va)
+	if !ok {
+		return 0, 0, false
+	}
+	off := uint64(va) & (pgsz - 1)
+	return e.pa + mem.PhysAddr(off), e.flags, true
+}
+
+// PageSizeAt returns the page size backing va, or 0 if unmapped.
+func (t *Table) PageSizeAt(va VirtAddr) uint64 {
+	_, pgsz, ok := t.lookup(va)
+	if !ok {
+		return 0
+	}
+	return pgsz
+}
+
+// Unmap removes translations covering [va, va+length). It is an error if
+// the range is not fully mapped or if it would split a large page.
+func (t *Table) Unmap(va VirtAddr, length uint64) error {
+	if uint64(va)%Size4K != 0 || length%Size4K != 0 || length == 0 {
+		return fmt.Errorf("pagetable: unaligned unmap va=%#x len=%#x", va, length)
+	}
+	// First pass: verify the range is an exact union of leaves.
+	for off := uint64(0); off < length; {
+		cur := va + VirtAddr(off)
+		e, pgsz, ok := t.lookup(cur)
+		_ = e
+		if !ok {
+			return fmt.Errorf("pagetable: unmap of unmapped address %#x", cur)
+		}
+		if uint64(cur)%pgsz != 0 || length-off < pgsz {
+			return fmt.Errorf("pagetable: unmap would split a %d-byte page at %#x", pgsz, cur)
+		}
+		off += pgsz
+	}
+	for off := uint64(0); off < length; {
+		cur := va + VirtAddr(off)
+		pgsz := t.clearOne(cur)
+		off += pgsz
+	}
+	return nil
+}
+
+func (t *Table) clearOne(va VirtAddr) uint64 {
+	l4 := &t.root.slots[idx(va, l4Shift)]
+	l3 := &l4.next.slots[idx(va, l3Shift)]
+	if l3.leaf {
+		*l3 = entry{}
+		t.mapped[Size1G] -= Size1G
+		return Size1G
+	}
+	l2 := &l3.next.slots[idx(va, l2Shift)]
+	if l2.leaf {
+		*l2 = entry{}
+		t.mapped[Size2M] -= Size2M
+		return Size2M
+	}
+	l1 := &l2.next.slots[idx(va, l1Shift)]
+	*l1 = entry{}
+	t.mapped[Size4K] -= Size4K
+	return Size4K
+}
+
+// WalkExtents translates the (not necessarily aligned) virtual range
+// [va, va+length) into physical extents, merging extents that are
+// physically contiguous even across page boundaries. This is the
+// PicoDriver fast-path primitive: page tables are iterated directly,
+// so large pages and contiguous runs surface naturally.
+func (t *Table) WalkExtents(va VirtAddr, length uint64) ([]mem.Extent, error) {
+	if length == 0 {
+		return nil, nil
+	}
+	var out []mem.Extent
+	remaining := length
+	cur := va
+	for remaining > 0 {
+		e, pgsz, ok := t.lookup(cur)
+		if !ok {
+			return nil, fmt.Errorf("pagetable: fault at %#x", cur)
+		}
+		off := uint64(cur) & (pgsz - 1)
+		n := pgsz - off
+		if n > remaining {
+			n = remaining
+		}
+		pa := e.pa + mem.PhysAddr(off)
+		if len(out) > 0 && out[len(out)-1].End() == pa {
+			out[len(out)-1].Len += n
+		} else {
+			out = append(out, mem.Extent{Addr: pa, Len: n})
+		}
+		cur += VirtAddr(n)
+		remaining -= n
+	}
+	return out, nil
+}
+
+// Pages returns one extent per 4K page of the virtual range, in the style
+// of get_user_pages: no merging across page boundaries, every entry at
+// most one page long. The first and last entries may be partial when va
+// or the length are unaligned.
+func (t *Table) Pages(va VirtAddr, length uint64) ([]mem.Extent, error) {
+	if length == 0 {
+		return nil, nil
+	}
+	var out []mem.Extent
+	remaining := length
+	cur := va
+	for remaining > 0 {
+		pa, _, ok := t.Translate(cur)
+		if !ok {
+			return nil, fmt.Errorf("pagetable: fault at %#x", cur)
+		}
+		inPage := uint64(cur) & offMask4K
+		n := uint64(Size4K) - inPage
+		if n > remaining {
+			n = remaining
+		}
+		out = append(out, mem.Extent{Addr: pa, Len: n})
+		cur += VirtAddr(n)
+		remaining -= n
+	}
+	return out, nil
+}

@@ -1,0 +1,284 @@
+package psm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/hfi"
+	"repro/internal/sim"
+	"repro/internal/uproc"
+)
+
+// Endpoint is one rank's PSM endpoint: an open HFI context plus the
+// matched-queue state.
+type Endpoint struct {
+	OS        OSOps
+	Rank      int
+	Synthetic bool
+	Book      AddressBook
+	Stats     Stats
+
+	fd     Handle
+	CtxID  int
+	nic    *hfi.NIC
+	notify *sim.Cond
+
+	// User mappings of the context's host-memory areas.
+	statusVA, hdrqVA, eagerVA, cqVA uproc.VirtAddr
+	scratchVA                       uproc.VirtAddr
+
+	// Consumer cursors (mirrored to the status page for the NIC).
+	hdrqTail, eagerTail, cqTail uint64
+
+	// Matched queues.
+	posted     []*recvReq
+	unexpected []*inbound
+	inflight   map[msgKey]*inbound
+	pendingRTS []*rtsInfo
+
+	// Send state.
+	nextMsgSeq  uint64
+	nextCompSeq uint32
+	bySeq       map[uint32]*sendWindow // CQ completion → window
+	sends       map[uint64]*sendReq    // by msgid (awaiting CTS)
+
+	// Rendezvous receive state.
+	rdvRecvs   map[uint64]*rdvRecv // by msgid
+	activeRdvs int
+	rdvBacklog []*rtsInfo
+	// freeRdvSlots are scratch TID-list slots available for active
+	// rendezvous receives.
+	freeRdvSlots []int
+
+	// MaxActiveRdv bounds concurrently TID-registered receives.
+	MaxActiveRdv int
+}
+
+type msgKey struct {
+	src   uint32
+	msgid uint64
+}
+
+type recvReq struct {
+	req      *Request
+	src      int
+	tag      uint64
+	buf      uproc.VirtAddr
+	capacity uint64
+}
+
+// inbound is an eager message being assembled.
+type inbound struct {
+	src    uint32
+	tag    uint64
+	msgid  uint64
+	msglen uint64
+	got    uint64
+	// bound is the matched posted receive (nil while unexpected).
+	bound *recvReq
+	// heap buffers chunks of an unexpected message (real mode only).
+	heap []byte
+}
+
+type rtsInfo struct {
+	src    uint32
+	tag    uint64
+	msgid  uint64
+	msglen uint64
+}
+
+type sendReq struct {
+	req       *Request
+	dst       Addr
+	tag       uint64
+	msgid     uint64
+	buf       uproc.VirtAddr
+	length    uint64
+	remaining uint64 // bytes not yet CTS'd
+	windows   int    // outstanding window completions
+	ctsDone   bool
+}
+
+type sendWindow struct {
+	send *sendReq
+}
+
+// rdvWindow is one outstanding TID window of a rendezvous receive.
+type rdvWindow struct {
+	off  uint64
+	len  uint64
+	tids []hfi.TIDPair
+	slot int // scratch TID-list slot while registered
+}
+
+type rdvRecv struct {
+	rr     *recvReq
+	src    uint32
+	msgid  uint64
+	msglen uint64
+	// nextReg is the next unregistered offset; completed counts bytes
+	// whose windows finished.
+	nextReg   uint64
+	completed uint64
+	windows   map[uint64]*rdvWindow
+	winSize   uint64
+}
+
+// DevicePath is the HFI character device.
+const DevicePath = "/dev/hfi1"
+
+// NewEndpoint opens the device, queries the context, maps the shared
+// areas and allocates scratch memory. This is the (slow-path, offloaded
+// on McKernel) initialization PSM performs inside MPI_Init.
+func NewEndpoint(p *sim.Proc, os OSOps, rank int, book AddressBook, synthetic bool) (*Endpoint, error) {
+	ep := &Endpoint{
+		OS: os, Rank: rank, Book: book, Synthetic: synthetic,
+		inflight:     make(map[msgKey]*inbound),
+		bySeq:        make(map[uint32]*sendWindow),
+		sends:        make(map[uint64]*sendReq),
+		rdvRecvs:     make(map[uint64]*rdvRecv),
+		MaxActiveRdv: 4,
+	}
+	for i := 0; i < ep.MaxActiveRdv*RdvWindowDepth; i++ {
+		ep.freeRdvSlots = append(ep.freeRdvSlots, i)
+	}
+	fd, err := os.Open(p, DevicePath)
+	if err != nil {
+		return nil, err
+	}
+	ep.fd = fd
+	ctxt, err := os.Ioctl(p, fd, hfi.CmdCtxtInfo, 0)
+	if err != nil {
+		return nil, err
+	}
+	ep.CtxID = int(ctxt)
+	// A handful of administrative ioctls PSM issues at startup.
+	for _, cmd := range []uint32{hfi.CmdGetVers, hfi.CmdUserInfo, hfi.CmdSetPKey, hfi.CmdPollType} {
+		if _, err := os.Ioctl(p, fd, cmd, 0); err != nil {
+			return nil, err
+		}
+	}
+	for _, m := range []struct {
+		kind uint32
+		dst  *uproc.VirtAddr
+	}{
+		{hfi.MmapStatus, &ep.statusVA},
+		{hfi.MmapHdrq, &ep.hdrqVA},
+		{hfi.MmapEager, &ep.eagerVA},
+		{hfi.MmapCQ, &ep.cqVA},
+	} {
+		va, err := os.MmapDevice(p, fd, m.kind, 0)
+		if err != nil {
+			return nil, err
+		}
+		*m.dst = va
+	}
+	ep.scratchVA, err = os.MmapAnon(p, scratchSize)
+	if err != nil {
+		return nil, err
+	}
+	ep.nic = os.NIC()
+	hwctx, ok := ep.nic.Context(ep.CtxID)
+	if !ok {
+		return nil, fmt.Errorf("psm: hardware context %d missing", ep.CtxID)
+	}
+	ep.notify = hwctx.Notify
+	return ep, nil
+}
+
+// Close releases the endpoint.
+func (ep *Endpoint) Close(p *sim.Proc) error {
+	if err := ep.OS.Munmap(p, ep.scratchVA); err != nil {
+		return err
+	}
+	return ep.OS.Close(p, ep.fd)
+}
+
+func (ep *Endpoint) proc() *uproc.Process { return ep.OS.Proc() }
+
+func (ep *Endpoint) addrOf(rank int) (Addr, error) {
+	a, ok := ep.Book.Lookup(rank)
+	if !ok {
+		return Addr{}, fmt.Errorf("psm: no address for rank %d", rank)
+	}
+	return a, nil
+}
+
+// readStatus reads one status-page counter through the user mapping.
+func (ep *Endpoint) readStatus(off int) uint64 {
+	v, err := ep.proc().ReadU64(ep.statusVA + uproc.VirtAddr(off))
+	if err != nil {
+		panic(fmt.Sprintf("psm: rank %d status read: %v", ep.Rank, err))
+	}
+	return v
+}
+
+func (ep *Endpoint) writeStatus(off int, v uint64) {
+	if err := ep.proc().WriteU64(ep.statusVA+uproc.VirtAddr(off), v); err != nil {
+		panic(fmt.Sprintf("psm: rank %d status write: %v", ep.Rank, err))
+	}
+}
+
+// WaitFor drives progress until cond holds.
+func (ep *Endpoint) WaitFor(p *sim.Proc, cond func() bool) {
+	for !cond() {
+		if ep.Progress(p) {
+			continue
+		}
+		if cond() {
+			return
+		}
+		ep.notify.Wait(p)
+		p.Sleep(pollDelay)
+	}
+}
+
+// Wait blocks until the request completes.
+func (ep *Endpoint) Wait(p *sim.Proc, r *Request) error {
+	ep.WaitFor(p, func() bool { return r.Done })
+	return r.Err
+}
+
+// WaitAll blocks until every request completes, returning the first
+// error.
+func (ep *Endpoint) WaitAll(p *sim.Proc, rs []*Request) error {
+	for _, r := range rs {
+		if err := ep.Wait(p, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// header composes the wire header for PIO control/data.
+func (ep *Endpoint) header(op uint32, tag, msgid, msglen, offset, aux uint64) fabric.Header {
+	return fabric.Header{
+		Op: op, SrcRank: uint32(ep.Rank), Tag: tag,
+		MsgID: msgid, MsgLen: msglen, Offset: offset, Aux: aux,
+	}
+}
+
+// encodeTIDPairs serializes a TID list into a CTS payload.
+func encodeTIDPairs(pairs []hfi.TIDPair) []byte {
+	buf := make([]byte, len(pairs)*hfi.TIDPairSize)
+	for i, tp := range pairs {
+		binary.LittleEndian.PutUint64(buf[i*hfi.TIDPairSize:], tp.Idx)
+		binary.LittleEndian.PutUint64(buf[i*hfi.TIDPairSize+8:], tp.Len)
+	}
+	return buf
+}
+
+func decodeTIDPairs(buf []byte) []hfi.TIDPair {
+	n := len(buf) / hfi.TIDPairSize
+	pairs := make([]hfi.TIDPair, n)
+	for i := range pairs {
+		pairs[i].Idx = binary.LittleEndian.Uint64(buf[i*hfi.TIDPairSize:])
+		pairs[i].Len = binary.LittleEndian.Uint64(buf[i*hfi.TIDPairSize+8:])
+	}
+	return pairs
+}
+
+// Compute forwards to the OS personality (noise model included).
+func (ep *Endpoint) Compute(p *sim.Proc, d time.Duration) { ep.OS.Compute(p, d) }

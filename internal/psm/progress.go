@@ -1,0 +1,226 @@
+package psm
+
+import (
+	"fmt"
+
+	"repro/internal/hfi"
+	"repro/internal/sim"
+	"repro/internal/uproc"
+)
+
+// Progress drains the receive header queue and the send completion
+// queue. It returns whether anything was processed. All state it reads
+// lives in host memory written by the NIC/driver, accessed through this
+// process's mmap of the context (OS bypass: no system call involved in
+// polling).
+func (ep *Endpoint) Progress(p *sim.Proc) bool {
+	made := false
+	for {
+		head := ep.readStatus(hfi.StatusHdrqHead)
+		if ep.hdrqTail >= head {
+			break
+		}
+		slot := ep.hdrqTail % hfi.HdrqEntries
+		raw := make([]byte, hfi.HdrqEntrySize)
+		if err := ep.proc().ReadAt(ep.hdrqVA+uproc.VirtAddr(slot*hfi.HdrqEntrySize), raw); err != nil {
+			panic(fmt.Sprintf("psm: rank %d hdrq read: %v", ep.Rank, err))
+		}
+		entry, err := hfi.DecodeHdrqEntry(raw)
+		if err != nil {
+			panic(err)
+		}
+		ep.hdrqTail++
+		ep.writeStatus(hfi.StatusHdrqTail, ep.hdrqTail)
+		if err := ep.handleEntry(p, entry); err != nil {
+			panic(fmt.Sprintf("psm: rank %d handling entry type %d op %d: %v",
+				ep.Rank, entry.Type, entry.Op, err))
+		}
+		made = true
+	}
+	for {
+		head := ep.readStatus(hfi.StatusCQHead)
+		if ep.cqTail >= head {
+			break
+		}
+		slot := ep.cqTail % hfi.CQEntries
+		seq, err := ep.proc().ReadU64(ep.cqVA + uproc.VirtAddr(slot*8))
+		if err != nil {
+			panic(fmt.Sprintf("psm: rank %d cq read: %v", ep.Rank, err))
+		}
+		ep.cqTail++
+		ep.writeStatus(hfi.StatusCQTail, ep.cqTail)
+		ep.onSendComplete(uint32(seq))
+		made = true
+	}
+	return made
+}
+
+func (ep *Endpoint) handleEntry(p *sim.Proc, e *hfi.HdrqEntry) error {
+	switch e.Type {
+	case hfi.HdrqTypeEager:
+		err := ep.handleEagerEntry(p, e)
+		// Every eager-kind packet consumed one ring slot, in order.
+		ep.eagerTail++
+		ep.writeStatus(hfi.StatusEagerTail, ep.eagerTail)
+		return err
+	case hfi.HdrqTypeExpectedDone:
+		return ep.onWindowDone(p, e)
+	}
+	return fmt.Errorf("psm: unknown hdrq entry type %d", e.Type)
+}
+
+func (ep *Endpoint) handleEagerEntry(p *sim.Proc, e *hfi.HdrqEntry) error {
+	switch e.Op {
+	case hfi.OpEager:
+		return ep.onEagerChunk(p, e)
+	case OpRTS:
+		return ep.onRTS(p, e)
+	case OpCTS:
+		return ep.onCTS(p, e)
+	}
+	return fmt.Errorf("psm: unknown eager opcode %d", e.Op)
+}
+
+// slotPayload reads the eager slot bytes for an entry (real mode).
+func (ep *Endpoint) slotPayload(e *hfi.HdrqEntry) ([]byte, error) {
+	if e.Bytes == 0 {
+		return nil, nil
+	}
+	buf := make([]byte, e.Bytes)
+	off := uint64(e.EagerIdx) * ep.nic.Params().EagerChunk
+	if err := ep.proc().ReadAt(ep.eagerVA+uproc.VirtAddr(off), buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// onEagerChunk lands one data chunk: directly into the bound receive
+// buffer, or into a bounce heap for unexpected arrivals (both charged
+// the copy cost; real PSM does exactly this double-copy dance).
+func (ep *Endpoint) onEagerChunk(p *sim.Proc, e *hfi.HdrqEntry) error {
+	key := msgKey{src: e.SrcRank, msgid: e.MsgID}
+	inb := ep.inflight[key]
+	if inb == nil {
+		inb = &inbound{src: e.SrcRank, tag: e.Tag, msgid: e.MsgID, msglen: e.MsgLen}
+		if rr := ep.matchPosted(e.SrcRank, e.Tag); rr != nil {
+			if e.MsgLen > rr.capacity {
+				// MPI truncation semantics: fail the receive, consume
+				// the message as unexpected data.
+				rr.req.Err = fmt.Errorf("psm: message of %d bytes truncates %d-byte receive", e.MsgLen, rr.capacity)
+				rr.req.Done = true
+			} else {
+				inb.bound = rr
+			}
+		}
+		if inb.bound == nil && !ep.Synthetic {
+			inb.heap = make([]byte, e.MsgLen)
+		}
+		ep.inflight[key] = inb
+	}
+	p.Sleep(ep.nic.Params().MemcpyTime(e.Bytes))
+	if !ep.Synthetic && e.Bytes > 0 {
+		payload, err := ep.slotPayload(e)
+		if err != nil {
+			return err
+		}
+		if inb.bound != nil {
+			if err := ep.proc().WriteAt(inb.bound.buf+uproc.VirtAddr(e.Offset), payload); err != nil {
+				return err
+			}
+		} else {
+			copy(inb.heap[e.Offset:], payload)
+		}
+	}
+	inb.got += e.Bytes
+	if inb.got >= inb.msglen {
+		delete(ep.inflight, key)
+		if inb.bound != nil {
+			ep.completeRecv(inb.bound, inb.msglen)
+		} else {
+			ep.Stats.Unexpected++
+			ep.unexpected = append(ep.unexpected, inb)
+		}
+	}
+	return nil
+}
+
+// onRTS matches a rendezvous announcement against posted receives.
+func (ep *Endpoint) onRTS(p *sim.Proc, e *hfi.HdrqEntry) error {
+	rts := &rtsInfo{src: e.SrcRank, tag: e.Tag, msgid: e.MsgID, msglen: e.MsgLen}
+	if rr := ep.matchPosted(e.SrcRank, e.Tag); rr != nil {
+		return ep.beginRendezvous(p, rr, rts)
+	}
+	ep.pendingRTS = append(ep.pendingRTS, rts)
+	return nil
+}
+
+// onCTS lets the sender push one window of expected data: write the TID
+// list into scratch and submit the SDMA writev targeting the receiver's
+// registered buffer.
+func (ep *Endpoint) onCTS(p *sim.Proc, e *hfi.HdrqEntry) error {
+	sr, ok := ep.sends[e.MsgID]
+	if !ok {
+		return fmt.Errorf("psm: CTS for unknown message %#x", e.MsgID)
+	}
+	payload, err := ep.slotPayload(e)
+	if err != nil {
+		return err
+	}
+	pairs := decodeTIDPairs(payload)
+	if len(pairs) == 0 {
+		return fmt.Errorf("psm: CTS without TIDs for message %#x", e.MsgID)
+	}
+	windowOff := e.Aux
+	winLen := e.MsgLen
+	tidsVA := ep.scratchVA + scratchSendTIDs
+	if err := hfi.WriteTIDList(ep.proc(), tidsVA, pairs); err != nil {
+		return err
+	}
+	ep.nextCompSeq++
+	cs := ep.nextCompSeq
+	hdr := &hfi.SDMAHeader{
+		Op: hfi.OpExpected, DstNode: uint32(sr.dst.Node), DstCtx: uint32(sr.dst.Ctx),
+		SrcRank: uint32(ep.Rank), Tag: sr.tag, MsgID: sr.msgid, MsgLen: winLen,
+		TIDListVA: tidsVA, TIDCount: uint32(len(pairs)),
+		CompSeq: cs, Flags: ep.flags(), Aux: windowOff,
+	}
+	if err := ep.writevSDMA(p, hdr, sr.buf+uproc.VirtAddr(windowOff), winLen); err != nil {
+		return err
+	}
+	ep.bySeq[cs] = &sendWindow{send: sr}
+	sr.windows++
+	sr.remaining -= winLen
+	return nil
+}
+
+// onSendComplete retires one CQ completion.
+func (ep *Endpoint) onSendComplete(seq uint32) {
+	w, ok := ep.bySeq[seq]
+	if !ok {
+		panic(fmt.Sprintf("psm: rank %d completion for unknown seq %d", ep.Rank, seq))
+	}
+	delete(ep.bySeq, seq)
+	sr := w.send
+	sr.windows--
+	if sr.remaining == 0 && sr.windows == 0 {
+		sr.req.Done = true
+		delete(ep.sends, sr.msgid)
+	}
+}
+
+// onWindowDone processes an expected-receive completion: free the
+// window's TIDs, then register the next window or finish the message.
+func (ep *Endpoint) onWindowDone(p *sim.Proc, e *hfi.HdrqEntry) error {
+	rdv, ok := ep.rdvRecvs[e.MsgID]
+	if !ok {
+		return fmt.Errorf("psm: expected completion for unknown message %#x", e.MsgID)
+	}
+	w, ok := rdv.windows[e.Aux]
+	if !ok {
+		return fmt.Errorf("psm: completion for unregistered window at offset %d", e.Aux)
+	}
+	if w.len != e.MsgLen {
+		return fmt.Errorf("psm: window at %d completed %d bytes, registered %d", e.Aux, e.MsgLen, w.len)
+	}
+	return ep.finishWindow(p, rdv, w)
+}

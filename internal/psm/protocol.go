@@ -1,0 +1,389 @@
+package psm
+
+import (
+	"fmt"
+
+	"repro/internal/hfi"
+	"repro/internal/sim"
+	"repro/internal/uproc"
+)
+
+// perRdvSlot is the scratch slot size reserved per active rendezvous for
+// its ioctl TID list.
+const perRdvSlot = 16 << 10
+
+// Isend starts a send of length bytes at buf to (dst, tag) and returns a
+// request handle.
+func (ep *Endpoint) Isend(p *sim.Proc, dst int, tag uint64, buf uproc.VirtAddr, length uint64) (*Request, error) {
+	a, err := ep.addrOf(dst)
+	if err != nil {
+		return nil, err
+	}
+	req := &Request{Bytes: length, kind: reqSend}
+	ep.nextMsgSeq++
+	msgid := uint64(ep.Rank)<<32 | ep.nextMsgSeq
+	ep.Stats.BytesSent += length
+
+	switch {
+	case a.Node == ep.OS.NodeID():
+		if err := ep.sendLocal(p, a, tag, msgid, buf, length); err != nil {
+			return nil, err
+		}
+		ep.Stats.SendsLocal++
+		req.Done = true
+	case length <= ep.nic.Params().PIOMaxSize:
+		if err := ep.sendPIO(p, a, tag, msgid, buf, length); err != nil {
+			return nil, err
+		}
+		ep.Stats.SendsPIO++
+		req.Done = true
+	case length <= ep.nic.Params().SDMAThreshold:
+		if err := ep.sendEagerSDMA(p, a, tag, msgid, buf, length, req); err != nil {
+			return nil, err
+		}
+		ep.Stats.SendsEagerSDMA++
+	default:
+		if err := ep.sendRendezvous(p, a, tag, msgid, buf, length, req); err != nil {
+			return nil, err
+		}
+		ep.Stats.SendsRdv++
+	}
+	return req, nil
+}
+
+// Send is the blocking variant.
+func (ep *Endpoint) Send(p *sim.Proc, dst int, tag uint64, buf uproc.VirtAddr, length uint64) error {
+	req, err := ep.Isend(p, dst, tag, buf, length)
+	if err != nil {
+		return err
+	}
+	return ep.Wait(p, req)
+}
+
+// sendLocal uses the shared-memory transport for same-node peers.
+func (ep *Endpoint) sendLocal(p *sim.Proc, a Addr, tag, msgid uint64, buf uproc.VirtAddr, length uint64) error {
+	chunk := ep.nic.Params().EagerChunk
+	off := uint64(0)
+	for {
+		n := length - off
+		if n > chunk {
+			n = chunk
+		}
+		payload := ep.readPayload(buf+uproc.VirtAddr(off), n)
+		hdr := ep.header(hfi.OpEager, tag, msgid, length, off, 0)
+		if err := ep.nic.LocalDeliver(p, a.Ctx, hdr, payload, n); err != nil {
+			return err
+		}
+		off += n
+		if off >= length {
+			return nil
+		}
+	}
+}
+
+// sendPIO pushes a small message through programmed I/O: user-space
+// stores, no kernel involvement at all.
+func (ep *Endpoint) sendPIO(p *sim.Proc, a Addr, tag, msgid uint64, buf uproc.VirtAddr, length uint64) error {
+	chunk := ep.nic.Params().EagerChunk
+	off := uint64(0)
+	for {
+		n := length - off
+		if n > chunk {
+			n = chunk
+		}
+		payload := ep.readPayload(buf+uproc.VirtAddr(off), n)
+		hdr := ep.header(hfi.OpEager, tag, msgid, length, off, 0)
+		if err := ep.nic.PIOSend(p, a.Node, a.Ctx, hdr, payload, n); err != nil {
+			return err
+		}
+		off += n
+		if off >= length {
+			return nil
+		}
+	}
+}
+
+// readPayload loads message bytes from user memory (nil in synthetic
+// mode — lengths still flow through the whole stack).
+func (ep *Endpoint) readPayload(va uproc.VirtAddr, n uint64) []byte {
+	if ep.Synthetic {
+		return nil
+	}
+	buf := make([]byte, n)
+	if err := ep.proc().ReadAt(va, buf); err != nil {
+		panic(fmt.Sprintf("psm: rank %d payload read: %v", ep.Rank, err))
+	}
+	return buf
+}
+
+// sendEagerSDMA submits a medium message with a single writev; the
+// payload lands in the receiver's eager ring.
+func (ep *Endpoint) sendEagerSDMA(p *sim.Proc, a Addr, tag, msgid uint64, buf uproc.VirtAddr, length uint64, req *Request) error {
+	ep.nextCompSeq++
+	cs := ep.nextCompSeq
+	hdr := &hfi.SDMAHeader{
+		Op: hfi.OpEager, DstNode: uint32(a.Node), DstCtx: uint32(a.Ctx),
+		SrcRank: uint32(ep.Rank), Tag: tag, MsgID: msgid, MsgLen: length,
+		CompSeq: cs, Flags: ep.flags(),
+	}
+	if err := ep.writevSDMA(p, hdr, buf, length); err != nil {
+		return err
+	}
+	sr := &sendReq{req: req, dst: a, tag: tag, msgid: msgid, buf: buf,
+		length: length, remaining: 0, windows: 1, ctsDone: true}
+	ep.bySeq[cs] = &sendWindow{send: sr}
+	return nil
+}
+
+// sendRendezvous issues the RTS; the CTS handler drives the SDMA windows.
+func (ep *Endpoint) sendRendezvous(p *sim.Proc, a Addr, tag, msgid uint64, buf uproc.VirtAddr, length uint64, req *Request) error {
+	sr := &sendReq{req: req, dst: a, tag: tag, msgid: msgid, buf: buf,
+		length: length, remaining: length}
+	ep.sends[msgid] = sr
+	hdr := ep.header(OpRTS, tag, msgid, length, 0, 0)
+	return ep.nic.PIOSend(p, a.Node, a.Ctx, hdr, nil, 16)
+}
+
+// writevSDMA encodes the header into scratch and performs the writev
+// system call with the buffer vector.
+func (ep *Endpoint) writevSDMA(p *sim.Proc, hdr *hfi.SDMAHeader, buf uproc.VirtAddr, length uint64) error {
+	hva := ep.scratchVA + scratchHdrOff
+	if err := hfi.EncodeSDMAHeader(ep.proc(), hva, hdr); err != nil {
+		return err
+	}
+	iov := []hfi.IOVec{
+		{Base: hva, Len: hfi.SDMAHeaderSize},
+		{Base: buf, Len: length},
+	}
+	ep.Stats.Writevs++
+	_, err := ep.OS.Writev(p, ep.fd, iov)
+	return err
+}
+
+func (ep *Endpoint) flags() uint32 {
+	if ep.Synthetic {
+		return hfi.FlagSynthetic
+	}
+	return 0
+}
+
+// Irecv posts a receive for (src, tag) into buf (capacity bytes).
+func (ep *Endpoint) Irecv(p *sim.Proc, src int, tag uint64, buf uproc.VirtAddr, capacity uint64) (*Request, error) {
+	req := &Request{kind: reqRecv}
+	rr := &recvReq{req: req, src: src, tag: tag, buf: buf, capacity: capacity}
+
+	// 1. A fully arrived unexpected eager message?
+	for i, inb := range ep.unexpected {
+		if int(inb.src) == src && inb.tag == tag {
+			ep.unexpected = append(ep.unexpected[:i], ep.unexpected[i+1:]...)
+			if err := ep.claimUnexpected(p, rr, inb); err != nil {
+				return nil, err
+			}
+			return req, nil
+		}
+	}
+	// 2. A partially arrived unexpected eager message?
+	for _, inb := range ep.inflight {
+		if inb.bound == nil && int(inb.src) == src && inb.tag == tag {
+			if inb.msglen > rr.capacity {
+				return nil, fmt.Errorf("psm: message of %d bytes truncates %d-byte receive", inb.msglen, rr.capacity)
+			}
+			inb.bound = rr
+			// Copy what already landed in the bounce heap.
+			p.Sleep(ep.nic.Params().MemcpyTime(inb.got))
+			if !ep.Synthetic && inb.got > 0 {
+				if err := ep.proc().WriteAt(rr.buf, inb.heap[:inb.got]); err != nil {
+					return nil, err
+				}
+			}
+			inb.heap = nil
+			return req, nil
+		}
+	}
+	// 3. A pending rendezvous RTS?
+	for i, rts := range ep.pendingRTS {
+		if int(rts.src) == src && rts.tag == tag {
+			ep.pendingRTS = append(ep.pendingRTS[:i], ep.pendingRTS[i+1:]...)
+			if err := ep.beginRendezvous(p, rr, rts); err != nil {
+				return nil, err
+			}
+			return req, nil
+		}
+	}
+	// 4. Queue on the matched queue.
+	ep.posted = append(ep.posted, rr)
+	return req, nil
+}
+
+// Recv is the blocking variant.
+func (ep *Endpoint) Recv(p *sim.Proc, src int, tag uint64, buf uproc.VirtAddr, capacity uint64) error {
+	req, err := ep.Irecv(p, src, tag, buf, capacity)
+	if err != nil {
+		return err
+	}
+	return ep.Wait(p, req)
+}
+
+// claimUnexpected copies a buffered unexpected message into the
+// application buffer.
+func (ep *Endpoint) claimUnexpected(p *sim.Proc, rr *recvReq, inb *inbound) error {
+	if inb.msglen > rr.capacity {
+		return fmt.Errorf("psm: message of %d bytes truncates %d-byte receive", inb.msglen, rr.capacity)
+	}
+	p.Sleep(ep.nic.Params().MemcpyTime(inb.msglen))
+	if !ep.Synthetic {
+		if err := ep.proc().WriteAt(rr.buf, inb.heap[:inb.msglen]); err != nil {
+			return err
+		}
+	}
+	ep.completeRecv(rr, inb.msglen)
+	return nil
+}
+
+func (ep *Endpoint) completeRecv(rr *recvReq, n uint64) {
+	rr.req.Done = true
+	ep.Stats.Recvs++
+	ep.Stats.BytesRecv += n
+}
+
+// matchPosted removes and returns the oldest posted receive matching
+// (src, tag).
+func (ep *Endpoint) matchPosted(src uint32, tag uint64) *recvReq {
+	for i, rr := range ep.posted {
+		if rr.src == int(src) && rr.tag == tag {
+			ep.posted = append(ep.posted[:i], ep.posted[i+1:]...)
+			return rr
+		}
+	}
+	return nil
+}
+
+// beginRendezvous admits a matched RTS, respecting the TID window limit.
+func (ep *Endpoint) beginRendezvous(p *sim.Proc, rr *recvReq, rts *rtsInfo) error {
+	if rts.msglen > rr.capacity {
+		// Truncation fails the receive; the RTS stays pending for a
+		// correctly sized receive.
+		rr.req.Err = fmt.Errorf("psm: rendezvous of %d bytes truncates %d-byte receive", rts.msglen, rr.capacity)
+		rr.req.Done = true
+		ep.pendingRTS = append(ep.pendingRTS, rts)
+		return nil
+	}
+	if ep.activeRdvs >= ep.MaxActiveRdv {
+		ep.rdvBacklog = append(ep.rdvBacklog, rts)
+		// Re-queue the receive so the backlog pop can find it.
+		ep.posted = append(ep.posted, rr)
+		return nil
+	}
+	rdv := &rdvRecv{
+		rr: rr, src: rts.src, msgid: rts.msgid, msglen: rts.msglen,
+		windows: make(map[uint64]*rdvWindow),
+		winSize: ep.nic.Params().RendezvousWindow,
+	}
+	ep.rdvRecvs[rts.msgid] = rdv
+	ep.activeRdvs++
+	for i := 0; i < RdvWindowDepth && rdv.nextReg < rdv.msglen; i++ {
+		if err := ep.registerWindow(p, rdv); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// slotVA returns the scratch address of a TID-list slot.
+func (ep *Endpoint) slotVA(slot int) uproc.VirtAddr {
+	return ep.scratchVA + scratchIoctlTIDs + uproc.VirtAddr(slot*perRdvSlot)
+}
+
+// registerWindow performs the TID update ioctl for the next unregistered
+// window and sends the CTS carrying the TID list. Up to RdvWindowDepth
+// windows are in flight per rendezvous, so registration of window N+1
+// overlaps the data transfer of window N.
+func (ep *Endpoint) registerWindow(p *sim.Proc, rdv *rdvRecv) error {
+	if len(ep.freeRdvSlots) == 0 {
+		return fmt.Errorf("psm: out of TID-list slots")
+	}
+	winOff := rdv.nextReg
+	winLen := rdv.msglen - winOff
+	if winLen > rdv.winSize {
+		winLen = rdv.winSize
+	}
+	rdv.nextReg += winLen
+	slot := ep.freeRdvSlots[0]
+	ep.freeRdvSlots = ep.freeRdvSlots[1:]
+	w := &rdvWindow{off: winOff, len: winLen, slot: slot}
+	rdv.windows[winOff] = w
+
+	listVA := ep.slotVA(slot)
+	argVA := ep.scratchVA + scratchTIDArg
+	ti := &hfi.TIDInfo{
+		VAddr:     rdv.rr.buf + uproc.VirtAddr(winOff),
+		Length:    winLen,
+		TIDListVA: listVA,
+		TIDCount:  uint32(perRdvSlot / hfi.TIDPairSize),
+	}
+	if err := hfi.EncodeTIDInfo(ep.proc(), argVA, ti); err != nil {
+		return err
+	}
+	ep.Stats.TIDIoctls++
+	n, err := ep.OS.Ioctl(p, ep.fd, hfi.CmdTIDUpdate, argVA)
+	if err != nil {
+		return fmt.Errorf("psm: TID update: %w", err)
+	}
+	pairs, err := hfi.ReadTIDList(ep.proc(), listVA, int(n))
+	if err != nil {
+		return err
+	}
+	w.tids = pairs
+	// CTS: TID list rides in the payload. These bytes are always real —
+	// the sender must program them into its writev even in synthetic
+	// mode.
+	addr, err := ep.addrOf(int(rdv.src))
+	if err != nil {
+		return err
+	}
+	hdr := ep.header(OpCTS, rdv.rr.tag, rdv.msgid, winLen, 0, winOff)
+	return ep.nic.PIOSend(p, addr.Node, addr.Ctx, hdr, encodeTIDPairs(pairs), 0)
+}
+
+// finishWindow frees a completed window's TIDs, pipelines the next
+// registration and completes the rendezvous when all bytes are in.
+func (ep *Endpoint) finishWindow(p *sim.Proc, rdv *rdvRecv, w *rdvWindow) error {
+	listVA := ep.slotVA(w.slot)
+	if err := hfi.WriteTIDList(ep.proc(), listVA, w.tids); err != nil {
+		return err
+	}
+	argVA := ep.scratchVA + scratchTIDArg
+	ti := &hfi.TIDInfo{TIDListVA: listVA, TIDCount: uint32(len(w.tids))}
+	if err := hfi.EncodeTIDInfo(ep.proc(), argVA, ti); err != nil {
+		return err
+	}
+	ep.Stats.TIDIoctls++
+	if _, err := ep.OS.Ioctl(p, ep.fd, hfi.CmdTIDFree, argVA); err != nil {
+		return fmt.Errorf("psm: TID free: %w", err)
+	}
+	delete(rdv.windows, w.off)
+	ep.freeRdvSlots = append(ep.freeRdvSlots, w.slot)
+	rdv.completed += w.len
+	if rdv.nextReg < rdv.msglen {
+		if err := ep.registerWindow(p, rdv); err != nil {
+			return err
+		}
+	}
+	if rdv.completed < rdv.msglen {
+		return nil
+	}
+	// Rendezvous complete.
+	delete(ep.rdvRecvs, rdv.msgid)
+	ep.activeRdvs--
+	ep.completeRecv(rdv.rr, rdv.msglen)
+	// Admit a backlogged rendezvous, if any.
+	if len(ep.rdvBacklog) > 0 {
+		rts := ep.rdvBacklog[0]
+		ep.rdvBacklog = ep.rdvBacklog[1:]
+		if rr := ep.matchPosted(rts.src, rts.tag); rr != nil {
+			return ep.beginRendezvous(p, rr, rts)
+		}
+		ep.pendingRTS = append(ep.pendingRTS, rts)
+	}
+	return nil
+}

@@ -1,0 +1,230 @@
+package psm_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/model"
+	"repro/internal/psm"
+	"repro/internal/sim"
+	"repro/internal/uproc"
+)
+
+// pair boots a 2-node, 1-rank-per-node cluster and runs body on both
+// ranks once the endpoints exist.
+func pair(t *testing.T, synthetic bool, body func(p *sim.Proc, rank int, ep *psm.Endpoint)) []*psm.Endpoint {
+	t.Helper()
+	cl, err := cluster.New(cluster.Config{
+		Nodes: 2, OS: cluster.OSLinux, Params: model.Default(), Seed: 21, Synthetic: synthetic,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := make([]*psm.Endpoint, 2)
+	book := psm.MapBook{}
+	ready := sim.NewWaitGroup(cl.E)
+	ready.Add(2)
+	for r := 0; r < 2; r++ {
+		r := r
+		osops := cl.Nodes[r].NewRankOS(r)
+		cl.E.Go(fmt.Sprintf("r%d", r), func(p *sim.Proc) {
+			ep, err := psm.NewEndpoint(p, osops, r, book, synthetic)
+			if err != nil {
+				t.Error(err)
+				ready.Done()
+				return
+			}
+			eps[r] = ep
+			book[r] = psm.Addr{Node: osops.NodeID(), Ctx: ep.CtxID}
+			ready.Done()
+			ready.Wait(p)
+			body(p, r, ep)
+		})
+	}
+	if err := cl.E.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	return eps
+}
+
+// TestSameTagFIFOOrdering: two same-size messages on one (src, tag) pair
+// must match receives in posting order.
+func TestSameTagFIFOOrdering(t *testing.T) {
+	const size = 4 << 10
+	var first, second []byte
+	pair(t, false, func(p *sim.Proc, rank int, ep *psm.Endpoint) {
+		proc := ep.OS.Proc()
+		buf, err := ep.OS.MmapAnon(p, 2*size)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if rank == 0 {
+			a := bytes.Repeat([]byte{0xAA}, size)
+			b := bytes.Repeat([]byte{0xBB}, size)
+			if err := proc.WriteAt(buf, a); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := proc.WriteAt(buf+size, b); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := ep.Send(p, 1, 7, buf, size); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := ep.Send(p, 1, 7, buf+size, size); err != nil {
+				t.Error(err)
+			}
+		} else {
+			r1, err := ep.Irecv(p, 0, 7, buf, size)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			r2, err := ep.Irecv(p, 0, 7, buf+size, size)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := ep.WaitAll(p, []*psm.Request{r1, r2}); err != nil {
+				t.Error(err)
+				return
+			}
+			first = make([]byte, size)
+			second = make([]byte, size)
+			_ = proc.ReadAt(buf, first)
+			_ = proc.ReadAt(buf+size, second)
+		}
+	})
+	if first[0] != 0xAA || second[0] != 0xBB {
+		t.Fatalf("FIFO order violated: %x %x", first[0], second[0])
+	}
+}
+
+// TestTruncationRejected: a message larger than the posted receive is an
+// error, not silent corruption.
+func TestTruncationRejected(t *testing.T) {
+	gotErr := false
+	pair(t, true, func(p *sim.Proc, rank int, ep *psm.Endpoint) {
+		buf, err := ep.OS.MmapAnon(p, 64<<10)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if rank == 0 {
+			// 32KB eager SDMA message into a 4KB receive.
+			if err := ep.Send(p, 1, 3, buf, 32<<10); err != nil {
+				t.Error(err)
+			}
+		} else {
+			err := ep.Recv(p, 0, 3, buf, 4<<10)
+			if err != nil {
+				gotErr = true
+			}
+		}
+	})
+	if !gotErr {
+		t.Fatal("truncating receive succeeded")
+	}
+}
+
+// TestManyOutstandingRendezvous exercises the TID window limit and the
+// rendezvous backlog: more concurrent large receives than MaxActiveRdv.
+func TestManyOutstandingRendezvous(t *testing.T) {
+	const size = 128 << 10
+	const msgs = 10 // > MaxActiveRdv (4)
+	done := 0
+	pair(t, true, func(p *sim.Proc, rank int, ep *psm.Endpoint) {
+		buf, err := ep.OS.MmapAnon(p, msgs*size)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if rank == 0 {
+			var reqs []*psm.Request
+			for i := 0; i < msgs; i++ {
+				r, err := ep.Isend(p, 1, uint64(100+i), buf+uproc.VirtAddr(i)*size, size)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				reqs = append(reqs, r)
+			}
+			if err := ep.WaitAll(p, reqs); err != nil {
+				t.Error(err)
+			}
+		} else {
+			var reqs []*psm.Request
+			for i := 0; i < msgs; i++ {
+				r, err := ep.Irecv(p, 0, uint64(100+i), buf+uproc.VirtAddr(i)*size, size)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				reqs = append(reqs, r)
+			}
+			if err := ep.WaitAll(p, reqs); err != nil {
+				t.Error(err)
+				return
+			}
+			done = msgs
+		}
+	})
+	if done != msgs {
+		t.Fatalf("completed %d of %d rendezvous", done, msgs)
+	}
+}
+
+// TestStatsAccounting sanity-checks the per-endpoint counters.
+func TestStatsAccounting(t *testing.T) {
+	eps := pair(t, true, func(p *sim.Proc, rank int, ep *psm.Endpoint) {
+		buf, err := ep.OS.MmapAnon(p, 1<<20)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if rank == 0 {
+			_ = ep.Send(p, 1, 1, buf, 512)     // PIO
+			_ = ep.Send(p, 1, 2, buf, 32<<10)  // eager SDMA
+			_ = ep.Send(p, 1, 3, buf, 256<<10) // rendezvous
+		} else {
+			_ = ep.Recv(p, 0, 1, buf, 512)
+			_ = ep.Recv(p, 0, 2, buf, 32<<10)
+			_ = ep.Recv(p, 0, 3, buf, 256<<10)
+		}
+	})
+	s := eps[0].Stats
+	if s.SendsPIO != 1 || s.SendsEagerSDMA != 1 || s.SendsRdv != 1 {
+		t.Fatalf("send stats = %+v", s)
+	}
+	if s.BytesSent != 512+32<<10+256<<10 {
+		t.Fatalf("bytes sent = %d", s.BytesSent)
+	}
+	r := eps[1].Stats
+	if r.Recvs != 3 || r.BytesRecv != s.BytesSent {
+		t.Fatalf("recv stats = %+v", r)
+	}
+	if r.TIDIoctls == 0 {
+		t.Fatal("rendezvous did not register TIDs")
+	}
+	if s.Writevs == 0 {
+		t.Fatal("no writev issued")
+	}
+}
+
+// TestUnknownDestination errors cleanly.
+func TestUnknownDestination(t *testing.T) {
+	pair(t, true, func(p *sim.Proc, rank int, ep *psm.Endpoint) {
+		if rank != 0 {
+			return
+		}
+		buf, _ := ep.OS.MmapAnon(p, 4096)
+		if _, err := ep.Isend(p, 42, 1, buf, 128); err == nil {
+			t.Error("send to unknown rank accepted")
+		}
+	})
+}

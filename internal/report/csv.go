@@ -1,0 +1,61 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+// CSV emitters for plotting the regenerated figures with external tools.
+
+// Fig4CSV renders the bandwidth sweep as size,linux,mckernel,hfi rows.
+func Fig4CSV(rows []experiments.Fig4Row) string {
+	var b strings.Builder
+	b.WriteString("bytes,linux_mbps,mckernel_mbps,mckernel_hfi_mbps\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%d,%.1f,%.1f,%.1f\n",
+			r.Size, r.MBps["Linux"], r.MBps["McKernel"], r.MBps["McKernel+HFI1"])
+	}
+	return b.String()
+}
+
+// ScalingCSV renders a scaling study as nodes,relative-performance rows.
+func ScalingCSV(pts []experiments.ScalingPoint) string {
+	var b strings.Builder
+	b.WriteString("nodes,linux_rel,mckernel_rel,mckernel_hfi_rel,linux_seconds\n")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%d,%.4f,%.4f,%.4f,%.6f\n",
+			p.Nodes,
+			p.RelToLinux["Linux"],
+			p.RelToLinux["McKernel"],
+			p.RelToLinux["McKernel+HFI1"],
+			p.Elapsed["Linux"].Seconds())
+	}
+	return b.String()
+}
+
+// Table1CSV renders the communication profile rows.
+func Table1CSV(profiles []experiments.AppProfile) string {
+	var b strings.Builder
+	b.WriteString("app,os,call,seconds,pct_mpi,pct_rt\n")
+	for _, p := range profiles {
+		for _, e := range p.Top {
+			fmt.Fprintf(&b, "%s,%s,%s,%.6f,%.2f,%.2f\n",
+				p.App, p.OS, e.Call, e.Time.Seconds(), e.PctMPI, e.PctRt)
+		}
+	}
+	return b.String()
+}
+
+// BreakdownCSV renders a syscall-share pair.
+func BreakdownCSV(orig, pico experiments.Breakdown) string {
+	var b strings.Builder
+	b.WriteString("app,os,syscall,share\n")
+	for _, bd := range []experiments.Breakdown{orig, pico} {
+		for _, e := range bd.Shares {
+			fmt.Fprintf(&b, "%s,%s,%s,%.4f\n", bd.App, bd.OS, e.Name, e.Share)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,117 @@
+// Package report renders experiment results as text tables in the
+// layout of the paper's figures and tables.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+// Fig4Table renders the ping-pong bandwidth sweep.
+func Fig4Table(rows []experiments.Fig4Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 4: MPI ping-pong bandwidth (MB/s)\n")
+	fmt.Fprintf(&b, "%-10s %12s %12s %14s %9s %9s\n",
+		"size", "Linux", "McKernel", "McKernel+HFI1", "McK/Lin", "HFI/Lin")
+	for _, r := range rows {
+		lin := r.MBps["Linux"]
+		mck := r.MBps["McKernel"]
+		hfi := r.MBps["McKernel+HFI1"]
+		fmt.Fprintf(&b, "%-10s %12.1f %12.1f %14.1f %8.1f%% %8.1f%%\n",
+			sizeLabel(r.Size), lin, mck, hfi, 100*mck/lin, 100*hfi/lin)
+	}
+	return b.String()
+}
+
+func sizeLabel(n uint64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%dMB", n>>20)
+	case n >= 1<<10:
+		return fmt.Sprintf("%dKB", n>>10)
+	}
+	return fmt.Sprintf("%dB", n)
+}
+
+// ScalingTable renders one mini-app scaling study (Figures 5-7): the
+// paper's y axis is performance relative to Linux (100% = parity).
+func ScalingTable(title string, pts []experiments.ScalingPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (performance relative to Linux)\n", title)
+	fmt.Fprintf(&b, "%-7s %12s %12s %14s\n", "nodes", "Linux", "McKernel", "McKernel+HFI1")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%-7d %11.1f%% %11.1f%% %13.1f%%\n",
+			p.Nodes,
+			100*p.RelToLinux["Linux"],
+			100*p.RelToLinux["McKernel"],
+			100*p.RelToLinux["McKernel+HFI1"])
+	}
+	return b.String()
+}
+
+// Table1 renders the communication profile in the layout of the paper's
+// Table 1: per application and OS, the top five MPI calls with
+// cumulative time (summed over ranks), share of MPI time and share of
+// runtime.
+func Table1(profiles []experiments.AppProfile) string {
+	var b strings.Builder
+	b.WriteString("Table 1: communication profile (top-5 MPI calls; Time summed over ranks)\n")
+	byApp := map[string][]experiments.AppProfile{}
+	var apps []string
+	for _, p := range profiles {
+		if _, seen := byApp[p.App]; !seen {
+			apps = append(apps, p.App)
+		}
+		byApp[p.App] = append(byApp[p.App], p)
+	}
+	for _, app := range apps {
+		fmt.Fprintf(&b, "\n%s\n", app)
+		for _, p := range byApp[app] {
+			fmt.Fprintf(&b, "  %-14s %-16s %14s %7s %7s\n", p.OS, "Call", "Time", "%MPI", "%Rt")
+			for _, e := range p.Top {
+				fmt.Fprintf(&b, "  %-14s %-16s %14v %6.2f%% %6.2f%%\n",
+					"", e.Call, e.Time.Round(10_000), e.PctMPI, e.PctRt)
+			}
+		}
+	}
+	return b.String()
+}
+
+// BreakdownTable renders a Figures 8/9 pair: the per-syscall kernel-time
+// shares under the original McKernel and under McKernel+HFI, plus the
+// headline ratio of total kernel time.
+func BreakdownTable(orig, pico experiments.Breakdown) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "System call breakdown for %s (share of in-kernel time)\n", orig.App)
+	names := map[string]bool{}
+	for _, e := range orig.Shares {
+		names[e.Name] = true
+	}
+	for _, e := range pico.Shares {
+		names[e.Name] = true
+	}
+	var sorted []string
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	share := func(bd experiments.Breakdown, name string) float64 {
+		for _, e := range bd.Shares {
+			if e.Name == name {
+				return 100 * e.Share
+			}
+		}
+		return 0
+	}
+	fmt.Fprintf(&b, "%-12s %14s %16s\n", "syscall", orig.OS, pico.OS)
+	for _, n := range sorted {
+		fmt.Fprintf(&b, "%-12s %13.1f%% %15.1f%%\n", n, share(orig, n), share(pico, n))
+	}
+	fmt.Fprintf(&b, "total kernel time: %v -> %v (%.0f%% of original)\n",
+		orig.KernelTime.Round(10_000), pico.KernelTime.Round(10_000),
+		100*float64(pico.KernelTime)/float64(orig.KernelTime))
+	return b.String()
+}

@@ -1,0 +1,105 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/trace"
+)
+
+func TestFig4Table(t *testing.T) {
+	rows := []experiments.Fig4Row{
+		{Size: 4096, MBps: map[string]float64{"Linux": 1000, "McKernel": 900, "McKernel+HFI1": 1100}},
+		{Size: 4 << 20, MBps: map[string]float64{"Linux": 9500, "McKernel": 8800, "McKernel+HFI1": 11000}},
+	}
+	s := Fig4Table(rows)
+	for _, want := range []string{"4KB", "4MB", "Linux", "90.0%", "115.8%"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestScalingTable(t *testing.T) {
+	pts := []experiments.ScalingPoint{
+		{Nodes: 8, RelToLinux: map[string]float64{"Linux": 1, "McKernel": 0.15, "McKernel+HFI1": 1.18}},
+	}
+	s := ScalingTable("Figure 6a: UMT2013", pts)
+	for _, want := range []string{"Figure 6a", "8", "15.0%", "118.0%"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestTable1Rendering(t *testing.T) {
+	profiles := []experiments.AppProfile{
+		{App: "UMT2013", OS: "Linux", Top: []experiments.ProfileEntry{
+			{Call: "MPI_Wait", Time: time.Second, PctMPI: 58.7, PctRt: 11.2},
+		}},
+		{App: "UMT2013", OS: "McKernel", Top: []experiments.ProfileEntry{
+			{Call: "MPI_Wait", Time: 17 * time.Second, PctMPI: 49.3, PctRt: 40.3},
+		}},
+	}
+	s := Table1(profiles)
+	for _, want := range []string{"UMT2013", "Linux", "McKernel", "MPI_Wait", "58.70%", "40.30%"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestBreakdownTable(t *testing.T) {
+	orig := experiments.Breakdown{
+		App: "UMT2013", OS: "McKernel",
+		Shares:     []trace.Entry{{Name: "ioctl", Share: 0.5}, {Name: "writev", Share: 0.3}},
+		KernelTime: 100 * time.Millisecond,
+	}
+	pico := experiments.Breakdown{
+		App: "UMT2013", OS: "McKernel+HFI1",
+		Shares:     []trace.Entry{{Name: "munmap", Share: 0.7}},
+		KernelTime: 7 * time.Millisecond,
+	}
+	s := BreakdownTable(orig, pico)
+	for _, want := range []string{"ioctl", "munmap", "50.0%", "70.0%", "7% of original"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestCSVEmitters(t *testing.T) {
+	rows := []experiments.Fig4Row{
+		{Size: 4096, MBps: map[string]float64{"Linux": 1000, "McKernel": 900, "McKernel+HFI1": 1100}},
+	}
+	csv := Fig4CSV(rows)
+	if !strings.Contains(csv, "bytes,linux_mbps") || !strings.Contains(csv, "4096,1000.0,900.0,1100.0") {
+		t.Fatalf("fig4 csv:\n%s", csv)
+	}
+	pts := []experiments.ScalingPoint{{
+		Nodes:      4,
+		RelToLinux: map[string]float64{"Linux": 1, "McKernel": 0.25, "McKernel+HFI1": 1.1},
+		Elapsed:    map[string]time.Duration{"Linux": time.Millisecond},
+	}}
+	csv = ScalingCSV(pts)
+	if !strings.Contains(csv, "4,1.0000,0.2500,1.1000,0.001000") {
+		t.Fatalf("scaling csv:\n%s", csv)
+	}
+	csv = Table1CSV([]experiments.AppProfile{{
+		App: "HACC", OS: "Linux",
+		Top: []experiments.ProfileEntry{{Call: "MPI_Wait", Time: time.Second, PctMPI: 50, PctRt: 10}},
+	}})
+	if !strings.Contains(csv, "HACC,Linux,MPI_Wait,1.000000,50.00,10.00") {
+		t.Fatalf("table1 csv:\n%s", csv)
+	}
+	csv = BreakdownCSV(
+		experiments.Breakdown{App: "UMT2013", OS: "McKernel", Shares: []trace.Entry{{Name: "ioctl", Share: 0.5}}},
+		experiments.Breakdown{App: "UMT2013", OS: "McKernel+HFI1", Shares: []trace.Entry{{Name: "munmap", Share: 0.7}}},
+	)
+	if !strings.Contains(csv, "UMT2013,McKernel,ioctl,0.5000") ||
+		!strings.Contains(csv, "UMT2013,McKernel+HFI1,munmap,0.7000") {
+		t.Fatalf("breakdown csv:\n%s", csv)
+	}
+}

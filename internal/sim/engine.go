@@ -1,0 +1,250 @@
+// Package sim provides a deterministic discrete-event simulation engine
+// with virtual-time processes.
+//
+// The engine owns a virtual clock and an event heap. Simulated processes
+// are goroutines, but exactly one of them runs at any instant: control is
+// handed from the engine loop to a process and back over unbuffered
+// channels, so no locking is needed inside simulation code and runs are
+// reproducible. Events that fire at the same virtual time are ordered by
+// their scheduling sequence number.
+//
+// All timing uses time.Duration as virtual nanoseconds since the start of
+// the run.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Engine is a discrete-event simulator. Create one with NewEngine, add
+// processes with Go, and execute with Run. An Engine must not be shared
+// between concurrently running simulations.
+type Engine struct {
+	now    time.Duration
+	seq    uint64
+	heap   eventHeap
+	rng    *rand.Rand
+	parked chan struct{}
+	procs  map[*Proc]struct{}
+	live   int
+	failv  any
+	rnd    uint64 // cheap deterministic counter for Rng-free jitter
+}
+
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+// NewEngine returns an engine with its virtual clock at zero and a
+// deterministic random source derived from seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{
+		rng:    rand.New(rand.NewSource(seed)),
+		parked: make(chan struct{}),
+		procs:  make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Rng returns the engine's deterministic random source. It must only be
+// used from simulation context (the engine loop or a running process).
+func (e *Engine) Rng() *rand.Rand { return e.rng }
+
+// At schedules fn to run at absolute virtual time at. Times in the past
+// are clamped to the present.
+func (e *Engine) At(at time.Duration, fn func()) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	e.heap.push(event{at: at, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d from now.
+func (e *Engine) After(d time.Duration, fn func()) { e.At(e.now+d, fn) }
+
+// Proc is a simulated process. Its methods must only be called from the
+// goroutine executing the process body.
+type Proc struct {
+	e      *Engine
+	name   string
+	resume chan struct{}
+	state  string // for deadlock diagnostics
+	daemon bool
+}
+
+// Name returns the process name given to Go.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process belongs to.
+func (p *Proc) Engine() *Engine { return p.e }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() time.Duration { return p.e.now }
+
+// Go creates a process executing fn, starting at the current virtual
+// time. fn runs in its own goroutine but only while it holds the engine
+// token; it yields by calling blocking Proc methods (Sleep, Queue.Pop,
+// Cond.Wait, ...).
+func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
+	return e.spawn(name, fn, false)
+}
+
+// GoDaemon creates an infrastructure process (CPU worker, NIC engine,
+// ...) that is expected to block forever: daemons do not keep Run alive
+// and do not count as deadlocked.
+func (e *Engine) GoDaemon(name string, fn func(p *Proc)) *Proc {
+	return e.spawn(name, fn, true)
+}
+
+func (e *Engine) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
+	p := &Proc{e: e, name: name, resume: make(chan struct{}), daemon: daemon}
+	e.procs[p] = struct{}{}
+	e.live++
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil {
+				e.failv = fmt.Sprintf("proc %q panicked: %v", p.name, r)
+			}
+			e.live--
+			delete(e.procs, p)
+			e.parked <- struct{}{}
+		}()
+		fn(p)
+	}()
+	e.At(e.now, func() { e.runProc(p) })
+	return p
+}
+
+// runProc hands the engine token to p until it blocks or finishes.
+func (e *Engine) runProc(p *Proc) {
+	p.resume <- struct{}{}
+	<-e.parked
+}
+
+// block parks the calling process until it is woken via wake.
+func (p *Proc) block(state string) {
+	p.state = state
+	p.e.parked <- struct{}{}
+	<-p.resume
+	p.state = ""
+}
+
+// wake schedules p to resume at the current virtual time.
+func (e *Engine) wake(p *Proc) {
+	e.At(e.now, func() { e.runProc(p) })
+}
+
+// Sleep advances the process's virtual time by d. Negative durations are
+// treated as zero.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	e := p.e
+	e.At(e.now+d, func() { e.runProc(p) })
+	p.block("sleep")
+}
+
+// Yield lets every event already scheduled for the current instant run
+// before the process continues.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// DeadlockError is returned by Run when processes remain blocked but no
+// events are pending.
+type DeadlockError struct {
+	Now     time.Duration
+	Blocked []string // "name [state]" of each parked process
+}
+
+func (d *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at %v: %d blocked process(es): %v",
+		d.Now, len(d.Blocked), d.Blocked)
+}
+
+// Run executes events until the heap is empty or until limit (if > 0) is
+// reached. It returns a *DeadlockError if processes remain blocked with
+// no pending events, and an error if any process panicked.
+func (e *Engine) Run(limit time.Duration) error {
+	for len(e.heap) > 0 {
+		ev := e.heap.pop()
+		if limit > 0 && ev.at > limit {
+			e.now = limit
+			return nil
+		}
+		e.now = ev.at
+		ev.fn()
+		if e.failv != nil {
+			return fmt.Errorf("sim: %v", e.failv)
+		}
+	}
+	var blocked []string
+	for p := range e.procs {
+		if p.daemon {
+			continue
+		}
+		blocked = append(blocked, fmt.Sprintf("%s [%s]", p.name, p.state))
+	}
+	if len(blocked) > 0 {
+		sort.Strings(blocked)
+		return &DeadlockError{Now: e.now, Blocked: blocked}
+	}
+	return nil
+}
+
+// eventHeap is a binary min-heap ordered by (at, seq).
+type eventHeap []event
+
+func (h eventHeap) less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	old[n] = event{}
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && (*h).less(l, smallest) {
+			smallest = l
+		}
+		if r < n && (*h).less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		(*h)[i], (*h)[smallest] = (*h)[smallest], (*h)[i]
+		i = smallest
+	}
+	return top
+}

@@ -1,0 +1,188 @@
+package sim
+
+import "time"
+
+// Queue is an unbounded FIFO queue of values passed between simulated
+// processes. Push never blocks; Pop blocks the calling process until an
+// item is available. Waiting processes are served in FIFO order.
+type Queue[T any] struct {
+	e       *Engine
+	items   []T
+	waiters []*Proc
+}
+
+// NewQueue returns an empty queue bound to e.
+func NewQueue[T any](e *Engine) *Queue[T] { return &Queue[T]{e: e} }
+
+// Len reports the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Waiters reports the number of processes blocked in Pop.
+func (q *Queue[T]) Waiters() int { return len(q.waiters) }
+
+// Push appends v and wakes the longest-waiting process, if any.
+func (q *Queue[T]) Push(v T) {
+	q.items = append(q.items, v)
+	if len(q.waiters) > 0 {
+		w := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		q.e.wake(w)
+	}
+}
+
+// TryPop removes and returns the head item without blocking.
+func (q *Queue[T]) TryPop() (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// Pop blocks p until an item is available, then removes and returns it.
+func (q *Queue[T]) Pop(p *Proc) T {
+	for len(q.items) == 0 {
+		q.waiters = append(q.waiters, p)
+		p.block("queue-pop")
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v
+}
+
+// Cond is a condition variable for simulated processes. Unlike sync.Cond
+// there is no associated lock: simulation code is single-threaded by
+// construction. Callers must re-check their predicate after Wait returns
+// because wakeups may be spurious when several processes share a Cond.
+type Cond struct {
+	e       *Engine
+	waiters []*Proc
+}
+
+// NewCond returns a condition variable bound to e.
+func NewCond(e *Engine) *Cond { return &Cond{e: e} }
+
+// Wait blocks p until Signal or Broadcast wakes it.
+func (c *Cond) Wait(p *Proc) {
+	c.waiters = append(c.waiters, p)
+	p.block("cond-wait")
+}
+
+// Signal wakes the longest-waiting process, if any.
+func (c *Cond) Signal() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	w := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	c.e.wake(w)
+}
+
+// Broadcast wakes every waiting process.
+func (c *Cond) Broadcast() {
+	ws := c.waiters
+	c.waiters = nil
+	for _, w := range ws {
+		c.e.wake(w)
+	}
+}
+
+// Waiting reports the number of blocked processes.
+func (c *Cond) Waiting() int { return len(c.waiters) }
+
+// Resource models a pool of identical servers (for example, the Linux
+// CPUs of a node that service offloaded system calls). Acquire blocks
+// until a server is free; requests are granted in FIFO order.
+type Resource struct {
+	e        *Engine
+	capacity int
+	inUse    int
+	waiters  []*Proc
+	// Busy accumulates server-busy time for utilization accounting.
+	Busy time.Duration
+}
+
+// NewResource returns a pool with the given number of servers.
+func NewResource(e *Engine, capacity int) *Resource {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Resource{e: e, capacity: capacity}
+}
+
+// Capacity returns the number of servers in the pool.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// InUse returns the number of servers currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen returns the number of processes waiting for a server.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+// Acquire blocks p until a server is available and then claims it.
+func (r *Resource) Acquire(p *Proc) {
+	for r.inUse >= r.capacity {
+		r.waiters = append(r.waiters, p)
+		p.block("resource-acquire")
+	}
+	r.inUse++
+}
+
+// Release frees one server and wakes the longest-waiting process.
+func (r *Resource) Release() {
+	if r.inUse == 0 {
+		panic("sim: Resource.Release without Acquire")
+	}
+	r.inUse--
+	if len(r.waiters) > 0 {
+		w := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		r.e.wake(w)
+	}
+}
+
+// Use occupies one server for duration d: Acquire, Sleep(d), Release.
+// It returns the total time spent including queueing.
+func (r *Resource) Use(p *Proc, d time.Duration) time.Duration {
+	start := p.Now()
+	r.Acquire(p)
+	p.Sleep(d)
+	r.Busy += d
+	r.Release()
+	return p.Now() - start
+}
+
+// WaitGroup lets a process wait for a set of simulated activities.
+type WaitGroup struct {
+	e     *Engine
+	count int
+	cond  *Cond
+}
+
+// NewWaitGroup returns a WaitGroup bound to e.
+func NewWaitGroup(e *Engine) *WaitGroup {
+	return &WaitGroup{e: e, cond: NewCond(e)}
+}
+
+// Add increments the outstanding-activity counter.
+func (w *WaitGroup) Add(n int) { w.count += n }
+
+// Done decrements the counter and wakes waiters when it reaches zero.
+func (w *WaitGroup) Done() {
+	w.count--
+	if w.count < 0 {
+		panic("sim: WaitGroup counter below zero")
+	}
+	if w.count == 0 {
+		w.cond.Broadcast()
+	}
+}
+
+// Wait blocks p until the counter reaches zero.
+func (w *WaitGroup) Wait(p *Proc) {
+	for w.count > 0 {
+		w.cond.Wait(p)
+	}
+}

@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestProfileBasics(t *testing.T) {
+	p := NewSyscallProfile()
+	p.Add("writev", 10*time.Microsecond)
+	p.Add("writev", 5*time.Microsecond)
+	p.Add("ioctl", 30*time.Microsecond)
+	if p.Time("writev") != 15*time.Microsecond {
+		t.Fatalf("writev = %v", p.Time("writev"))
+	}
+	if p.Count("writev") != 2 || p.Count("ioctl") != 1 {
+		t.Fatal("counts wrong")
+	}
+	if p.Total() != 45*time.Microsecond {
+		t.Fatalf("total = %v", p.Total())
+	}
+}
+
+func TestTopOrderingAndShares(t *testing.T) {
+	p := NewSyscallProfile()
+	p.Add("a", 10)
+	p.Add("b", 30)
+	p.Add("c", 20)
+	p.Add("d", 40)
+	top := p.Top(2)
+	if len(top) != 2 || top[0].Name != "d" || top[1].Name != "b" {
+		t.Fatalf("top = %+v", top)
+	}
+	if top[0].Share != 0.4 {
+		t.Fatalf("share = %f", top[0].Share)
+	}
+	all := p.Top(0)
+	if len(all) != 4 {
+		t.Fatalf("all = %d", len(all))
+	}
+}
+
+func TestTopTieBreaksByName(t *testing.T) {
+	p := NewSyscallProfile()
+	p.Add("zz", 10)
+	p.Add("aa", 10)
+	top := p.Top(0)
+	if top[0].Name != "aa" {
+		t.Fatalf("tie break wrong: %v", top)
+	}
+}
+
+func TestMergeCloneSub(t *testing.T) {
+	a := NewSyscallProfile()
+	a.Add("x", 100)
+	b := NewSyscallProfile()
+	b.Add("x", 50)
+	b.Add("y", 10)
+	a.Merge(b)
+	if a.Time("x") != 150 || a.Time("y") != 10 {
+		t.Fatal("merge wrong")
+	}
+	snap := a.Clone()
+	a.Add("x", 25)
+	if snap.Time("x") != 150 {
+		t.Fatal("clone not independent")
+	}
+	a.Sub(snap)
+	if a.Time("x") != 25 || a.Time("y") != 0 {
+		t.Fatalf("sub wrong: x=%v y=%v", a.Time("x"), a.Time("y"))
+	}
+	if a.Count("x") != 1 {
+		t.Fatalf("sub count wrong: %d", a.Count("x"))
+	}
+	// Sub never goes negative.
+	a.Sub(snap)
+	if a.Time("x") != 0 {
+		t.Fatal("negative time after double sub")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	p := NewSyscallProfile()
+	p.Add("ioctl", time.Millisecond)
+	s := p.String()
+	if !strings.Contains(s, "ioctl") || !strings.Contains(s, "100.0%") {
+		t.Fatalf("rendering = %q", s)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	c := NewCounters()
+	c.Inc("pkts", 5)
+	c.Inc("pkts", 2)
+	c.Inc("bytes", 100)
+	if c.Get("pkts") != 7 || c.Get("bytes") != 100 || c.Get("missing") != 0 {
+		t.Fatal("counter values wrong")
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "bytes" {
+		t.Fatalf("names = %v", names)
+	}
+}

@@ -1,0 +1,221 @@
+package uproc
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+	"repro/internal/pagetable"
+)
+
+func allocator(t *testing.T) *mem.Allocator {
+	t.Helper()
+	pm, err := mem.NewPhysMem(
+		mem.Region{Base: 1 << 30, Size: 16 << 20, Kind: mem.MCDRAM, Owner: "k"},
+		mem.Region{Base: 2 << 30, Size: 64 << 20, Kind: mem.DDR4, Owner: "k"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pm.Partition("k")
+}
+
+func TestMmapReadWrite(t *testing.T) {
+	for _, backing := range []Backing{BackingScattered4K, BackingContigLarge} {
+		t.Run(backing.String(), func(t *testing.T) {
+			p := NewProcess("rank0", allocator(t), backing)
+			va, err := p.MmapAnon(100_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data := make([]byte, 100_000)
+			for i := range data {
+				data[i] = byte(i)
+			}
+			if err := p.WriteAt(va, data); err != nil {
+				t.Fatal(err)
+			}
+			got := make([]byte, len(data))
+			if err := p.ReadAt(va, got); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(data, got) {
+				t.Fatal("round trip mismatch")
+			}
+			if err := p.Munmap(va); err != nil {
+				t.Fatal(err)
+			}
+			if p.Mappings() != 0 {
+				t.Fatal("vma leaked")
+			}
+		})
+	}
+}
+
+func TestBackingContiguityDifference(t *testing.T) {
+	const size = 4 << 20 // 4 MB
+	lin := NewProcess("linux-rank", allocator(t), BackingScattered4K)
+	mck := NewProcess("mck-rank", allocator(t), BackingContigLarge)
+
+	lva, err := lin.MmapAnon(size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mva, err := mck.MmapAnon(size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lext, err := lin.PT.WalkExtents(lva, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mext, err := mck.PT.WalkExtents(mva, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Linux: ~1024 scattered pages. McKernel: a handful of runs.
+	if len(lext) < 512 {
+		t.Fatalf("scattered backing produced only %d extents for 4MB", len(lext))
+	}
+	if len(mext) > 8 {
+		t.Fatalf("contiguous backing produced %d extents for 4MB", len(mext))
+	}
+	// McKernel mappings use large pages where possible.
+	if mck.PT.MappedBytes(pagetable.Size2M) == 0 {
+		t.Fatal("contig backing used no 2M pages")
+	}
+	if lin.PT.MappedBytes(pagetable.Size2M) != 0 {
+		t.Fatal("scattered backing unexpectedly used 2M pages")
+	}
+}
+
+func TestMcKernelPinsAnonymous(t *testing.T) {
+	alloc := allocator(t)
+	mck := NewProcess("mck-rank", alloc, BackingContigLarge)
+	va, err := mck.MmapAnon(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, _, ok := mck.PT.Translate(va)
+	if !ok {
+		t.Fatal("translate failed")
+	}
+	if !alloc.Phys().Pinned(pa) {
+		t.Fatal("McKernel anonymous memory not pinned")
+	}
+	v, ok := mck.VMAOf(va + 1234)
+	if !ok || !v.Pinned {
+		t.Fatal("VMA not marked pinned")
+	}
+	if err := mck.Munmap(va); err != nil {
+		t.Fatal(err)
+	}
+	if alloc.Phys().PinnedFrames() != 0 {
+		t.Fatal("pins leaked after munmap")
+	}
+
+	lin := NewProcess("linux-rank", alloc, BackingScattered4K)
+	lva, err := lin.MmapAnon(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lpa, _, _ := lin.PT.Translate(lva)
+	if alloc.Phys().Pinned(lpa) {
+		t.Fatal("Linux anonymous memory pinned at creation")
+	}
+}
+
+func TestMunmapErrors(t *testing.T) {
+	p := NewProcess("r", allocator(t), BackingContigLarge)
+	if err := p.Munmap(0x1000); err == nil {
+		t.Fatal("munmap of unknown base accepted")
+	}
+	va, _ := p.MmapAnon(8 << 10)
+	if err := p.Munmap(va + pagetable.Size4K); err == nil {
+		t.Fatal("munmap of non-base address accepted")
+	}
+	if err := p.Munmap(va); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Munmap(va); err == nil {
+		t.Fatal("double munmap accepted")
+	}
+}
+
+func TestSegfault(t *testing.T) {
+	p := NewProcess("r", allocator(t), BackingContigLarge)
+	buf := make([]byte, 8)
+	if err := p.ReadAt(0x1000, buf); err == nil {
+		t.Fatal("read of unmapped user memory succeeded")
+	}
+	va, _ := p.MmapAnon(4 << 10)
+	if err := p.WriteAt(va+4096-4, buf); err == nil {
+		t.Fatal("write across end of mapping succeeded")
+	}
+}
+
+func TestU64UserAccess(t *testing.T) {
+	p := NewProcess("r", allocator(t), BackingScattered4K)
+	va, _ := p.MmapAnon(8 << 10)
+	if err := p.WriteU64(va+4092, 0x1122334455667788); err != nil {
+		t.Fatal(err) // crosses a page boundary
+	}
+	v, err := p.ReadU64(va + 4092)
+	if err != nil || v != 0x1122334455667788 {
+		t.Fatalf("v = %#x, %v", v, err)
+	}
+}
+
+// Property: mmap/munmap cycles with mixed sizes leak neither physical
+// memory nor pins, for both backings.
+func TestMmapLifecycleProperty(t *testing.T) {
+	f := func(ops []uint16, contig bool) bool {
+		pm, err := mem.NewPhysMem(
+			mem.Region{Base: 0, Size: 32 << 20, Kind: mem.DDR4, Owner: "k"},
+		)
+		if err != nil {
+			return false
+		}
+		backing := BackingScattered4K
+		if contig {
+			backing = BackingContigLarge
+		}
+		p := NewProcess("r", pm.Partition("k"), backing)
+		var live []VirtAddr
+		for _, op := range ops {
+			if op%3 == 0 && len(live) > 0 {
+				i := int(op) % len(live)
+				if err := p.Munmap(live[i]); err != nil {
+					return false
+				}
+				live = append(live[:i], live[i+1:]...)
+				continue
+			}
+			size := uint64(op%200+1) * 4096
+			va, err := p.MmapAnon(size)
+			if err != nil {
+				continue // exhaustion is fine
+			}
+			// Touch first and last byte.
+			if err := p.WriteAt(va, []byte{1}); err != nil {
+				return false
+			}
+			if err := p.WriteAt(va+VirtAddr(size-1), []byte{2}); err != nil {
+				return false
+			}
+			live = append(live, va)
+		}
+		for _, va := range live {
+			if err := p.Munmap(va); err != nil {
+				return false
+			}
+		}
+		return pm.PinnedFrames() == 0 && p.Mappings() == 0
+	}
+	cfg := &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(37))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
