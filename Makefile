@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench artifacts artifacts-paper examples clean
+.PHONY: all build test vet check bench artifacts artifacts-paper examples clean
 
 all: build test
 
@@ -15,9 +15,16 @@ vet:
 test:
 	$(GO) test ./...
 
+# Full static + race gate: the parallel experiment runner makes ./...
+# the first real concurrent exercise of cross-engine isolation.
+check: vet
+	$(GO) test -race ./...
+
 # One testing.B benchmark per paper table/figure, plus ablations.
+# Writes BENCH_seed.json so later changes have a perf trajectory
+# baseline.
 bench:
-	$(GO) test -bench=. -benchmem .
+	$(GO) test -bench . -benchtime 1x -benchmem . | $(GO) run ./cmd/benchjson -out BENCH_seed.json
 
 # Regenerate every table/figure (text + CSV) at the default scale.
 artifacts:

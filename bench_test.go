@@ -26,9 +26,15 @@ import (
 	"repro/internal/model"
 	"repro/internal/mpi"
 	"repro/internal/pagetable"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/uproc"
 )
+
+// benchPool fans each experiment's simulation cells across all cores,
+// matching cmd/experiments' default. Results are identical to a
+// single-worker run by the runner's deterministic-merge contract.
+var benchPool = runner.New(0)
 
 // benchScale keeps single-iteration runtimes around a second.
 func benchScale() experiments.Scale {
@@ -43,13 +49,15 @@ func benchScale() experiments.Scale {
 	return sc
 }
 
-// BenchmarkFig4PingPong regenerates the Figure 4 headline point: 4 MB
-// ping-pong bandwidth per OS configuration.
-func BenchmarkFig4PingPong(b *testing.B) {
+// fig4Bench regenerates the Figure 4 headline point: 4 MB ping-pong
+// bandwidth per OS configuration, with the three OS cells spread over
+// the given pool.
+func fig4Bench(b *testing.B, pool *runner.Pool) {
+	b.Helper()
 	var rows []experiments.Fig4Row
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = experiments.Fig4(benchScale())
+		rows, err = experiments.Fig4(pool, benchScale())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -60,6 +68,14 @@ func BenchmarkFig4PingPong(b *testing.B) {
 	b.ReportMetric(last.MBps["McKernel+HFI1"], "hfi-MB/s")
 }
 
+// BenchmarkFig4PingPong runs the Figure 4 point on the shared pool.
+// Compare against BenchmarkFig4PingPongSeq for the parallel-runner
+// speedup on this machine.
+func BenchmarkFig4PingPong(b *testing.B) { fig4Bench(b, benchPool) }
+
+// BenchmarkFig4PingPongSeq is the sequential (-j 1) baseline.
+func BenchmarkFig4PingPongSeq(b *testing.B) { fig4Bench(b, runner.New(1)) }
+
 // appBench runs one mini-app scaling point and reports the relative
 // performance metrics of Figures 5-7.
 func appBench(b *testing.B, app *miniapps.App, nodes int) {
@@ -68,7 +84,7 @@ func appBench(b *testing.B, app *miniapps.App, nodes int) {
 	var pts []experiments.ScalingPoint
 	for i := 0; i < b.N; i++ {
 		var err error
-		pts, err = experiments.AppScaling(app, []int{nodes}, sc.RanksPerNode, sc.Seed)
+		pts, err = experiments.AppScaling(benchPool, app, []int{nodes}, sc.RanksPerNode, sc.Seed)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -100,7 +116,7 @@ func BenchmarkTable1Profile(b *testing.B) {
 	var profiles []experiments.AppProfile
 	for i := 0; i < b.N; i++ {
 		var err error
-		profiles, err = experiments.Table1(benchScale())
+		profiles, err = experiments.Table1(benchPool, benchScale())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -140,7 +156,7 @@ func breakdownBench(b *testing.B, app string) {
 	var orig, pico experiments.Breakdown
 	for i := 0; i < b.N; i++ {
 		var err error
-		orig, pico, err = experiments.SyscallBreakdown(app, benchScale())
+		orig, pico, err = experiments.SyscallBreakdown(benchPool, app, benchScale())
 		if err != nil {
 			b.Fatal(err)
 		}

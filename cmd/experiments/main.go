@@ -3,10 +3,14 @@
 //
 // Usage:
 //
-//	experiments [-scale small|paper] [-only fig4,fig5a,...] [-out DIR]
+//	experiments [-scale small|paper] [-only fig4,fig5a,...] [-out DIR] [-j N]
 //
 // Experiment ids: fig4, fig5a, fig5b, fig6a, fig6b, fig7, table1, fig8,
 // fig9. With -out, each artifact is also written to DIR/<id>.txt.
+//
+// -j fans the independent simulation cells of each experiment out over N
+// workers (default: GOMAXPROCS). Artifacts are byte-identical for any
+// -j, including -j 1; only wall-clock changes.
 package main
 
 import (
@@ -15,16 +19,24 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/miniapps"
 	"repro/internal/report"
+	"repro/internal/runner"
 )
+
+// experimentIDs lists every known id in output order.
+var experimentIDs = []string{
+	"fig4", "fig5a", "fig5b", "fig6a", "fig6b", "fig7", "table1", "fig8", "fig9",
+}
 
 func main() {
 	scaleFlag := flag.String("scale", "small", "experiment scale: small or paper")
 	onlyFlag := flag.String("only", "", "comma-separated experiment ids (default: all)")
 	outFlag := flag.String("out", "", "directory to write artifacts into")
+	jFlag := flag.Int("j", 0, "parallel simulation jobs (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	var sc experiments.Scale
@@ -38,13 +50,26 @@ func main() {
 		os.Exit(2)
 	}
 
+	known := map[string]bool{}
+	for _, id := range experimentIDs {
+		known[id] = true
+	}
 	want := map[string]bool{}
 	if *onlyFlag != "" {
 		for _, id := range strings.Split(*onlyFlag, ",") {
-			want[strings.TrimSpace(id)] = true
+			id = strings.TrimSpace(id)
+			if !known[id] {
+				fmt.Fprintf(os.Stderr, "unknown experiment id %q (known: %s)\n",
+					id, strings.Join(experimentIDs, ", "))
+				os.Exit(2)
+			}
+			want[id] = true
 		}
 	}
 	selected := func(id string) bool { return len(want) == 0 || want[id] }
+
+	pool := runner.New(*jFlag)
+	fmt.Fprintf(os.Stderr, "experiments: scale=%s workers=%d\n", sc.Name, pool.Workers())
 
 	emit := func(id, content, csv string) {
 		fmt.Printf("==== %s ====\n%s\n", id, content)
@@ -63,12 +88,22 @@ func main() {
 		}
 	}
 
+	// timed reports each experiment's wall-clock on stderr, where the
+	// effect of -j is otherwise invisible.
+	timed := func(id string, run func()) {
+		start := time.Now()
+		run()
+		fmt.Fprintf(os.Stderr, "experiments: %-6s %s\n", id, time.Since(start).Round(time.Millisecond))
+	}
+
 	if selected("fig4") {
-		rows, err := experiments.Fig4(sc)
-		if err != nil {
-			fatal(err)
-		}
-		emit("fig4", report.Fig4Table(rows), report.Fig4CSV(rows))
+		timed("fig4", func() {
+			rows, err := experiments.Fig4(pool, sc)
+			if err != nil {
+				fatal(err)
+			}
+			emit("fig4", report.Fig4Table(rows), report.Fig4CSV(rows))
+		})
 	}
 
 	scaling := []struct {
@@ -86,19 +121,24 @@ func main() {
 		if !selected(s.id) {
 			continue
 		}
-		pts, err := experiments.AppScaling(s.app, s.nodes, sc.RanksPerNode, sc.Seed)
-		if err != nil {
-			fatal(err)
-		}
-		emit(s.id, report.ScalingTable(s.title, pts), report.ScalingCSV(pts))
+		s := s
+		timed(s.id, func() {
+			pts, err := experiments.AppScaling(pool, s.app, s.nodes, sc.RanksPerNode, sc.Seed)
+			if err != nil {
+				fatal(err)
+			}
+			emit(s.id, report.ScalingTable(s.title, pts), report.ScalingCSV(pts))
+		})
 	}
 
 	if selected("table1") {
-		profiles, err := experiments.Table1(sc)
-		if err != nil {
-			fatal(err)
-		}
-		emit("table1", report.Table1(profiles), report.Table1CSV(profiles))
+		timed("table1", func() {
+			profiles, err := experiments.Table1(pool, sc)
+			if err != nil {
+				fatal(err)
+			}
+			emit("table1", report.Table1(profiles), report.Table1CSV(profiles))
+		})
 	}
 
 	for _, bd := range []struct{ id, app string }{
@@ -108,11 +148,14 @@ func main() {
 		if !selected(bd.id) {
 			continue
 		}
-		orig, pico, err := experiments.SyscallBreakdown(bd.app, sc)
-		if err != nil {
-			fatal(err)
-		}
-		emit(bd.id, report.BreakdownTable(orig, pico), report.BreakdownCSV(orig, pico))
+		bd := bd
+		timed(bd.id, func() {
+			orig, pico, err := experiments.SyscallBreakdown(pool, bd.app, sc)
+			if err != nil {
+				fatal(err)
+			}
+			emit(bd.id, report.BreakdownTable(orig, pico), report.BreakdownCSV(orig, pico))
+		})
 	}
 }
 

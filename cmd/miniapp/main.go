@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	miniapp -app UMT2013 [-nodes 1,2,4,8] [-rpn 16] [-steps N]
+//	miniapp -app UMT2013 [-nodes 1,2,4,8] [-rpn 16] [-steps N] [-j N]
 package main
 
 import (
@@ -17,6 +17,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/miniapps"
 	"repro/internal/report"
+	"repro/internal/runner"
 )
 
 func main() {
@@ -25,6 +26,7 @@ func main() {
 	rpnFlag := flag.Int("rpn", 16, "ranks per node (0 = app default)")
 	stepsFlag := flag.Int("steps", 0, "override timestep count (0 = app default)")
 	seedFlag := flag.Int64("seed", 1, "simulation seed")
+	jFlag := flag.Int("j", 0, "parallel simulation jobs (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	app, err := miniapps.ByName(*appFlag)
@@ -44,7 +46,7 @@ func main() {
 		}
 		nodes = append(nodes, n)
 	}
-	pts, err := experiments.AppScaling(app, nodes, *rpnFlag, *seedFlag)
+	pts, err := experiments.AppScaling(runner.New(*jFlag), app, nodes, *rpnFlag, *seedFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "miniapp:", err)
 		os.Exit(1)

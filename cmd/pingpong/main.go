@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	pingpong [-sizes 1K,64K,4M] [-reps N]
+//	pingpong [-sizes 1K,64K,4M] [-reps N] [-j N]
 package main
 
 import (
@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/report"
+	"repro/internal/runner"
 )
 
 func parseSize(s string) (uint64, error) {
@@ -35,6 +36,7 @@ func parseSize(s string) (uint64, error) {
 func main() {
 	sizesFlag := flag.String("sizes", "1K,4K,16K,64K,256K,1M,4M", "message sizes")
 	repsFlag := flag.Int("reps", 4, "timed repetitions per size")
+	jFlag := flag.Int("j", 0, "parallel simulation jobs (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	sc := experiments.SmallScale()
@@ -48,7 +50,7 @@ func main() {
 		}
 		sc.PingPongSizes = append(sc.PingPongSizes, size)
 	}
-	rows, err := experiments.Fig4(sc)
+	rows, err := experiments.Fig4(runner.New(*jFlag), sc)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pingpong:", err)
 		os.Exit(1)

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	profile [-nodes 8] [-rpn 16] [-what table1,fig8,fig9]
+//	profile [-nodes 8] [-rpn 16] [-what table1,fig8,fig9] [-j N]
 package main
 
 import (
@@ -15,13 +15,16 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/report"
+	"repro/internal/runner"
 )
 
 func main() {
 	nodesFlag := flag.Int("nodes", 8, "compute nodes (the paper profiles on 8)")
 	rpnFlag := flag.Int("rpn", 16, "ranks per node")
 	whatFlag := flag.String("what", "table1,fig8,fig9", "artifacts to produce")
+	jFlag := flag.Int("j", 0, "parallel simulation jobs (0 = GOMAXPROCS)")
 	flag.Parse()
+	pool := runner.New(*jFlag)
 
 	sc := experiments.SmallScale()
 	sc.ProfileNodes = *nodesFlag
@@ -32,7 +35,7 @@ func main() {
 	}
 
 	if want["table1"] {
-		profiles, err := experiments.Table1(sc)
+		profiles, err := experiments.Table1(pool, sc)
 		if err != nil {
 			fatal(err)
 		}
@@ -42,7 +45,7 @@ func main() {
 		if !want[id] {
 			continue
 		}
-		orig, pico, err := experiments.SyscallBreakdown(app, sc)
+		orig, pico, err := experiments.SyscallBreakdown(pool, app, sc)
 		if err != nil {
 			fatal(err)
 		}

@@ -7,6 +7,12 @@
 // Each experiment builds fresh clusters per OS configuration and node
 // count, runs deterministically, and returns structured results that the
 // report package renders in the layout of the paper's artifacts.
+//
+// The sweep cells are independent simulations, so every experiment fans
+// them out over a runner.Pool and merges the results in submission
+// order: artifacts are byte-identical for any pool size. Each cell's
+// engine seed is derived from (Scale.Seed, cell identity), never from
+// scheduling, which is what keeps the merge deterministic.
 package experiments
 
 import (
@@ -18,6 +24,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/mpi"
 	"repro/internal/psm"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/uproc"
@@ -92,16 +99,28 @@ type Fig4Row struct {
 	MBps map[string]float64
 }
 
-// Fig4 runs the IMB-style ping-pong sweep on a two-node cluster.
-func Fig4(sc Scale) ([]Fig4Row, error) {
-	rows := make([]Fig4Row, 0, len(sc.PingPongSizes))
+// Fig4 runs the IMB-style ping-pong sweep on a two-node cluster, one
+// pool job per (message size, OS) cell.
+func Fig4(p *runner.Pool, sc Scale) ([]Fig4Row, error) {
+	var jobs []runner.Job[time.Duration]
 	for _, size := range sc.PingPongSizes {
-		row := Fig4Row{Size: size, MBps: make(map[string]float64)}
 		for _, os := range cluster.AllOSTypes {
-			oneWay, err := pingPong(os, size, sc.PingPongReps, sc.Seed)
-			if err != nil {
-				return nil, fmt.Errorf("fig4 %s %dB: %w", osName(os), size, err)
-			}
+			size, os := size, os
+			id := fmt.Sprintf("fig4/%dB/%s", size, osName(os))
+			jobs = append(jobs, runner.Job[time.Duration]{ID: id, Fn: func() (time.Duration, error) {
+				return pingPong(os, size, sc.PingPongReps, runner.DeriveSeed(sc.Seed, id))
+			}})
+		}
+	}
+	oneWays, err := runner.Run(p, jobs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig4Row, 0, len(sc.PingPongSizes))
+	for i, size := range sc.PingPongSizes {
+		row := Fig4Row{Size: size, MBps: make(map[string]float64)}
+		for j, os := range cluster.AllOSTypes {
+			oneWay := oneWays[i*len(cluster.AllOSTypes)+j]
 			row.MBps[osName(os)] = float64(size) / oneWay.Seconds() / 1e6
 		}
 		rows = append(rows, row)
@@ -195,24 +214,35 @@ type ScalingPoint struct {
 	RelToLinux map[string]float64
 }
 
-// AppScaling runs one mini-app across the node sweep.
-func AppScaling(app *miniapps.App, nodes []int, rpn int, seed int64) ([]ScalingPoint, error) {
+// AppScaling runs one mini-app across the node sweep, one pool job per
+// (node count, OS) cell.
+func AppScaling(p *runner.Pool, app *miniapps.App, nodes []int, rpn int, seed int64) ([]ScalingPoint, error) {
 	if rpn <= 0 {
 		rpn = app.RanksPerNode
 	}
-	var out []ScalingPoint
+	var jobs []runner.Job[*mpi.JobResult]
 	for _, n := range nodes {
+		for _, os := range cluster.AllOSTypes {
+			n, os := n, os
+			id := fmt.Sprintf("%s/%dn/%s", app.Name, n, osName(os))
+			jobs = append(jobs, runner.Job[*mpi.JobResult]{ID: id, Fn: func() (*mpi.JobResult, error) {
+				return runApp(app, n, rpn, os, runner.DeriveSeed(seed, id))
+			}})
+		}
+	}
+	results, err := runner.Run(p, jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ScalingPoint, 0, len(nodes))
+	for i, n := range nodes {
 		pt := ScalingPoint{
 			Nodes:      n,
 			Elapsed:    make(map[string]time.Duration),
 			RelToLinux: make(map[string]float64),
 		}
-		for _, os := range cluster.AllOSTypes {
-			res, err := runApp(app, n, rpn, os, seed)
-			if err != nil {
-				return nil, fmt.Errorf("%s on %d nodes (%s): %w", app.Name, n, osName(os), err)
-			}
-			pt.Elapsed[osName(os)] = res.Elapsed
+		for j, os := range cluster.AllOSTypes {
+			pt.Elapsed[osName(os)] = results[i*len(cluster.AllOSTypes)+j].Elapsed
 		}
 		lin := pt.Elapsed["Linux"]
 		for name, d := range pt.Elapsed {
@@ -255,35 +285,51 @@ type AppProfile struct {
 }
 
 // Table1 profiles UMT2013, HACC and QBOX on the configured node count
-// under all three OS configurations.
-func Table1(sc Scale) ([]AppProfile, error) {
-	var out []AppProfile
-	for _, name := range []string{"UMT2013", "HACC", "QBOX"} {
+// under all three OS configurations, one pool job per (app, OS) cell.
+func Table1(p *runner.Pool, sc Scale) ([]AppProfile, error) {
+	names := []string{"UMT2013", "HACC", "QBOX"}
+	type cell struct {
+		app string
+		os  cluster.OSType
+	}
+	var cells []cell
+	var jobs []runner.Job[*mpi.JobResult]
+	for _, name := range names {
 		app, err := miniapps.ByName(name)
 		if err != nil {
 			return nil, err
 		}
 		for _, os := range cluster.AllOSTypes {
-			res, err := runApp(app, sc.ProfileNodes, sc.ProfileRPN, os, sc.Seed)
-			if err != nil {
-				return nil, fmt.Errorf("table1 %s %s: %w", name, osName(os), err)
-			}
-			prof := AppProfile{App: name, OS: osName(os), Elapsed: res.Elapsed}
-			mpiTotal := res.MPI.Total()
-			// %Rt is relative to the cumulative runtime over all ranks,
-			// including initialization (the paper's profiles contain
-			// MPI_Init).
-			rtTotal := res.WallTime * time.Duration(res.Ranks)
-			for _, e := range res.MPI.Top(5) {
-				prof.Top = append(prof.Top, ProfileEntry{
-					Call:   e.Name,
-					Time:   e.Time,
-					PctMPI: 100 * float64(e.Time) / float64(mpiTotal),
-					PctRt:  100 * float64(e.Time) / float64(rtTotal),
-				})
-			}
-			out = append(out, prof)
+			os := os
+			id := fmt.Sprintf("table1/%s/%s", name, osName(os))
+			cells = append(cells, cell{app: name, os: os})
+			jobs = append(jobs, runner.Job[*mpi.JobResult]{ID: id, Fn: func() (*mpi.JobResult, error) {
+				return runApp(app, sc.ProfileNodes, sc.ProfileRPN, os, runner.DeriveSeed(sc.Seed, id))
+			}})
 		}
+	}
+	results, err := runner.Run(p, jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]AppProfile, 0, len(cells))
+	for i, c := range cells {
+		res := results[i]
+		prof := AppProfile{App: c.app, OS: osName(c.os), Elapsed: res.Elapsed}
+		mpiTotal := res.MPI.Total()
+		// %Rt is relative to the cumulative runtime over all ranks,
+		// including initialization (the paper's profiles contain
+		// MPI_Init).
+		rtTotal := res.WallTime * time.Duration(res.Ranks)
+		for _, e := range res.MPI.Top(5) {
+			prof.Top = append(prof.Top, ProfileEntry{
+				Call:   e.Name,
+				Time:   e.Time,
+				PctMPI: 100 * float64(e.Time) / float64(mpiTotal),
+				PctRt:  100 * float64(e.Time) / float64(rtTotal),
+			})
+		}
+		out = append(out, prof)
 	}
 	return out, nil
 }
@@ -307,14 +353,15 @@ type Breakdown struct {
 // their kernel profiles. The paper reports that with the HFI PicoDriver
 // the kernel time shrinks to 7% (UMT2013) and 25% (QBOX) of the original
 // McKernel's, with ioctl+writev dropping from >70% to <30% of it.
-func SyscallBreakdown(appName string, sc Scale) (orig, pico Breakdown, err error) {
+func SyscallBreakdown(p *runner.Pool, appName string, sc Scale) (orig, pico Breakdown, err error) {
 	app, err := miniapps.ByName(appName)
 	if err != nil {
 		return orig, pico, err
 	}
 	run := func(os cluster.OSType) (Breakdown, error) {
+		seed := runner.DeriveSeed(sc.Seed, fmt.Sprintf("breakdown/%s/%s", appName, osName(os)))
 		cl, err := cluster.New(cluster.Config{
-			Nodes: sc.ProfileNodes, OS: os, Params: model.Default(), Seed: sc.Seed, Synthetic: true,
+			Nodes: sc.ProfileNodes, OS: os, Params: model.Default(), Seed: seed, Synthetic: true,
 		})
 		if err != nil {
 			return Breakdown{}, err
@@ -346,11 +393,17 @@ func SyscallBreakdown(appName string, sc Scale) (orig, pico Breakdown, err error
 			KernelTime: merged.Total(),
 		}, nil
 	}
-	if orig, err = run(cluster.OSMcKernel); err != nil {
+	jobs := []runner.Job[Breakdown]{
+		{ID: fmt.Sprintf("breakdown/%s/%s", appName, osName(cluster.OSMcKernel)),
+			Fn: func() (Breakdown, error) { return run(cluster.OSMcKernel) }},
+		{ID: fmt.Sprintf("breakdown/%s/%s", appName, osName(cluster.OSMcKernelHFI)),
+			Fn: func() (Breakdown, error) { return run(cluster.OSMcKernelHFI) }},
+	}
+	results, err := runner.Run(p, jobs)
+	if err != nil {
 		return orig, pico, err
 	}
-	pico, err = run(cluster.OSMcKernelHFI)
-	return orig, pico, err
+	return results[0], results[1], nil
 }
 
 // uint64VA helps build user addresses in harness code.

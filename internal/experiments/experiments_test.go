@@ -1,11 +1,16 @@
 package experiments
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
 	"repro/internal/miniapps"
+	"repro/internal/runner"
 )
+
+// pool is the default worker pool for the smoke tests.
+var pool = runner.New(0)
 
 // tinyScale keeps the smoke tests fast.
 func tinyScale() Scale {
@@ -24,7 +29,7 @@ func tinyScale() Scale {
 
 func TestFig4ShapesAndDeterminism(t *testing.T) {
 	sc := tinyScale()
-	rows, err := Fig4(sc)
+	rows, err := Fig4(pool, sc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +49,7 @@ func TestFig4ShapesAndDeterminism(t *testing.T) {
 		t.Fatalf("fig4 ordering broken: %+v", big.MBps)
 	}
 	// Determinism.
-	again, err := Fig4(sc)
+	again, err := Fig4(pool, sc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +63,7 @@ func TestFig4ShapesAndDeterminism(t *testing.T) {
 }
 
 func TestAppScalingRelatives(t *testing.T) {
-	pts, err := AppScaling(miniapps.UMT2013(), []int{1, 2}, 8, 1)
+	pts, err := AppScaling(pool, miniapps.UMT2013(), []int{1, 2}, 8, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +89,7 @@ func TestAppScalingRelatives(t *testing.T) {
 
 func TestTable1Shape(t *testing.T) {
 	sc := tinyScale()
-	profiles, err := Table1(sc)
+	profiles, err := Table1(pool, sc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +112,7 @@ func TestTable1Shape(t *testing.T) {
 }
 
 func TestSyscallBreakdownUMT(t *testing.T) {
-	orig, pico, err := SyscallBreakdown("UMT2013", tinyScale())
+	orig, pico, err := SyscallBreakdown(pool, "UMT2013", tinyScale())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,5 +137,45 @@ func TestSyscallBreakdownUMT(t *testing.T) {
 	}
 	if pico.KernelTime >= orig.KernelTime {
 		t.Fatal("PicoDriver did not reduce kernel time")
+	}
+}
+
+// TestFig4PoolSizeInvariance is the regression gate for the runner's
+// deterministic-merge contract: the same scale and seed must produce
+// deeply-equal rows at -j 1 and an oversubscribed -j (oversubscription
+// forces out-of-order completion even on a single-core machine).
+func TestFig4PoolSizeInvariance(t *testing.T) {
+	sc := SmallScale()
+	// Trim the sweep so the doubled run stays fast; keep >1 size so the
+	// merge actually has rows to misorder.
+	sc.PingPongSizes = sc.PingPongSizes[:3]
+	sc.PingPongReps = 2
+	seq, err := Fig4(runner.New(1), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Fig4(runner.New(16), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("fig4 rows differ between -j 1 and -j 16:\n%+v\n%+v", seq, par)
+	}
+}
+
+// TestAppScalingPoolSizeInvariance is the same gate for the scaling
+// sweeps (Figures 5-7).
+func TestAppScalingPoolSizeInvariance(t *testing.T) {
+	app := miniapps.UMT2013()
+	seq, err := AppScaling(runner.New(1), app, []int{1, 2}, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := AppScaling(runner.New(16), app, []int{1, 2}, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("scaling points differ between -j 1 and -j 16:\n%+v\n%+v", seq, par)
 	}
 }

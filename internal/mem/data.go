@@ -41,9 +41,7 @@ func (pm *PhysMem) access(pa PhysAddr, buf []byte, write bool) error {
 			copy(frame[inFrame:inFrame+n], buf[off:off+n])
 		} else {
 			if frame == nil {
-				for i := off; i < off+n; i++ {
-					buf[i] = 0
-				}
+				clear(buf[off : off+n])
 			} else {
 				copy(buf[off:off+n], frame[inFrame:inFrame+n])
 			}
@@ -76,16 +74,20 @@ func (pm *PhysMem) WriteU64(pa PhysAddr, v uint64) error {
 }
 
 // Pin increments the pin count of every 4K frame overlapping the extent,
-// as get_user_pages does. Pinned frames must not be freed.
+// as get_user_pages does. Pinned frames must not be freed. Pin sits on
+// the per-transfer fast path, so it walks the frame range inline rather
+// than materializing a slice.
 func (pm *PhysMem) Pin(e Extent) {
-	for _, pa := range framesOf(e) {
+	end := frameCeil(e.End())
+	for pa := frameFloor(e.Addr); pa < end; pa += PageSize4K {
 		pm.pins[pa]++
 	}
 }
 
 // Unpin decrements pin counts; it panics on unbalanced unpins.
 func (pm *PhysMem) Unpin(e Extent) {
-	for _, pa := range framesOf(e) {
+	end := frameCeil(e.End())
+	for pa := frameFloor(e.Addr); pa < end; pa += PageSize4K {
 		if pm.pins[pa] == 0 {
 			panic(fmt.Sprintf("mem: unpin of unpinned frame %#x", pa))
 		}
@@ -98,18 +100,14 @@ func (pm *PhysMem) Unpin(e Extent) {
 
 // Pinned reports whether the 4K frame containing pa is pinned.
 func (pm *PhysMem) Pinned(pa PhysAddr) bool {
-	return pm.pins[pa&^(PageSize4K-1)] > 0
+	return pm.pins[frameFloor(pa)] > 0
 }
 
 // PinnedFrames returns the number of distinct pinned frames.
 func (pm *PhysMem) PinnedFrames() int { return len(pm.pins) }
 
-func framesOf(e Extent) []PhysAddr {
-	start := e.Addr &^ (PageSize4K - 1)
-	end := (e.End() + PageSize4K - 1) &^ (PageSize4K - 1)
-	var out []PhysAddr
-	for pa := start; pa < end; pa += PageSize4K {
-		out = append(out, pa)
-	}
-	return out
-}
+// frameFloor rounds pa down to its 4K frame base.
+func frameFloor(pa PhysAddr) PhysAddr { return pa &^ (PageSize4K - 1) }
+
+// frameCeil rounds pa up to the next 4K frame boundary.
+func frameCeil(pa PhysAddr) PhysAddr { return (pa + PageSize4K - 1) &^ (PageSize4K - 1) }

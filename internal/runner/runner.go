@@ -1,0 +1,111 @@
+// Package runner executes independent jobs across a worker pool with a
+// deterministic merge: results come back in submission order no matter
+// how many workers run or in which order jobs finish, so any artifact
+// derived from the results is byte-identical for every pool size
+// (including a single worker).
+//
+// The experiment sweeps in internal/experiments are embarrassingly
+// parallel — every (OS config × node count × message size × app) cell
+// builds its own sim.Engine and shares no state with the others — which
+// makes them the intended workload, but the pool is generic: any slice
+// of independent Job values works.
+package runner
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Pool fixes the number of workers Run may use. A Pool carries no other
+// state and may be reused and shared freely.
+type Pool struct {
+	workers int
+}
+
+// New returns a pool of n workers. n <= 0 selects runtime.GOMAXPROCS(0),
+// the natural width for CPU-bound simulation jobs.
+func New(n int) *Pool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: n}
+}
+
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Job is one unit of work. ID names the job in errors and panic reports;
+// Fn does the work. Jobs submitted together run concurrently, so Fn
+// bodies must not share mutable state.
+type Job[R any] struct {
+	ID string
+	Fn func() (R, error)
+}
+
+// Run executes jobs on p's workers and returns their results in
+// submission order. A panic inside a job is captured and converted into
+// that job's error — the worker survives and the remaining jobs still
+// run to completion. If any jobs failed, Run returns the error of the
+// first failed job in submission order (not completion order), wrapped
+// with its ID, alongside a nil result slice.
+func Run[R any](p *Pool, jobs []Job[R]) ([]R, error) {
+	results := make([]R, len(jobs))
+	errs := make([]error, len(jobs))
+	workers := p.workers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i], errs[i] = capture(jobs[i].Fn)
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("job %q: %w", jobs[i].ID, err)
+		}
+	}
+	return results, nil
+}
+
+// capture runs fn, converting a panic into an error so one bad job
+// cannot kill the process or starve the pool of a worker.
+func capture[R any](fn func() (R, error)) (res R, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v\n%s", r, debug.Stack())
+		}
+	}()
+	return fn()
+}
+
+// DeriveSeed maps (base, id) to a stable per-job seed. Jobs running
+// concurrently must not share an RNG stream, and deriving the seed from
+// the job's identity — never from worker assignment or completion order
+// — keeps every run reproducible for any pool size.
+func DeriveSeed(base int64, id string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	x := h.Sum64() ^ uint64(base)*0x9e3779b97f4a7c15
+	// splitmix64 finalizer: spreads nearby (base, id) pairs apart.
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int64(x)
+}

@@ -1,0 +1,125 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestDefaultWorkers(t *testing.T) {
+	if got := New(0).Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("New(0).Workers() = %d, want GOMAXPROCS = %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := New(-3).Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("New(-3).Workers() = %d", got)
+	}
+	if got := New(7).Workers(); got != 7 {
+		t.Fatalf("New(7).Workers() = %d", got)
+	}
+}
+
+func TestRunOrderMatchesSubmission(t *testing.T) {
+	// Randomized per-job sleeps force completions out of submission
+	// order; the merged results must come back in submission order
+	// anyway. Seeded so the stress pattern is reproducible.
+	rng := rand.New(rand.NewSource(42))
+	const n = 64
+	jobs := make([]Job[int], n)
+	for i := 0; i < n; i++ {
+		i := i
+		d := time.Duration(rng.Intn(3000)) * time.Microsecond
+		jobs[i] = Job[int]{
+			ID: fmt.Sprintf("stress-%d", i),
+			Fn: func() (int, error) {
+				time.Sleep(d)
+				return i, nil
+			},
+		}
+	}
+	for _, workers := range []int{1, 2, 8, n} {
+		res, err := Run(New(workers), jobs)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range res {
+			if v != i {
+				t.Fatalf("workers=%d: results[%d] = %d, want %d", workers, i, v, i)
+			}
+		}
+	}
+}
+
+func TestPanicBecomesJobError(t *testing.T) {
+	var completed atomic.Int32
+	jobs := []Job[string]{
+		{ID: "ok-0", Fn: func() (string, error) { completed.Add(1); return "a", nil }},
+		{ID: "boom", Fn: func() (string, error) { panic("kaboom") }},
+		{ID: "ok-1", Fn: func() (string, error) { completed.Add(1); return "b", nil }},
+		{ID: "ok-2", Fn: func() (string, error) { completed.Add(1); return "c", nil }},
+	}
+	_, err := Run(New(2), jobs)
+	if err == nil {
+		t.Fatal("panic did not surface as an error")
+	}
+	if !strings.Contains(err.Error(), `"boom"`) {
+		t.Fatalf("error does not name the panicking job: %v", err)
+	}
+	if !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("error lost the panic value: %v", err)
+	}
+	if got := completed.Load(); got != 3 {
+		t.Fatalf("other jobs did not complete after the panic: %d of 3", got)
+	}
+}
+
+func TestFirstErrorBySubmissionOrder(t *testing.T) {
+	errA := errors.New("first failure")
+	jobs := []Job[int]{
+		{ID: "ok", Fn: func() (int, error) { return 1, nil }},
+		{ID: "fail-early", Fn: func() (int, error) {
+			time.Sleep(2 * time.Millisecond)
+			return 0, errA
+		}},
+		{ID: "fail-late", Fn: func() (int, error) { return 0, errors.New("second failure") }},
+	}
+	_, err := Run(New(3), jobs)
+	if !errors.Is(err, errA) {
+		t.Fatalf("want the submission-order-first error, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "fail-early") {
+		t.Fatalf("error not wrapped with job ID: %v", err)
+	}
+}
+
+func TestRunEmptyAndSingle(t *testing.T) {
+	res, err := Run[int](New(4), nil)
+	if err != nil || len(res) != 0 {
+		t.Fatalf("empty run: %v %v", res, err)
+	}
+	res, err = Run(New(4), []Job[int]{{ID: "one", Fn: func() (int, error) { return 9, nil }}})
+	if err != nil || len(res) != 1 || res[0] != 9 {
+		t.Fatalf("single run: %v %v", res, err)
+	}
+}
+
+func TestDeriveSeed(t *testing.T) {
+	if DeriveSeed(1, "fig4/1024B/Linux") != DeriveSeed(1, "fig4/1024B/Linux") {
+		t.Fatal("DeriveSeed not stable")
+	}
+	seen := map[int64]string{}
+	for _, base := range []int64{0, 1, 2} {
+		for _, id := range []string{"a", "b", "fig4/1024B/Linux", "fig4/1024B/McKernel"} {
+			s := DeriveSeed(base, id)
+			key := fmt.Sprintf("%d/%s", base, id)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed collision: %s and %s -> %d", prev, key, s)
+			}
+			seen[s] = key
+		}
+	}
+}
