@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet check bench artifacts artifacts-paper examples clean
+.PHONY: all build test vet check bench simtest artifacts artifacts-paper examples clean
 
 all: build test
 
@@ -16,9 +16,21 @@ test:
 	$(GO) test ./...
 
 # Full static + race gate: the parallel experiment runner makes ./...
-# the first real concurrent exercise of cross-engine isolation.
+# the first real concurrent exercise of cross-engine isolation. -short
+# keeps the simtest battery at its default 27 cells.
 check: vet
-	$(GO) test -race ./...
+	$(GO) test -race -short ./...
+
+# Property-based simulation testing. Default: the short battery (one
+# randomized cell grid across all three OS configs). SOAK=1 runs the
+# long parallel soak via cmd/simtest; SEED overrides the base seed.
+SEED ?= 1
+simtest:
+ifeq ($(SOAK),1)
+	$(GO) run ./cmd/simtest -seed $(SEED) -cells 100
+else
+	$(GO) test ./internal/simtest -count=1 -seed=$(SEED) -v -run 'TestSim'
+endif
 
 # One testing.B benchmark per paper table/figure, plus ablations.
 # Writes BENCH_seed.json so later changes have a perf trajectory

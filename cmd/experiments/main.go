@@ -71,6 +71,15 @@ func main() {
 	pool := runner.New(*jFlag)
 	fmt.Fprintf(os.Stderr, "experiments: scale=%s workers=%d\n", sc.Name, pool.Workers())
 
+	// A failed sweep job doesn't abort the whole run: the experiment is
+	// named on stderr, the remaining experiments still execute, and the
+	// process exits non-zero at the end.
+	var failed []string
+	fail := func(id string, err error) {
+		failed = append(failed, id)
+		fmt.Fprintf(os.Stderr, "experiments: %s FAILED: %v\n", id, err)
+	}
+
 	emit := func(id, content, csv string) {
 		fmt.Printf("==== %s ====\n%s\n", id, content)
 		if *outFlag != "" {
@@ -100,7 +109,8 @@ func main() {
 		timed("fig4", func() {
 			rows, err := experiments.Fig4(pool, sc)
 			if err != nil {
-				fatal(err)
+				fail("fig4", err)
+				return
 			}
 			emit("fig4", report.Fig4Table(rows), report.Fig4CSV(rows))
 		})
@@ -125,7 +135,8 @@ func main() {
 		timed(s.id, func() {
 			pts, err := experiments.AppScaling(pool, s.app, s.nodes, sc.RanksPerNode, sc.Seed)
 			if err != nil {
-				fatal(err)
+				fail(s.id, err)
+				return
 			}
 			emit(s.id, report.ScalingTable(s.title, pts), report.ScalingCSV(pts))
 		})
@@ -135,7 +146,8 @@ func main() {
 		timed("table1", func() {
 			profiles, err := experiments.Table1(pool, sc)
 			if err != nil {
-				fatal(err)
+				fail("table1", err)
+				return
 			}
 			emit("table1", report.Table1(profiles), report.Table1CSV(profiles))
 		})
@@ -152,10 +164,17 @@ func main() {
 		timed(bd.id, func() {
 			orig, pico, err := experiments.SyscallBreakdown(pool, bd.app, sc)
 			if err != nil {
-				fatal(err)
+				fail(bd.id, err)
+				return
 			}
 			emit(bd.id, report.BreakdownTable(orig, pico), report.BreakdownCSV(orig, pico))
 		})
+	}
+
+	if len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: %d experiment(s) failed: %s\n",
+			len(failed), strings.Join(failed, ", "))
+		os.Exit(1)
 	}
 }
 

@@ -1,0 +1,69 @@
+// Command simtest soaks the property-based simulation harness: many
+// randomized cells per OS configuration run in parallel, each through
+// the full determinism check, and every failure prints the workload
+// summary plus a one-line single-seed repro command. The exit status
+// is non-zero if any cell fails.
+//
+// Usage:
+//
+//	go run ./cmd/simtest -seed 1 -cells 100 -j 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/runner"
+	"repro/internal/simtest"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "base seed")
+	cells := flag.Int("cells", 50, "cells per OS configuration")
+	jobs := flag.Int("j", 0, "parallel workers (0 = GOMAXPROCS)")
+	verbose := flag.Bool("v", false, "print passing cells too")
+	flag.Parse()
+
+	type outcome struct {
+		cell   string
+		digest string
+		err    error
+	}
+	var work []runner.Job[outcome]
+	for _, osType := range cluster.AllOSTypes {
+		for i := 0; i < *cells; i++ {
+			cell := fmt.Sprintf("%s/%d", osType, i)
+			work = append(work, runner.Job[outcome]{
+				ID: cell,
+				Fn: func() (outcome, error) {
+					rep, err := simtest.CheckCell(*seed, cell)
+					o := outcome{cell: cell, err: err}
+					if rep != nil {
+						o.digest = rep.Digest
+					}
+					return o, nil
+				},
+			})
+		}
+	}
+	results, err := runner.Run(runner.New(*jobs), work)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simtest: %v\n", err)
+		os.Exit(1)
+	}
+	failed := 0
+	for _, o := range results {
+		if o.err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "FAIL %s\n%v\n\n", o.cell, o.err)
+		} else if *verbose {
+			fmt.Printf("ok   %s digest=%s\n", o.cell, o.digest)
+		}
+	}
+	fmt.Printf("simtest: %d cells, %d failed (seed %d)\n", len(results), failed, *seed)
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -60,6 +60,11 @@ type Config struct {
 	Seed   int64
 	// Synthetic disables payload materialization (large-scale mode).
 	Synthetic bool
+	// LinuxHugePages backs Linux rank processes with pinned contiguous
+	// (large-page) anonymous memory instead of scattered 4K frames,
+	// modeling hugetlbfs-backed applications. McKernel ranks always use
+	// the LWK's contiguous policy, so this only affects OSLinux.
+	LinuxHugePages bool
 }
 
 // Cluster is the simulated machine.
@@ -91,6 +96,7 @@ type Node struct {
 
 	pr        *model.Params
 	synthetic bool
+	hugePages bool
 }
 
 const kernelImageSize = 8 << 20
@@ -121,7 +127,7 @@ func New(cfg Config) (*Cluster, error) {
 
 func (c *Cluster) buildNode(id int) (*Node, error) {
 	cfg := c.Cfg
-	n := &Node{ID: id, OS: cfg.OS, pr: c.Params, synthetic: cfg.Synthetic}
+	n := &Node{ID: id, OS: cfg.OS, pr: c.Params, synthetic: cfg.Synthetic, hugePages: cfg.LinuxHugePages}
 
 	plan, err := ihk.Partition(cfg.Spec)
 	if err != nil {

@@ -231,7 +231,15 @@ func TestUnexpectedMessages(t *testing.T) {
 		} else {
 			// Let the message arrive unexpectedly.
 			ep.OS.Compute(p, 5*time.Millisecond)
-			for !ep.Progress(p) {
+			for {
+				made, err := ep.Progress(p)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if made {
+					break
+				}
 				p.Sleep(10 * time.Microsecond)
 			}
 			if err := ep.Recv(p, 0, 5, buf, size); err != nil {

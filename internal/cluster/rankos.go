@@ -19,7 +19,11 @@ func (n *Node) NewRankOS(rank int) psm.OSOps {
 	name := fmt.Sprintf("rank%d@node%d", rank, n.ID)
 	switch n.OS {
 	case OSLinux:
-		proc := uproc.NewProcess(name, n.Phys.Partition("linux"), uproc.BackingScattered4K)
+		backing := uproc.BackingScattered4K
+		if n.hugePages {
+			backing = uproc.BackingContigLarge
+		}
+		proc := uproc.NewProcess(name, n.Phys.Partition("linux"), backing)
 		return &linuxOS{node: n, proc: proc, cpu: cpu}
 	default:
 		proc := n.Mck.NewProcess(name)

@@ -123,21 +123,21 @@ func (h *HFIPico) completionFn(args ...any) any {
 	recVA := kmem.VirtAddr(args[1].(uint64))
 	rec, err := h.obj("user_sdma_txreq", recVA)
 	if err != nil {
-		panic(err)
+		return fmt.Errorf("core: completion: %w", err)
 	}
 	ctxtVA, err := rec.GetPtr("ctxt_kva")
 	if err != nil {
-		panic(fmt.Sprintf("core: completion reading ctxt_kva: %v", err))
+		return fmt.Errorf("core: completion reading ctxt_kva: %w", err)
 	}
 	seq, err := rec.GetU("comp_seq")
 	if err != nil {
-		panic(err)
+		return fmt.Errorf("core: completion reading comp_seq: %w", err)
 	}
 	if err := hfi.PostCompletion(ctx, h.space, h.reg, h.NIC, ctxtVA, seq); err != nil {
-		panic(fmt.Sprintf("core: completion CQ append: %v", err))
+		return fmt.Errorf("core: completion CQ append: %w", err)
 	}
 	if err := h.space.Kfree(recVA, ctx.CPU); err != nil {
-		panic(fmt.Sprintf("core: completion kfree: %v", err))
+		return fmt.Errorf("core: completion kfree: %w", err)
 	}
 	h.CompletionRuns++
 	return nil

@@ -1,0 +1,156 @@
+package dwarfx
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/kstruct"
+)
+
+// fuzzSeedBlobs builds valid encodings from the same registries the
+// unit tests use, so the fuzzer starts from structurally interesting
+// corpus entries instead of discovering the format from scratch.
+func fuzzSeedBlobs() [][]byte {
+	var blobs [][]byte
+	reg := kstruct.NewRegistry("10.8-0")
+	reg.MustAdd(&kstruct.Layout{
+		Name:     "sdma_state",
+		ByteSize: 64,
+		Fields: []kstruct.Field{
+			{Name: "ss_lock", Offset: 0, Kind: kstruct.Bytes, ByteLen: 32, TypeName: "spinlock_t"},
+			{Name: "current_state", Offset: 40, Kind: kstruct.Enum, TypeName: "sdma_states"},
+			{Name: "go_s99_running", Offset: 48, Kind: kstruct.U32, TypeName: "unsigned int"},
+			{Name: "previous_state", Offset: 52, Kind: kstruct.Enum, TypeName: "sdma_states"},
+		},
+	})
+	reg.MustAdd(&kstruct.Layout{
+		Name:     "sdma_engine",
+		ByteSize: 256,
+		Fields: []kstruct.Field{
+			{Name: "this_idx", Offset: 0, Kind: kstruct.U32},
+			{Name: "descq_cnt", Offset: 8, Kind: kstruct.U64},
+			{Name: "tail_csr", Offset: 16, Kind: kstruct.Ptr, TypeName: "u64"},
+			{Name: "state", Offset: 64, Kind: kstruct.Bytes, ByteLen: 64, TypeName: "sdma_state"},
+			{Name: "sde_irqs", Offset: 160, Kind: kstruct.U32, Count: 16},
+		},
+	})
+	if root, err := Build(reg); err == nil {
+		if blob, err := Encode(root); err == nil {
+			blobs = append(blobs, blob)
+		}
+	}
+	tiny := kstruct.NewRegistry("vX")
+	tiny.MustAdd(&kstruct.Layout{
+		Name:     "one",
+		ByteSize: 8,
+		Fields:   []kstruct.Field{{Name: "f", Offset: 0, Kind: kstruct.U64}},
+	})
+	if root, err := Build(tiny); err == nil {
+		if blob, err := Encode(root); err == nil {
+			blobs = append(blobs, blob)
+		}
+	}
+	return blobs
+}
+
+// FuzzDecode checks the decoder never panics on arbitrary bytes, and
+// that anything it accepts round-trips: re-encoding a decoded tree and
+// decoding again must preserve the producer string, the struct-name
+// set and every extracted layout.
+func FuzzDecode(f *testing.F) {
+	for _, blob := range fuzzSeedBlobs() {
+		f.Add(blob)
+		// Truncations and single-byte corruptions of valid blobs are
+		// the highest-yield neighborhood for a length-prefixed format.
+		f.Add(blob[:len(blob)/2])
+		mut := append([]byte(nil), blob...)
+		mut[len(mut)/3] ^= 0xff
+		f.Add(mut)
+	}
+	f.Add([]byte("DWSX"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		root, err := Decode(data)
+		if err != nil {
+			return
+		}
+		blob2, err := Encode(root)
+		if err != nil {
+			t.Fatalf("decoded tree does not re-encode: %v", err)
+		}
+		root2, err := Decode(blob2)
+		if err != nil {
+			t.Fatalf("re-encoded blob does not decode: %v", err)
+		}
+		if Producer(root) != Producer(root2) {
+			t.Fatalf("producer changed: %q vs %q", Producer(root), Producer(root2))
+		}
+		names := StructNames(root)
+		if names2 := StructNames(root2); !reflect.DeepEqual(names, names2) {
+			t.Fatalf("struct names changed: %v vs %v", names, names2)
+		}
+		for _, name := range names {
+			a, aErr := ExtractAll(root, name)
+			b, bErr := ExtractAll(root2, name)
+			if (aErr == nil) != (bErr == nil) {
+				t.Fatalf("%s: extraction error mismatch: %v vs %v", name, aErr, bErr)
+			}
+			if aErr == nil && !reflect.DeepEqual(a, b) {
+				t.Fatalf("%s: extraction differs after round trip:\n%+v\n%+v", name, a, b)
+			}
+		}
+	})
+}
+
+// FuzzBuildEncodeDecode drives registry construction from fuzzed field
+// shapes: any layout the registry accepts must survive Build → Encode
+// → Decode → ExtractAll with offsets, kinds, counts and sizes intact.
+func FuzzBuildEncodeDecode(f *testing.F) {
+	f.Add(uint64(40), uint8(4), uint8(0), uint64(64))
+	f.Add(uint64(0), uint8(6), uint8(0), uint64(32))
+	f.Add(uint64(160), uint8(2), uint8(16), uint64(256))
+	f.Add(uint64(8), uint8(3), uint8(2), uint64(64))
+	f.Fuzz(func(t *testing.T, off uint64, kind uint8, count uint8, size uint64) {
+		fld := kstruct.Field{
+			Name:  "f",
+			Kind:  kstruct.Kind(kind % 7),
+			Count: uint64(count),
+		}
+		fld.Offset = off % (1 << 20)
+		if fld.Kind == kstruct.Bytes {
+			fld.ByteLen = uint64(count)%512 + 1
+			fld.Count = 0
+		}
+		reg := kstruct.NewRegistry("fuzz")
+		layout := &kstruct.Layout{Name: "s", ByteSize: size % (1 << 21), Fields: []kstruct.Field{fld}}
+		if reg.Add(layout) != nil {
+			return // invalid layouts are the registry's job to reject
+		}
+		root, err := Build(reg)
+		if err != nil {
+			t.Fatalf("valid registry failed to build: %v", err)
+		}
+		blob, err := Encode(root)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		back, err := Decode(blob)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		got, err := ExtractAll(back, "s")
+		if err != nil {
+			t.Fatalf("extract: %v", err)
+		}
+		if got.ByteSize != layout.ByteSize {
+			t.Fatalf("byte size %d, want %d", got.ByteSize, layout.ByteSize)
+		}
+		gf, err := got.Field("f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gf.Offset != fld.Offset || gf.Kind != fld.Kind || gf.Size() != fld.Size() {
+			t.Fatalf("field mutated: %+v, want %+v", gf, fld)
+		}
+	})
+}

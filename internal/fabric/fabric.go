@@ -7,6 +7,7 @@ package fabric
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/model"
 	"repro/internal/sim"
@@ -65,6 +66,10 @@ type Port struct {
 	// TxBytes/TxPackets count egress traffic.
 	TxBytes   uint64
 	TxPackets uint64
+	// lastArrival tracks, per destination node, the latest scheduled
+	// delivery time, so that jittered latencies never reorder packets
+	// on a src→dst route.
+	lastArrival map[int]time.Duration
 }
 
 // Fabric connects node ports.
@@ -113,6 +118,21 @@ func (f *Fabric) Send(proc *sim.Proc, pkt *Packet) error {
 	src.egress.Use(proc, f.pr.WireTime(pkt.Bytes))
 	src.TxBytes += pkt.Bytes
 	src.TxPackets++
-	f.e.After(f.pr.LinkLatency, func() { dst.deliver(pkt) })
+	lat := f.pr.LinkLatency
+	if f.pr.LinkJitter > 0 {
+		lat += time.Duration(f.e.Rng().Int63n(int64(f.pr.LinkJitter)))
+		// Clamp to the route's previous arrival: the fabric is ordered,
+		// jitter must not reorder packets between a node pair.
+		if src.lastArrival == nil {
+			src.lastArrival = make(map[int]time.Duration)
+		}
+		at := f.e.Now() + lat
+		if prev := src.lastArrival[pkt.DstNode]; at < prev {
+			at = prev
+		}
+		src.lastArrival[pkt.DstNode] = at
+		lat = at - f.e.Now()
+	}
+	f.e.After(lat, func() { dst.deliver(pkt) })
 	return nil
 }

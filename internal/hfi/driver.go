@@ -21,6 +21,27 @@ const (
 	CQEntries   = 4096
 )
 
+// ContextGeometry resolves the per-context ring sizes, honoring any
+// model.Params overrides (fault-injection shrinks them); zero fields
+// select the hardware defaults above. TIDs are clamped to the bitmap
+// capacity of hfi1_ctxtdata.tid_map.
+func ContextGeometry(pr *model.Params) (hdrq, eager, cq, tids int) {
+	hdrq, eager, cq, tids = HdrqEntries, EagerSlots, CQEntries, TIDsPerContext
+	if pr.HdrqEntries > 0 {
+		hdrq = pr.HdrqEntries
+	}
+	if pr.EagerSlots > 0 {
+		eager = pr.EagerSlots
+	}
+	if pr.CQEntries > 0 {
+		cq = pr.CQEntries
+	}
+	if pr.TIDsPerContext > 0 && pr.TIDsPerContext < tids {
+		tids = pr.TIDsPerContext
+	}
+	return hdrq, eager, cq, tids
+}
+
 // Mmap kinds understood by the driver's mmap file operation.
 const (
 	MmapStatus uint32 = 1
@@ -168,14 +189,40 @@ func NewLinuxDriver(k *linux.Kernel, nic *NIC, pr *model.Params, worlds []*kmem.
 		k.Pool.Submit("hfi1-sdma-irq", func(ctx *kernel.Ctx) {
 			ctx.Spend(pr.IRQHandlerCost)
 			for _, txn := range batch {
-				if _, err := k.Space.Call(d.worlds, kmem.VirtAddr(txn.CallbackVA), ctx, txn.CallbackArg); err != nil {
+				ret, err := k.Space.Call(d.worlds, kmem.VirtAddr(txn.CallbackVA), ctx, txn.CallbackArg)
+				if err != nil {
+					// An unresolvable callback address is a wiring bug.
 					panic(fmt.Sprintf("hfi: completion callback: %v", err))
+				}
+				// Data-dependent callback failures (CQ overflow, layout
+				// skew) abort the simulation with a diagnosable error:
+				// IRQ context has no caller to return them to.
+				if cerr, ok := ret.(error); ok && cerr != nil {
+					nic.Fail(fmt.Errorf("hfi: node %d completion: %w", nic.Node, cerr))
+					return
 				}
 			}
 		})
 	})
 	return d, nil
 }
+
+// OutstandingTxreqPins returns the number of in-flight SDMA transfers
+// still holding get_user_pages pins (zero after all completions ran).
+func (d *LinuxDriver) OutstandingTxreqPins() int { return len(d.pinnedByTxreq) }
+
+// OutstandingTIDPins returns the number of RcvArray entries still
+// holding page pins across all open contexts.
+func (d *LinuxDriver) OutstandingTIDPins() int {
+	n := 0
+	for _, m := range d.tidPins {
+		n += len(m)
+	}
+	return n
+}
+
+// OpenContexts returns the number of contexts not yet released.
+func (d *LinuxDriver) OpenContexts() int { return len(d.open) }
 
 // Registry exposes the driver's authoritative layouts (test oracle; the
 // PicoDriver must NOT use this — it extracts from DWARFBlob).
@@ -202,18 +249,19 @@ func (d *LinuxDriver) obj(name string, va kmem.VirtAddr) kstruct.Obj {
 
 // completionFn is the SDMA completion callback: append the completion
 // sequence to the context's send CQ and release the transfer metadata.
-// It runs on a Linux CPU in IRQ context.
+// It runs on a Linux CPU in IRQ context; failures are returned as the
+// call's value and routed to the simulation by the IRQ handler.
 func (d *LinuxDriver) completionFn(args ...any) any {
 	ctx := args[0].(*kernel.Ctx)
 	recVA := kmem.VirtAddr(args[1].(uint64))
 	rec := d.obj("user_sdma_txreq", recVA)
 	ctxtVA, err := rec.GetPtr("ctxt_kva")
 	if err != nil {
-		panic(err)
+		return fmt.Errorf("hfi: completion txreq read: %w", err)
 	}
 	seq, _ := rec.GetU("comp_seq")
 	if err := d.postCompletion(ctx, ctxtVA, seq); err != nil {
-		panic(err)
+		return err
 	}
 	// Unpin the transfer's pages and free the metadata (Linux side).
 	if pages, ok := d.pinnedByTxreq[recVA]; ok {
@@ -223,7 +271,7 @@ func (d *LinuxDriver) completionFn(args ...any) any {
 		delete(d.pinnedByTxreq, recVA)
 	}
 	if err := d.K.Space.Kfree(recVA, ctx.CPU); err != nil {
-		panic(err)
+		return fmt.Errorf("hfi: completion kfree: %w", err)
 	}
 	return nil
 }
@@ -308,6 +356,7 @@ func (d *LinuxDriver) Open(ctx *kernel.Ctx, f *linux.File) error {
 		va := d.K.Space.Layout.DirectMapVirt(ext.Addr)
 		return ext, va, nil
 	}
+	hdrqEntries, eagerSlots, cqEntries, tidCount := ContextGeometry(d.pr)
 	statusExt, statusVA, err := alloc(mem.PageSize4K) // status page
 	if err != nil {
 		return err
@@ -316,15 +365,15 @@ func (d *LinuxDriver) Open(ctx *kernel.Ctx, f *linux.File) error {
 	if err := d.K.Space.WriteAt(statusVA, make([]byte, StatusPageSize)); err != nil {
 		return err
 	}
-	hdrqExt, hdrqVA, err := alloc(HdrqEntries * HdrqEntrySize)
+	hdrqExt, hdrqVA, err := alloc(uint64(hdrqEntries) * HdrqEntrySize)
 	if err != nil {
 		return err
 	}
-	eagerExt, eagerVA, err := alloc(EagerSlots * d.pr.EagerChunk)
+	eagerExt, eagerVA, err := alloc(uint64(eagerSlots) * d.pr.EagerChunk)
 	if err != nil {
 		return err
 	}
-	cqExt, cqVA, err := alloc(CQEntries * 8)
+	cqExt, cqVA, err := alloc(uint64(cqEntries) * 8)
 	if err != nil {
 		return err
 	}
@@ -340,8 +389,8 @@ func (d *LinuxDriver) Open(ctx *kernel.Ctx, f *linux.File) error {
 		{"ctxt", uint64(id)}, {"node", uint64(d.NIC.Node)},
 		{"status_kva", uint64(statusVA)}, {"hdrq_kva", uint64(hdrqVA)},
 		{"eager_kva", uint64(eagerVA)}, {"cq_kva", uint64(cqVA)},
-		{"hdrq_entries", HdrqEntries}, {"eager_slots", EagerSlots},
-		{"cq_entries", CQEntries}, {"tid_cnt", TIDsPerContext},
+		{"hdrq_entries", uint64(hdrqEntries)}, {"eager_slots", uint64(eagerSlots)},
+		{"cq_entries", uint64(cqEntries)}, {"tid_cnt", uint64(tidCount)},
 	}
 	for _, fv := range fields {
 		if err := cctx.SetU(fv.name, fv.v); err != nil {
@@ -373,7 +422,7 @@ func (d *LinuxDriver) Open(ctx *kernel.Ctx, f *linux.File) error {
 	}
 
 	if _, err := d.NIC.AllocContext(id, statusExt.Addr, hdrqExt.Addr, eagerExt.Addr, cqExt.Addr,
-		HdrqEntries, EagerSlots, CQEntries, TIDsPerContext); err != nil {
+		hdrqEntries, eagerSlots, cqEntries, tidCount); err != nil {
 		return err
 	}
 

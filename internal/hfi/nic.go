@@ -71,6 +71,9 @@ type Context struct {
 type SDMAEngine struct {
 	Index int
 	q     *sim.Queue[*SDMATxn]
+	// drain is signaled as transactions retire; submitters block on it
+	// when the descriptor ring (model.Params.SDMAQueueDepth) is full.
+	drain *sim.Cond
 	// BytesSent and Submitted are instrumentation counters.
 	BytesSent uint64
 	Submitted uint64
@@ -99,6 +102,13 @@ type NIC struct {
 	SDMARequests uint64
 	SDMAFullSize uint64 // requests at exactly MaxSDMARequest
 	IRQsRaised   uint64
+	// RxDropped counts packets that arrived for a context that no longer
+	// exists (racing a teardown); real hardware drops these too.
+	RxDropped uint64
+	// TIDProgramOps / TIDClearOps count RcvArray programming operations
+	// NIC-wide; a balanced teardown leaves them equal.
+	TIDProgramOps uint64
+	TIDClearOps   uint64
 }
 
 // NewNIC creates the NIC, attaches it to the fabric and starts its SDMA
@@ -119,7 +129,7 @@ func NewNIC(e *sim.Engine, pr *model.Params, node int, phys *mem.PhysMem, fab *f
 	}
 	n.port = port
 	for i := 0; i < pr.SDMAEngines; i++ {
-		eng := &SDMAEngine{Index: i, q: sim.NewQueue[*SDMATxn](e)}
+		eng := &SDMAEngine{Index: i, q: sim.NewQueue[*SDMATxn](e), drain: sim.NewCond(e)}
 		n.engines = append(n.engines, eng)
 		e.GoDaemon(fmt.Sprintf("nic%d-sdma%d", node, i), func(p *sim.Proc) { n.runEngine(p, eng) })
 	}
@@ -139,6 +149,16 @@ func (n *NIC) SetIRQSink(sink func(completed []*SDMATxn)) { n.irqSink = sink }
 
 // Engines returns the number of SDMA engines.
 func (n *NIC) Engines() int { return len(n.engines) }
+
+// LiveContexts returns the number of currently allocated receive
+// contexts (teardown-balance instrumentation).
+func (n *NIC) LiveContexts() int { return len(n.contexts) }
+
+// Fail aborts the simulation with err. Device pipelines (SDMA engines,
+// the receive path, IRQ completion callbacks) run in daemon or event
+// context where no process return value can carry the error back to the
+// caller under test.
+func (n *NIC) Fail(err error) { n.e.Fail(err) }
 
 // Engine returns instrumentation for engine i.
 func (n *NIC) Engine(i int) *SDMAEngine { return n.engines[i] }
@@ -183,6 +203,7 @@ func (n *NIC) ProgramTID(ctxID, idx int, ext mem.Extent) error {
 	}
 	ctx.tids[idx] = tidEntry{valid: true, ext: ext}
 	ctx.TIDsProgrammed++
+	n.TIDProgramOps++
 	return nil
 }
 
@@ -196,6 +217,7 @@ func (n *NIC) ClearTID(ctxID, idx int) error {
 		return fmt.Errorf("hfi: clearing unprogrammed TID %d", idx)
 	}
 	ctx.tids[idx] = tidEntry{}
+	n.TIDClearOps++
 	return nil
 }
 
@@ -217,6 +239,12 @@ func (n *NIC) SubmitSDMA(p *sim.Proc, txn *SDMATxn) error {
 	}
 	p.Sleep(n.pr.SDMADoorbell)
 	eng := n.engines[txn.Engine]
+	if depth := n.pr.SDMAQueueDepth; depth > 0 {
+		// Descriptor-ring backpressure: block until the engine drains.
+		for eng.q.Len() >= depth {
+			eng.drain.Wait(p)
+		}
+	}
 	eng.Submitted++
 	eng.q.Push(txn)
 	return nil
@@ -255,10 +283,12 @@ func (n *NIC) LocalDeliver(p *sim.Proc, dstCtx int, hdr fabric.Header, payload [
 		return fmt.Errorf("hfi: local delivery to unknown context %d", dstCtx)
 	}
 	p.Sleep(n.pr.LocalCopyTime(bytes))
-	n.rxEager(ctx, &fabric.Packet{
+	if err := n.rxEager(ctx, &fabric.Packet{
 		SrcNode: n.Node, DstNode: n.Node, DstCtx: dstCtx,
 		Kind: fabric.KindEager, Hdr: hdr, Payload: payload, Bytes: bytes,
-	})
+	}); err != nil {
+		return err
+	}
 	ctx.Notify.Broadcast()
 	return nil
 }
@@ -279,7 +309,8 @@ func (n *NIC) runEngine(p *sim.Proc, eng *SDMAEngine) {
 			if !txn.Synthetic {
 				payload = make([]byte, req.Src.Len)
 				if err := n.phys.ReadAt(req.Src.Addr, payload); err != nil {
-					panic(fmt.Sprintf("hfi: node %d engine %d DMA read: %v", n.Node, eng.Index, err))
+					n.e.Fail(fmt.Errorf("hfi: node %d engine %d DMA read: %w", n.Node, eng.Index, err))
+					return
 				}
 			}
 			hdr := txn.Hdr
@@ -291,11 +322,13 @@ func (n *NIC) runEngine(p *sim.Proc, eng *SDMAEngine) {
 				TIDIdx: req.TIDIdx, TIDOff: req.TIDOff, Last: req.Last,
 			}
 			if err := n.fab.Send(p, pkt); err != nil {
-				panic(fmt.Sprintf("hfi: node %d send: %v", n.Node, err))
+				n.e.Fail(fmt.Errorf("hfi: node %d send: %w", n.Node, err))
+				return
 			}
 			eng.BytesSent += req.Src.Len
 		}
 		n.complete(txn)
+		eng.drain.Broadcast()
 	}
 }
 
@@ -326,76 +359,86 @@ func (n *NIC) runRx(p *sim.Proc) {
 		n.RxPackets++
 		ctx, ok := n.contexts[pkt.DstCtx]
 		if !ok {
-			panic(fmt.Sprintf("hfi: node %d packet for unknown context %d", n.Node, pkt.DstCtx))
+			// Packets racing a context teardown are dropped, like on
+			// real hardware.
+			n.RxDropped++
+			continue
 		}
+		var err error
 		switch pkt.Kind {
 		case fabric.KindEager:
-			n.rxEager(ctx, pkt)
+			err = n.rxEager(ctx, pkt)
 		case fabric.KindExpected:
-			n.rxExpected(ctx, pkt)
+			err = n.rxExpected(ctx, pkt)
+		}
+		if err != nil {
+			n.e.Fail(fmt.Errorf("hfi: node %d ctx %d rx: %w", n.Node, ctx.ID, err))
+			return
 		}
 		ctx.Notify.Broadcast()
 	}
 }
 
-func (n *NIC) rxEager(ctx *Context, pkt *fabric.Packet) {
+func (n *NIC) rxEager(ctx *Context, pkt *fabric.Packet) error {
 	head := n.readStatus(ctx, StatusEagerHead)
 	tail := n.readStatus(ctx, StatusEagerTail)
 	if head-tail >= uint64(ctx.EagerSlots) {
-		panic(fmt.Sprintf("hfi: node %d ctx %d eager ring overflow (head=%d tail=%d)",
-			n.Node, ctx.ID, head, tail))
+		return fmt.Errorf("hfi: eager ring overflow (head=%d tail=%d slots=%d)",
+			head, tail, ctx.EagerSlots)
 	}
 	slot := head % uint64(ctx.EagerSlots)
 	if pkt.Payload != nil {
 		pa := ctx.EagerPA + mem.PhysAddr(slot*n.pr.EagerChunk)
 		if err := n.phys.WriteAt(pa, pkt.Payload); err != nil {
-			panic(fmt.Sprintf("hfi: eager DMA write: %v", err))
+			return fmt.Errorf("hfi: eager DMA write: %w", err)
 		}
 	}
 	n.writeStatus(ctx, StatusEagerHead, head+1)
-	n.postHdrq(ctx, &HdrqEntry{
+	return n.postHdrq(ctx, &HdrqEntry{
 		Type: HdrqTypeEager, SrcRank: pkt.Hdr.SrcRank, Tag: pkt.Hdr.Tag,
 		MsgID: pkt.Hdr.MsgID, MsgLen: pkt.Hdr.MsgLen, Offset: pkt.Hdr.Offset,
 		Aux: pkt.Hdr.Aux, EagerIdx: uint32(slot), Op: pkt.Hdr.Op, Bytes: pkt.Bytes,
 	})
 }
 
-func (n *NIC) rxExpected(ctx *Context, pkt *fabric.Packet) {
+func (n *NIC) rxExpected(ctx *Context, pkt *fabric.Packet) error {
 	if pkt.TIDIdx < 0 || pkt.TIDIdx >= len(ctx.tids) || !ctx.tids[pkt.TIDIdx].valid {
-		panic(fmt.Sprintf("hfi: node %d ctx %d expected packet for invalid TID %d",
-			n.Node, ctx.ID, pkt.TIDIdx))
+		return fmt.Errorf("hfi: expected packet for invalid TID %d", pkt.TIDIdx)
 	}
 	ent := ctx.tids[pkt.TIDIdx]
 	if pkt.TIDOff+pkt.Bytes > ent.ext.Len {
-		panic(fmt.Sprintf("hfi: expected packet overruns TID %d (%d+%d > %d)",
-			pkt.TIDIdx, pkt.TIDOff, pkt.Bytes, ent.ext.Len))
+		return fmt.Errorf("hfi: expected packet overruns TID %d (%d+%d > %d)",
+			pkt.TIDIdx, pkt.TIDOff, pkt.Bytes, ent.ext.Len)
 	}
 	if pkt.Payload != nil {
 		if err := n.phys.WriteAt(ent.ext.Addr+mem.PhysAddr(pkt.TIDOff), pkt.Payload); err != nil {
-			panic(fmt.Sprintf("hfi: expected DMA write: %v", err))
+			return fmt.Errorf("hfi: expected DMA write: %w", err)
 		}
 	}
 	if pkt.Last {
-		n.postHdrq(ctx, &HdrqEntry{
+		return n.postHdrq(ctx, &HdrqEntry{
 			Type: HdrqTypeExpectedDone, SrcRank: pkt.Hdr.SrcRank, Tag: pkt.Hdr.Tag,
 			MsgID: pkt.Hdr.MsgID, MsgLen: pkt.Hdr.MsgLen, Op: pkt.Hdr.Op,
 			Aux: pkt.Hdr.Aux, Bytes: pkt.Bytes,
 		})
 	}
+	return nil
 }
 
-func (n *NIC) postHdrq(ctx *Context, e *HdrqEntry) {
+func (n *NIC) postHdrq(ctx *Context, e *HdrqEntry) error {
 	head := n.readStatus(ctx, StatusHdrqHead)
 	tail := n.readStatus(ctx, StatusHdrqTail)
 	if head-tail >= uint64(ctx.HdrqEntries) {
-		panic(fmt.Sprintf("hfi: node %d ctx %d hdrq overflow", n.Node, ctx.ID))
+		return fmt.Errorf("hfi: hdrq overflow (head=%d tail=%d entries=%d)",
+			head, tail, ctx.HdrqEntries)
 	}
 	slot := head % uint64(ctx.HdrqEntries)
 	pa := ctx.HdrqPA + mem.PhysAddr(slot*HdrqEntrySize)
 	if err := n.phys.WriteAt(pa, EncodeHdrqEntry(e)); err != nil {
-		panic(fmt.Sprintf("hfi: hdrq DMA write: %v", err))
+		return fmt.Errorf("hfi: hdrq DMA write: %w", err)
 	}
 	n.writeStatus(ctx, StatusHdrqHead, head+1)
+	return nil
 }
 
 func (n *NIC) readStatus(ctx *Context, off int) uint64 {

@@ -189,20 +189,31 @@ func TestSplitForTIDs(t *testing.T) {
 
 func TestBitmapHelpers(t *testing.T) {
 	bm := make([]byte, 4) // 32 bits
-	if idx := findClearBit(bm); idx != 0 {
+	if idx := findClearBit(bm, 32); idx != 0 {
 		t.Fatalf("first clear = %d", idx)
 	}
 	for i := 0; i < 32; i++ {
 		setBit(bm, i)
 	}
-	if idx := findClearBit(bm); idx != -1 {
+	if idx := findClearBit(bm, 32); idx != -1 {
 		t.Fatalf("full bitmap returned %d", idx)
 	}
 	clearBit(bm, 17)
-	if idx := findClearBit(bm); idx != 17 {
+	if idx := findClearBit(bm, 32); idx != 17 {
 		t.Fatalf("clear = %d", idx)
 	}
 	if testBit(bm, 17) || !testBit(bm, 16) {
 		t.Fatal("testBit wrong")
+	}
+	// A limit below the first clear bit means exhaustion.
+	if idx := findClearBit(bm, 17); idx != -1 {
+		t.Fatalf("limit 17 returned %d", idx)
+	}
+	// Zero / oversized limits fall back to the bitmap capacity.
+	if idx := findClearBit(bm, 0); idx != 17 {
+		t.Fatalf("limit 0 returned %d", idx)
+	}
+	if idx := findClearBit(bm, 1000); idx != 17 {
+		t.Fatalf("limit 1000 returned %d", idx)
 	}
 }

@@ -39,6 +39,13 @@ func AllocAndProgramTIDs(ctx *kernel.Ctx, space *kmem.Space, reg *kstruct.Regist
 	if err != nil {
 		return nil, nil, err
 	}
+	// tid_cnt bounds the usable RcvArray entries: the driver programs it
+	// at open time (possibly shrunk for fault injection), so allocation
+	// must not wander into the bitmap's unused tail.
+	tidCnt, err := cctx.GetU("tid_cnt")
+	if err != nil {
+		return nil, nil, err
+	}
 	var pairs []TIDPair
 	idxExts := make(map[int]mem.Extent)
 	rollback := func() {
@@ -48,7 +55,7 @@ func AllocAndProgramTIDs(ctx *kernel.Ctx, space *kmem.Space, reg *kstruct.Regist
 		}
 	}
 	for _, seg := range segments {
-		idx := findClearBit(bitmap)
+		idx := findClearBit(bitmap, int(tidCnt))
 		if idx < 0 {
 			rollback()
 			return nil, nil, fmt.Errorf("hfi: RcvArray exhausted on context %d", ctxtID)
@@ -152,14 +159,21 @@ func tidLock(space *kmem.Space, cctx kstruct.Obj) (*kernel.SpinLock, error) {
 		Layout: kernel.LinuxSpinLockLayout, SpinDelay: kernel.DefaultSpinDelay}, nil
 }
 
-func findClearBit(bitmap []byte) int {
+func findClearBit(bitmap []byte, limit int) int {
+	if max := len(bitmap) * 8; limit > max || limit <= 0 {
+		limit = max
+	}
 	for i, b := range bitmap {
 		if b == 0xff {
 			continue
 		}
 		for bit := 0; bit < 8; bit++ {
+			idx := i*8 + bit
+			if idx >= limit {
+				return -1
+			}
 			if b&(1<<bit) == 0 {
-				return i*8 + bit
+				return idx
 			}
 		}
 	}

@@ -41,6 +41,32 @@ type Params struct {
 	IRQHandlerCost time.Duration
 	// IRQCoalesce is the window within which completions share an IRQ.
 	IRQCoalesce time.Duration
+	// LinkJitter, when positive, adds a deterministic pseudo-random
+	// delivery delay in [0, LinkJitter) to every packet, drawn from the
+	// engine's seeded RNG. Ordering between any two nodes stays FIFO
+	// (OmniPath routes are ordered); only latency varies. Used by the
+	// simtest harness to perturb event interleavings.
+	LinkJitter time.Duration
+
+	// ---- Receive-context geometry / fault injection ----
+	//
+	// Zero selects the hardware defaults (hfi.HdrqEntries and friends).
+	// The simtest harness shrinks these to drive rings near overflow and
+	// to inject RcvArray (TID) exhaustion.
+
+	// HdrqEntries sizes the per-context receive header queue.
+	HdrqEntries int
+	// EagerSlots sizes the per-context eager receive ring.
+	EagerSlots int
+	// CQEntries sizes the per-context send completion queue.
+	CQEntries int
+	// TIDsPerContext caps usable RcvArray entries per context; values
+	// above the bitmap capacity are clamped to it.
+	TIDsPerContext int
+	// SDMAQueueDepth, when positive, bounds each SDMA engine's pending
+	// transaction queue: submitters block (descriptor-ring backpressure)
+	// until the engine drains.
+	SDMAQueueDepth int
 
 	// ---- PIO path ----
 

@@ -29,6 +29,11 @@ type Endpoint struct {
 	statusVA, hdrqVA, eagerVA, cqVA uproc.VirtAddr
 	scratchVA                       uproc.VirtAddr
 
+	// Ring geometry of the opened context, read from the hardware
+	// context at init (the driver may have been configured with
+	// non-default sizes for fault injection).
+	hdrqEntries, cqEntries uint64
+
 	// Consumer cursors (mirrored to the status page for the NIC).
 	hdrqTail, eagerTail, cqTail uint64
 
@@ -185,6 +190,8 @@ func NewEndpoint(p *sim.Proc, os OSOps, rank int, book AddressBook, synthetic bo
 		return nil, fmt.Errorf("psm: hardware context %d missing", ep.CtxID)
 	}
 	ep.notify = hwctx.Notify
+	ep.hdrqEntries = uint64(hwctx.HdrqEntries)
+	ep.cqEntries = uint64(hwctx.CQEntries)
 	return ep, nil
 }
 
@@ -207,37 +214,46 @@ func (ep *Endpoint) addrOf(rank int) (Addr, error) {
 }
 
 // readStatus reads one status-page counter through the user mapping.
-func (ep *Endpoint) readStatus(off int) uint64 {
+func (ep *Endpoint) readStatus(off int) (uint64, error) {
 	v, err := ep.proc().ReadU64(ep.statusVA + uproc.VirtAddr(off))
 	if err != nil {
-		panic(fmt.Sprintf("psm: rank %d status read: %v", ep.Rank, err))
+		return 0, fmt.Errorf("psm: rank %d status read: %w", ep.Rank, err)
 	}
-	return v
+	return v, nil
 }
 
-func (ep *Endpoint) writeStatus(off int, v uint64) {
+func (ep *Endpoint) writeStatus(off int, v uint64) error {
 	if err := ep.proc().WriteU64(ep.statusVA+uproc.VirtAddr(off), v); err != nil {
-		panic(fmt.Sprintf("psm: rank %d status write: %v", ep.Rank, err))
+		return fmt.Errorf("psm: rank %d status write: %w", ep.Rank, err)
 	}
+	return nil
 }
 
-// WaitFor drives progress until cond holds.
-func (ep *Endpoint) WaitFor(p *sim.Proc, cond func() bool) {
+// WaitFor drives progress until cond holds, returning the first
+// progress error.
+func (ep *Endpoint) WaitFor(p *sim.Proc, cond func() bool) error {
 	for !cond() {
-		if ep.Progress(p) {
+		made, err := ep.Progress(p)
+		if err != nil {
+			return err
+		}
+		if made {
 			continue
 		}
 		if cond() {
-			return
+			return nil
 		}
 		ep.notify.Wait(p)
 		p.Sleep(pollDelay)
 	}
+	return nil
 }
 
 // Wait blocks until the request completes.
 func (ep *Endpoint) Wait(p *sim.Proc, r *Request) error {
-	ep.WaitFor(p, func() bool { return r.Done })
+	if err := ep.WaitFor(p, func() bool { return r.Done }); err != nil {
+		return err
+	}
 	return r.Err
 }
 

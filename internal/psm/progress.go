@@ -9,50 +9,63 @@ import (
 )
 
 // Progress drains the receive header queue and the send completion
-// queue. It returns whether anything was processed. All state it reads
-// lives in host memory written by the NIC/driver, accessed through this
-// process's mmap of the context (OS bypass: no system call involved in
-// polling).
-func (ep *Endpoint) Progress(p *sim.Proc) bool {
+// queue. It returns whether anything was processed, and an error if the
+// protocol state machine hit inconsistent data (injected faults surface
+// here instead of aborting the process). All state it reads lives in
+// host memory written by the NIC/driver, accessed through this process's
+// mmap of the context (OS bypass: no system call involved in polling).
+func (ep *Endpoint) Progress(p *sim.Proc) (bool, error) {
 	made := false
 	for {
-		head := ep.readStatus(hfi.StatusHdrqHead)
+		head, err := ep.readStatus(hfi.StatusHdrqHead)
+		if err != nil {
+			return made, err
+		}
 		if ep.hdrqTail >= head {
 			break
 		}
-		slot := ep.hdrqTail % hfi.HdrqEntries
+		slot := ep.hdrqTail % ep.hdrqEntries
 		raw := make([]byte, hfi.HdrqEntrySize)
 		if err := ep.proc().ReadAt(ep.hdrqVA+uproc.VirtAddr(slot*hfi.HdrqEntrySize), raw); err != nil {
-			panic(fmt.Sprintf("psm: rank %d hdrq read: %v", ep.Rank, err))
+			return made, fmt.Errorf("psm: rank %d hdrq read: %w", ep.Rank, err)
 		}
 		entry, err := hfi.DecodeHdrqEntry(raw)
 		if err != nil {
-			panic(err)
+			return made, fmt.Errorf("psm: rank %d: %w", ep.Rank, err)
 		}
 		ep.hdrqTail++
-		ep.writeStatus(hfi.StatusHdrqTail, ep.hdrqTail)
+		if err := ep.writeStatus(hfi.StatusHdrqTail, ep.hdrqTail); err != nil {
+			return made, err
+		}
 		if err := ep.handleEntry(p, entry); err != nil {
-			panic(fmt.Sprintf("psm: rank %d handling entry type %d op %d: %v",
-				ep.Rank, entry.Type, entry.Op, err))
+			return made, fmt.Errorf("psm: rank %d handling entry type %d op %d: %w",
+				ep.Rank, entry.Type, entry.Op, err)
 		}
 		made = true
 	}
 	for {
-		head := ep.readStatus(hfi.StatusCQHead)
+		head, err := ep.readStatus(hfi.StatusCQHead)
+		if err != nil {
+			return made, err
+		}
 		if ep.cqTail >= head {
 			break
 		}
-		slot := ep.cqTail % hfi.CQEntries
+		slot := ep.cqTail % ep.cqEntries
 		seq, err := ep.proc().ReadU64(ep.cqVA + uproc.VirtAddr(slot*8))
 		if err != nil {
-			panic(fmt.Sprintf("psm: rank %d cq read: %v", ep.Rank, err))
+			return made, fmt.Errorf("psm: rank %d cq read: %w", ep.Rank, err)
 		}
 		ep.cqTail++
-		ep.writeStatus(hfi.StatusCQTail, ep.cqTail)
-		ep.onSendComplete(uint32(seq))
+		if err := ep.writeStatus(hfi.StatusCQTail, ep.cqTail); err != nil {
+			return made, err
+		}
+		if err := ep.onSendComplete(uint32(seq)); err != nil {
+			return made, err
+		}
 		made = true
 	}
-	return made
+	return made, nil
 }
 
 func (ep *Endpoint) handleEntry(p *sim.Proc, e *hfi.HdrqEntry) error {
@@ -61,7 +74,9 @@ func (ep *Endpoint) handleEntry(p *sim.Proc, e *hfi.HdrqEntry) error {
 		err := ep.handleEagerEntry(p, e)
 		// Every eager-kind packet consumed one ring slot, in order.
 		ep.eagerTail++
-		ep.writeStatus(hfi.StatusEagerTail, ep.eagerTail)
+		if werr := ep.writeStatus(hfi.StatusEagerTail, ep.eagerTail); err == nil {
+			err = werr
+		}
 		return err
 	case hfi.HdrqTypeExpectedDone:
 		return ep.onWindowDone(p, e)
@@ -194,10 +209,10 @@ func (ep *Endpoint) onCTS(p *sim.Proc, e *hfi.HdrqEntry) error {
 }
 
 // onSendComplete retires one CQ completion.
-func (ep *Endpoint) onSendComplete(seq uint32) {
+func (ep *Endpoint) onSendComplete(seq uint32) error {
 	w, ok := ep.bySeq[seq]
 	if !ok {
-		panic(fmt.Sprintf("psm: rank %d completion for unknown seq %d", ep.Rank, seq))
+		return fmt.Errorf("psm: rank %d completion for unknown seq %d", ep.Rank, seq)
 	}
 	delete(ep.bySeq, seq)
 	sr := w.send
@@ -206,6 +221,7 @@ func (ep *Endpoint) onSendComplete(seq uint32) {
 		sr.req.Done = true
 		delete(ep.sends, sr.msgid)
 	}
+	return nil
 }
 
 // onWindowDone processes an expected-receive completion: free the

@@ -69,7 +69,10 @@ func (ep *Endpoint) sendLocal(p *sim.Proc, a Addr, tag, msgid uint64, buf uproc.
 		if n > chunk {
 			n = chunk
 		}
-		payload := ep.readPayload(buf+uproc.VirtAddr(off), n)
+		payload, err := ep.readPayload(buf+uproc.VirtAddr(off), n)
+		if err != nil {
+			return err
+		}
 		hdr := ep.header(hfi.OpEager, tag, msgid, length, off, 0)
 		if err := ep.nic.LocalDeliver(p, a.Ctx, hdr, payload, n); err != nil {
 			return err
@@ -91,7 +94,10 @@ func (ep *Endpoint) sendPIO(p *sim.Proc, a Addr, tag, msgid uint64, buf uproc.Vi
 		if n > chunk {
 			n = chunk
 		}
-		payload := ep.readPayload(buf+uproc.VirtAddr(off), n)
+		payload, err := ep.readPayload(buf+uproc.VirtAddr(off), n)
+		if err != nil {
+			return err
+		}
 		hdr := ep.header(hfi.OpEager, tag, msgid, length, off, 0)
 		if err := ep.nic.PIOSend(p, a.Node, a.Ctx, hdr, payload, n); err != nil {
 			return err
@@ -105,15 +111,15 @@ func (ep *Endpoint) sendPIO(p *sim.Proc, a Addr, tag, msgid uint64, buf uproc.Vi
 
 // readPayload loads message bytes from user memory (nil in synthetic
 // mode — lengths still flow through the whole stack).
-func (ep *Endpoint) readPayload(va uproc.VirtAddr, n uint64) []byte {
+func (ep *Endpoint) readPayload(va uproc.VirtAddr, n uint64) ([]byte, error) {
 	if ep.Synthetic {
-		return nil
+		return nil, nil
 	}
 	buf := make([]byte, n)
 	if err := ep.proc().ReadAt(va, buf); err != nil {
-		panic(fmt.Sprintf("psm: rank %d payload read: %v", ep.Rank, err))
+		return nil, fmt.Errorf("psm: rank %d payload read: %w", ep.Rank, err)
 	}
-	return buf
+	return buf, nil
 }
 
 // sendEagerSDMA submits a medium message with a single writev; the

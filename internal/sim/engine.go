@@ -53,6 +53,17 @@ func NewEngine(seed int64) *Engine {
 // Now returns the current virtual time.
 func (e *Engine) Now() time.Duration { return e.now }
 
+// Fail records err as a fatal simulation failure: Run returns it once the
+// current event finishes. It exists for code running in event or device
+// context (NIC receive pipelines, IRQ delivery) where there is no process
+// whose return value could carry the error; process bodies should return
+// errors normally instead. Only the first failure is kept.
+func (e *Engine) Fail(err error) {
+	if e.failv == nil && err != nil {
+		e.failv = err
+	}
+}
+
 // Rng returns the engine's deterministic random source. It must only be
 // used from simulation context (the engine loop or a running process).
 func (e *Engine) Rng() *rand.Rand { return e.rng }
@@ -111,7 +122,7 @@ func (e *Engine) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
 	go func() {
 		<-p.resume
 		defer func() {
-			if r := recover(); r != nil {
+			if r := recover(); r != nil && e.failv == nil {
 				e.failv = fmt.Sprintf("proc %q panicked: %v", p.name, r)
 			}
 			e.live--

@@ -1,0 +1,406 @@
+package simtest
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/psm"
+	"repro/internal/sim"
+	"repro/internal/uproc"
+)
+
+// Report summarizes one successful workload execution.
+type Report struct {
+	Workload    Workload
+	Digest      string
+	VirtualTime time.Duration
+	Messages    int
+}
+
+// Repro is the single-seed repro command printed with every failure.
+func Repro(base int64, cell string) string {
+	return fmt.Sprintf("go test ./internal/simtest -run 'TestSimHarness$' -seed=%d -cell='%s'", base, cell)
+}
+
+// CheckCell generates the cell's workload, runs it twice and compares
+// trace digests. Any failure carries the workload summary and a
+// one-line repro command.
+func CheckCell(base int64, cell string) (*Report, error) {
+	w, err := Generate(base, cell)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := Check(w)
+	if err != nil {
+		return nil, fmt.Errorf("%w\nworkload: %s\nrepro: %s", err, w.Summary(), Repro(base, cell))
+	}
+	return rep, nil
+}
+
+// Check runs the workload twice and asserts same-seed determinism: two
+// executions of an identical workload must produce identical trace
+// digests.
+func Check(w Workload) (*Report, error) {
+	r1, err := Run(w)
+	if err != nil {
+		return nil, err
+	}
+	r2, err := Run(w)
+	if err != nil {
+		return nil, fmt.Errorf("simtest: rerun of identical workload failed: %w", err)
+	}
+	if r1.Digest != r2.Digest {
+		return nil, fmt.Errorf("simtest: nondeterminism: same seed produced digests %s and %s", r1.Digest, r2.Digest)
+	}
+	return r1, nil
+}
+
+// Run executes the workload once through the real stack and checks the
+// invariant battery: byte-exact delivery, pin and TID balance at
+// teardown, closed contexts, no dropped packets, and per-rank
+// virtual-clock monotonicity.
+func Run(w Workload) (*Report, error) {
+	if len(w.Msgs) == 0 {
+		return nil, fmt.Errorf("simtest: empty workload")
+	}
+	ranks := w.Nodes * w.RanksPerNode
+	for i, m := range w.Msgs {
+		if m.Src == m.Dst || m.Src < 0 || m.Dst < 0 || m.Src >= ranks || m.Dst >= ranks {
+			return nil, fmt.Errorf("simtest: msg %d endpoints (%d→%d) invalid for %d ranks", i, m.Src, m.Dst, ranks)
+		}
+	}
+	cl, err := cluster.New(cluster.Config{
+		Nodes:          w.Nodes,
+		OS:             w.OS,
+		Params:         w.params(),
+		Seed:           w.Seed,
+		LinuxHugePages: w.LargePages,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Pin balance is measured against the post-boot baseline: McKernel
+	// ranks pin their anonymous memory at mmap time, so only the delta
+	// across the workload must return to zero.
+	basePins := make([]int, w.Nodes)
+	for i, n := range cl.Nodes {
+		basePins[i] = n.Phys.PinnedFrames()
+	}
+
+	book := make(psm.MapBook)
+	eps := make([]*psm.Endpoint, ranks)
+	rankErr := make([]error, ranks)
+	sums := make([][]byte, len(w.Msgs))
+	ready := sim.NewWaitGroup(cl.E)
+	ready.Add(ranks)
+	done := sim.NewWaitGroup(cl.E)
+	done.Add(ranks)
+	for r := 0; r < ranks; r++ {
+		r := r
+		node := cl.Nodes[r/w.RanksPerNode]
+		cl.E.Go(fmt.Sprintf("simtest/rank%d", r), func(p *sim.Proc) {
+			rankErr[r] = runRank(p, w, node, r, book, eps, ready, done, sums)
+		})
+	}
+	engineErr := cl.E.Run(0)
+	var fails []string
+	for r, e := range rankErr {
+		if e != nil {
+			fails = append(fails, fmt.Sprintf("rank %d: %v", r, e))
+		}
+	}
+	if engineErr != nil {
+		fails = append(fails, engineErr.Error())
+	}
+	if len(fails) > 0 {
+		return nil, fmt.Errorf("simtest: %s", strings.Join(fails, "; "))
+	}
+	for i, n := range cl.Nodes {
+		if got := n.Phys.PinnedFrames(); got != basePins[i] {
+			return nil, fmt.Errorf("simtest: node %d pin imbalance: %d pinned frames after teardown, baseline %d", i, got, basePins[i])
+		}
+		if n.NIC.TIDProgramOps != n.NIC.TIDClearOps {
+			return nil, fmt.Errorf("simtest: node %d TID program/release imbalance: %d programmed, %d cleared", i, n.NIC.TIDProgramOps, n.NIC.TIDClearOps)
+		}
+		if live := n.NIC.LiveContexts(); live != 0 {
+			return nil, fmt.Errorf("simtest: node %d leaks %d hardware contexts", i, live)
+		}
+		if pins := n.Drv.OutstandingTxreqPins(); pins != 0 {
+			return nil, fmt.Errorf("simtest: node %d leaks %d txreq pin sets", i, pins)
+		}
+		if pins := n.Drv.OutstandingTIDPins(); pins != 0 {
+			return nil, fmt.Errorf("simtest: node %d leaks %d TID pins", i, pins)
+		}
+		if open := n.Drv.OpenContexts(); open != 0 {
+			return nil, fmt.Errorf("simtest: node %d leaks %d open driver contexts", i, open)
+		}
+		if n.NIC.RxDropped != 0 {
+			return nil, fmt.Errorf("simtest: node %d dropped %d packets", i, n.NIC.RxDropped)
+		}
+	}
+	return &Report{
+		Workload:    w,
+		Digest:      traceDigest(cl, eps, sums),
+		VirtualTime: cl.E.Now(),
+		Messages:    len(w.Msgs),
+	}, nil
+}
+
+// traceDigest folds the observable trace of a run — final virtual
+// time, per-node NIC counters, per-rank PSM statistics and per-message
+// payload checksums — into a short stable digest. Two executions of
+// the same workload must agree on every one of these.
+func traceDigest(cl *cluster.Cluster, eps []*psm.Endpoint, sums [][]byte) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "vt=%d\n", cl.E.Now())
+	for _, n := range cl.Nodes {
+		fmt.Fprintf(h, "node%d rx=%d sdma=%d full=%d irq=%d tx=%d tidp=%d tidc=%d\n",
+			n.ID, n.NIC.RxPackets, n.NIC.SDMARequests, n.NIC.SDMAFullSize,
+			n.NIC.IRQsRaised, n.NIC.TxBytes(), n.NIC.TIDProgramOps, n.NIC.TIDClearOps)
+	}
+	for r, ep := range eps {
+		if ep != nil {
+			fmt.Fprintf(h, "rank%d %+v\n", r, ep.Stats)
+		}
+	}
+	for i, s := range sums {
+		fmt.Fprintf(h, "msg%d %x\n", i, s)
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// runRank is one rank's life: open an endpoint, rendezvous with the
+// other ranks, map and fill buffers, post the workload's operations in
+// the cell's order mode, verify every received payload byte-for-byte,
+// then tear everything down.
+func runRank(p *sim.Proc, w Workload, node *cluster.Node, r int,
+	book psm.MapBook, eps []*psm.Endpoint, ready, done *sim.WaitGroup, sums [][]byte) error {
+	last := p.Now()
+	mono := func(stage string) error {
+		now := p.Now()
+		if now < last {
+			return fmt.Errorf("virtual clock moved backwards at %s: %v < %v", stage, now, last)
+		}
+		last = now
+		return nil
+	}
+	osops := node.NewRankOS(r)
+	ep, err := psm.NewEndpoint(p, osops, r, book, false)
+	if err != nil {
+		return err
+	}
+	eps[r] = ep
+	book[r] = psm.Addr{Node: node.ID, Ctx: ep.CtxID}
+	ready.Done()
+	ready.Wait(p)
+	if err := mono("init"); err != nil {
+		return err
+	}
+
+	sends := msgsFrom(w, r)
+	recvs := msgsTo(w, r)
+	bufs := make(map[int]uproc.VirtAddr)
+	for _, i := range sends {
+		va, err := osops.MmapAnon(p, w.Msgs[i].Size)
+		if err != nil {
+			return err
+		}
+		if err := osops.Proc().WriteAt(va, payloadFor(w, i)); err != nil {
+			return err
+		}
+		bufs[i] = va
+	}
+	for _, i := range recvs {
+		va, err := osops.MmapAnon(p, w.Msgs[i].Size)
+		if err != nil {
+			return err
+		}
+		bufs[i] = va
+	}
+
+	var reqs []*psm.Request
+	postSend := func(i int) error {
+		m := w.Msgs[i]
+		rq, err := ep.Isend(p, m.Dst, m.Tag, bufs[i], m.Size)
+		if err != nil {
+			return fmt.Errorf("isend msg %d: %w", i, err)
+		}
+		reqs = append(reqs, rq)
+		return nil
+	}
+	postRecv := func(i int) error {
+		m := w.Msgs[i]
+		rq, err := ep.Irecv(p, m.Src, m.Tag, bufs[i], m.Size)
+		if err != nil {
+			return fmt.Errorf("irecv msg %d: %w", i, err)
+		}
+		reqs = append(reqs, rq)
+		return nil
+	}
+	switch w.Order {
+	case OrderSendFirst:
+		for _, i := range sends {
+			if err := postSend(i); err != nil {
+				return err
+			}
+		}
+		osops.Compute(p, 30*time.Microsecond)
+		for _, i := range recvs {
+			if err := postRecv(i); err != nil {
+				return err
+			}
+		}
+	case OrderReversed:
+		for _, g := range reverseGroups(w, recvs) {
+			for _, i := range g {
+				if err := postRecv(i); err != nil {
+					return err
+				}
+			}
+		}
+		for _, i := range sends {
+			if err := postSend(i); err != nil {
+				return err
+			}
+		}
+	case OrderStaggered:
+		for k := 0; k < len(sends) || k < len(recvs); k++ {
+			if k < len(recvs) {
+				if err := postRecv(recvs[k]); err != nil {
+					return err
+				}
+			}
+			if k < len(sends) {
+				if err := postSend(sends[k]); err != nil {
+					return err
+				}
+			}
+			osops.Compute(p, 5*time.Microsecond)
+		}
+	default: // OrderInOrder
+		for _, i := range recvs {
+			if err := postRecv(i); err != nil {
+				return err
+			}
+		}
+		for _, i := range sends {
+			if err := postSend(i); err != nil {
+				return err
+			}
+		}
+	}
+	if err := ep.WaitAll(p, reqs); err != nil {
+		return err
+	}
+	if err := mono("completion"); err != nil {
+		return err
+	}
+
+	// Byte-exact delivery against the in-memory reference.
+	for _, i := range recvs {
+		m := w.Msgs[i]
+		got := make([]byte, m.Size)
+		if err := osops.Proc().ReadAt(bufs[i], got); err != nil {
+			return err
+		}
+		want := payloadFor(w, i)
+		if !bytes.Equal(got, want) {
+			return fmt.Errorf("msg %d (src %d dst %d tag %d size %d): delivered bytes differ from reference at offset %d",
+				i, m.Src, m.Dst, m.Tag, m.Size, firstDiff(got, want))
+		}
+		sum := sha256.Sum256(got)
+		sums[i] = sum[:8]
+	}
+	done.Done()
+	done.Wait(p)
+
+	for _, i := range sends {
+		if err := osops.Munmap(p, bufs[i]); err != nil {
+			return err
+		}
+	}
+	for _, i := range recvs {
+		if err := osops.Munmap(p, bufs[i]); err != nil {
+			return err
+		}
+	}
+	if err := ep.Close(p); err != nil {
+		return err
+	}
+	return mono("teardown")
+}
+
+// msgsFrom returns the indices, in plan order, of messages r sends.
+func msgsFrom(w Workload, r int) []int {
+	var out []int
+	for i, m := range w.Msgs {
+		if m.Src == r {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// msgsTo returns the indices, in plan order, of messages r receives.
+func msgsTo(w Workload, r int) []int {
+	var out []int
+	for i, m := range w.Msgs {
+		if m.Dst == r {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// reverseGroups reorders receive indices so whole (src, tag) groups
+// come out back-to-front while each group stays FIFO — receives that
+// could match the same message must keep their posting order.
+func reverseGroups(w Workload, idxs []int) [][]int {
+	type key struct {
+		src int
+		tag uint64
+	}
+	var order []key
+	groups := make(map[key][]int)
+	for _, i := range idxs {
+		k := key{w.Msgs[i].Src, w.Msgs[i].Tag}
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], i)
+	}
+	out := make([][]int, 0, len(order))
+	for j := len(order) - 1; j >= 0; j-- {
+		out = append(out, groups[order[j]])
+	}
+	return out
+}
+
+// payloadFor materializes the reference bytes of message i. The stream
+// is keyed by (workload seed, tag) — not the message index — so the
+// two copies of a duplicate-tag pair carry identical payloads and
+// either FIFO pairing is byte-identical.
+func payloadFor(w Workload, i int) []byte {
+	m := w.Msgs[i]
+	buf := make([]byte, m.Size)
+	x := uint64(w.Seed) ^ m.Tag*0x9e3779b97f4a7c15
+	for j := range buf {
+		x = x*6364136223846793005 + 1442695040888963407
+		buf[j] = byte(x >> 33)
+	}
+	return buf
+}
+
+func firstDiff(a, b []byte) int {
+	for i := range a {
+		if i >= len(b) || a[i] != b[i] {
+			return i
+		}
+	}
+	return len(a)
+}

@@ -1,0 +1,118 @@
+package simtest
+
+// Shrink greedily minimizes a failing workload: it repeatedly tries
+// dropping message subsets, halving sizes and removing ranks or nodes,
+// keeping any candidate that still fails, until no reduction fails or
+// the budget of candidate executions runs out. It returns the smallest
+// failing workload found together with its error; a nil error means w
+// itself no longer fails (the failure was flaky or already gone).
+func Shrink(w Workload, budget int) (Workload, error) {
+	cur := w
+	curErr := checkQuiet(cur)
+	if curErr == nil {
+		return w, nil
+	}
+	for budget > 0 {
+		improved := false
+		for _, cand := range candidates(cur) {
+			if budget <= 0 {
+				break
+			}
+			budget--
+			if err := checkQuiet(cand); err != nil {
+				cur, curErr = cand, err
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return cur, curErr
+}
+
+// checkQuiet runs a candidate through the full determinism check (so
+// shrinking preserves nondeterminism failures too) and treats invalid
+// candidates as passing.
+func checkQuiet(w Workload) error {
+	if len(w.Msgs) == 0 || w.Nodes < 1 || w.RanksPerNode < 1 {
+		return nil
+	}
+	_, err := Check(w)
+	return err
+}
+
+// candidates proposes strictly smaller variants, cheapest-first.
+func candidates(w Workload) []Workload {
+	var out []Workload
+	n := len(w.Msgs)
+	if n > 1 {
+		out = append(out,
+			withMsgs(w, append([]Msg(nil), w.Msgs[:n/2]...)),
+			withMsgs(w, append([]Msg(nil), w.Msgs[n/2:]...)))
+		for i := 0; i < n && i < 8; i++ {
+			ms := make([]Msg, 0, n-1)
+			ms = append(ms, w.Msgs[:i]...)
+			ms = append(ms, w.Msgs[i+1:]...)
+			out = append(out, withMsgs(w, ms))
+		}
+	}
+	halved := withMsgs(w, append([]Msg(nil), w.Msgs...))
+	changed := false
+	for i := range halved.Msgs {
+		if halved.Msgs[i].Size > 1 {
+			halved.Msgs[i].Size /= 2
+			changed = true
+		}
+	}
+	if changed {
+		out = append(out, halved)
+	}
+	if v, ok := reduceRanks(w); ok {
+		out = append(out, v)
+	}
+	if v, ok := reduceNodes(w); ok {
+		out = append(out, v)
+	}
+	return out
+}
+
+func withMsgs(w Workload, msgs []Msg) Workload {
+	w.Msgs = msgs
+	return w
+}
+
+// reduceRanks drops one rank per node, keeping only messages whose
+// endpoints survive the shrunken grid.
+func reduceRanks(w Workload) (Workload, bool) {
+	if w.RanksPerNode <= 1 {
+		return Workload{}, false
+	}
+	w.RanksPerNode--
+	return trimMsgs(w)
+}
+
+// reduceNodes drops the last node.
+func reduceNodes(w Workload) (Workload, bool) {
+	if w.Nodes <= 1 {
+		return Workload{}, false
+	}
+	w.Nodes--
+	return trimMsgs(w)
+}
+
+func trimMsgs(w Workload) (Workload, bool) {
+	ranks := w.Nodes * w.RanksPerNode
+	var keep []Msg
+	for _, m := range w.Msgs {
+		if m.Src < ranks && m.Dst < ranks {
+			keep = append(keep, m)
+		}
+	}
+	if len(keep) == 0 {
+		return Workload{}, false
+	}
+	w.Msgs = keep
+	return w, true
+}

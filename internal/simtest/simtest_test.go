@@ -1,0 +1,127 @@
+package simtest_test
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/simtest"
+)
+
+var (
+	seedFlag  = flag.Int64("seed", 1, "simtest base seed (reproduce a failure with the printed -seed/-cell pair)")
+	cellFlag  = flag.String("cell", "", "run only this simtest cell (e.g. 'Linux/3')")
+	cellsFlag = flag.Int("cells", 9, "randomized cells per OS configuration")
+)
+
+// TestSimHarness drives randomized workloads through the real
+// sim→fabric→hfi→psm stack under all three OS configurations. Each
+// cell asserts byte-exact delivery against an in-memory reference,
+// pin/TID balance at teardown, virtual-clock monotonicity and
+// same-seed trace-digest equality. A failing cell prints a one-line
+// repro command and a greedily shrunk workload.
+func TestSimHarness(t *testing.T) {
+	if *cellFlag != "" {
+		runCell(t, *cellFlag)
+		return
+	}
+	for _, osType := range cluster.AllOSTypes {
+		for i := 0; i < *cellsFlag; i++ {
+			cell := fmt.Sprintf("%s/%d", osType, i)
+			t.Run(cell, func(t *testing.T) {
+				t.Parallel()
+				runCell(t, cell)
+			})
+		}
+	}
+}
+
+func runCell(t *testing.T, cell string) {
+	rep, err := simtest.CheckCell(*seedFlag, cell)
+	if err == nil {
+		t.Logf("cell %s: %d msgs, digest %s, %v virtual time",
+			cell, rep.Messages, rep.Digest, rep.VirtualTime)
+		return
+	}
+	w, gerr := simtest.Generate(*seedFlag, cell)
+	if gerr != nil {
+		t.Fatalf("cell %s: %v", cell, err)
+	}
+	if min, minErr := simtest.Shrink(w, 24); minErr != nil {
+		t.Fatalf("cell %s failed: %v\nshrunk to %d msgs (%s): %v",
+			cell, err, len(min.Msgs), min.Summary(), minErr)
+	}
+	t.Fatalf("cell %s failed: %v", cell, err)
+}
+
+// TestSimTIDExhaustionFault checks the harness catches injected
+// faults: a cell whose RcvArray is shrunk below one rendezvous
+// window's demand must fail, the failure must name the exhausted
+// RcvArray and carry a working single-seed repro command, and the
+// shrinker must preserve the failure while reducing the workload.
+func TestSimTIDExhaustionFault(t *testing.T) {
+	cell := "Linux/!tid/0"
+	_, err := simtest.CheckCell(*seedFlag, cell)
+	if err == nil {
+		t.Fatal("TID-exhaustion fault cell passed; the injection is broken")
+	}
+	out := err.Error()
+	if !strings.Contains(out, "RcvArray exhausted") {
+		t.Fatalf("failure does not name TID exhaustion:\n%s", out)
+	}
+	if !strings.Contains(out, fmt.Sprintf("-seed=%d", *seedFlag)) ||
+		!strings.Contains(out, "-cell='"+cell+"'") {
+		t.Fatalf("failure lacks a repro command:\n%s", out)
+	}
+	// The printed repro pair actually reproduces the fault.
+	if _, err2 := simtest.CheckCell(*seedFlag, cell); err2 == nil ||
+		!strings.Contains(err2.Error(), "RcvArray exhausted") {
+		t.Fatalf("repro run did not reproduce the fault: %v", err2)
+	}
+	w, gerr := simtest.Generate(*seedFlag, cell)
+	if gerr != nil {
+		t.Fatal(gerr)
+	}
+	min, minErr := simtest.Shrink(w, 16)
+	if minErr == nil {
+		t.Fatal("shrinker lost the injected failure")
+	}
+	if len(min.Msgs) > len(w.Msgs) {
+		t.Fatalf("shrinker grew the workload: %d > %d msgs", len(min.Msgs), len(w.Msgs))
+	}
+	t.Logf("fault output:\n%s\nshrunk: %s → %v", out, min.Summary(), minErr)
+}
+
+// TestGenerateStable pins generation determinism: the same (seed,
+// cell) pair must always expand to the identical workload, and
+// distinct cells must differ.
+func TestGenerateStable(t *testing.T) {
+	a, err := simtest.Generate(7, "Linux/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := simtest.Generate(7, "Linux/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Summary() != b.Summary() || len(a.Msgs) != len(b.Msgs) {
+		t.Fatalf("generation unstable:\n%s\n%s", a.Summary(), b.Summary())
+	}
+	for i := range a.Msgs {
+		if a.Msgs[i] != b.Msgs[i] {
+			t.Fatalf("msg %d differs: %+v vs %+v", i, a.Msgs[i], b.Msgs[i])
+		}
+	}
+	c, err := simtest.Generate(7, "Linux/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Seed == c.Seed {
+		t.Fatalf("distinct cells derived the same seed %d", a.Seed)
+	}
+	if _, err := simtest.Generate(7, "Plan9/0"); err == nil {
+		t.Fatal("unknown OS prefix accepted")
+	}
+}

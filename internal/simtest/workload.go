@@ -1,0 +1,285 @@
+// Package simtest is a property-based, deterministic simulation-testing
+// harness for the whole stack: randomized cluster workloads are driven
+// through sim → fabric → hfi → psm under each of the paper's three OS
+// configurations, with fault-injection hooks (RcvArray/TID scarcity,
+// eager-ring and header-queue near-overflow, SDMA descriptor-ring
+// backpressure, fabric latency jitter) and an invariant battery
+// (byte-exact delivery against an in-memory reference, pin/TID balance
+// at teardown, virtual-clock monotonicity, same-seed digest equality).
+//
+// Every workload is identified by a (base seed, cell name) pair; a
+// failing run prints a one-line repro command carrying exactly those
+// two values, and Shrink greedily minimizes the failing workload.
+package simtest
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/model"
+	"repro/internal/runner"
+)
+
+// OrderMode selects how a rank interleaves its Isend/Irecv postings.
+type OrderMode int
+
+const (
+	// OrderInOrder posts all receives, then all sends.
+	OrderInOrder OrderMode = iota
+	// OrderSendFirst posts sends before any receive is up, forcing the
+	// unexpected-message path (bounce heap, pending RTS).
+	OrderSendFirst
+	// OrderReversed posts receive groups in reverse order (receives for
+	// the same (src, tag) stay FIFO, as MPI matching requires).
+	OrderReversed
+	// OrderStaggered interleaves receives, sends and compute phases.
+	OrderStaggered
+
+	orderModes
+)
+
+func (m OrderMode) String() string {
+	switch m {
+	case OrderInOrder:
+		return "in-order"
+	case OrderSendFirst:
+		return "send-first"
+	case OrderReversed:
+		return "reversed"
+	case OrderStaggered:
+		return "staggered"
+	}
+	return fmt.Sprintf("OrderMode(%d)", int(m))
+}
+
+// Msg is one point-to-point message of a workload.
+type Msg struct {
+	Src, Dst int
+	Tag      uint64
+	Size     uint64
+}
+
+// Workload is a fully-specified randomized scenario. Everything the
+// execution depends on is derived from (Base, Cell), so the struct
+// itself is reproducible from the repro command line.
+type Workload struct {
+	Cell string
+	Base int64
+	Seed int64
+
+	OS           cluster.OSType
+	Nodes        int
+	RanksPerNode int
+	Order        OrderMode
+	// LargePages backs Linux ranks with contiguous large pages
+	// (ignored by the McKernel configurations, whose LWK policy is
+	// always contiguous).
+	LargePages bool
+
+	// Model perturbations (zero = model default).
+	RendezvousWindow uint64
+	LinkJitter       time.Duration
+	SDMAQueueDepth   int
+
+	// Ring/TID scarcity injection (zero = hardware default geometry).
+	EagerSlots  int
+	HdrqEntries int
+	CQEntries   int
+	TIDs        int
+
+	Msgs []Msg
+}
+
+// sizeClasses straddle every protocol threshold: the PIO limit (16K),
+// the eager/rendezvous SDMA threshold (64K) and multi-window
+// rendezvous lengths.
+var sizeClasses = []uint64{
+	1, 17, 1000, 4096,
+	16<<10 - 1, 16 << 10, 16<<10 + 1, 40 << 10,
+	64<<10 - 8, 64 << 10, 64<<10 + 8,
+	96 << 10, 200 << 10, 520 << 10,
+}
+
+// dupSafeSizes are the classes eligible for duplicate-tag injection:
+// PIO and shared-memory sends deliver synchronously in posting order,
+// so two in-flight messages with the same (src, tag) can never
+// interleave chunk arrival. Eager-SDMA sizes are excluded — their
+// chunks fan out over 16 engines and may interleave, which would make
+// FIFO matching of identical tags schedule-dependent.
+var dupSafeSizes = []uint64{1000, 4096, 16 << 10}
+
+// ParseCell extracts the OS configuration a cell name is pinned to.
+func ParseCell(cell string) (cluster.OSType, error) {
+	for _, os := range cluster.AllOSTypes {
+		if strings.HasPrefix(cell, os.String()+"/") {
+			return os, nil
+		}
+	}
+	return 0, fmt.Errorf("simtest: cell %q does not start with an OS config (Linux/, McKernel/, McKernel+HFI1/)", cell)
+}
+
+// Generate expands a (base, cell) pair into a concrete workload. The
+// per-cell seed comes from runner.DeriveSeed, so distinct cells explore
+// distinct corners while any single cell is exactly reproducible.
+//
+// A cell containing "/!tid/" is a deliberate fault cell: the RcvArray
+// is shrunk far below what a rendezvous window needs, so the run must
+// fail with a TID-exhaustion error.
+func Generate(base int64, cell string) (Workload, error) {
+	osType, err := ParseCell(cell)
+	if err != nil {
+		return Workload{}, err
+	}
+	w := Workload{
+		Cell: cell,
+		Base: base,
+		Seed: runner.DeriveSeed(base, "simtest/"+cell),
+		OS:   osType,
+	}
+	if strings.Contains(cell, "/!tid/") {
+		return generateTIDFault(w), nil
+	}
+	rng := rand.New(rand.NewSource(w.Seed))
+	w.Nodes = 1 + rng.Intn(3)
+	w.RanksPerNode = 1 + rng.Intn(3)
+	if w.Nodes*w.RanksPerNode < 2 {
+		w.Nodes = 2
+	}
+	w.Order = OrderMode(rng.Intn(int(orderModes)))
+	w.LargePages = rng.Intn(2) == 0
+	if rng.Intn(2) == 0 {
+		w.RendezvousWindow = 128 << 10
+	}
+	if rng.Intn(3) == 0 {
+		w.LinkJitter = time.Duration(1+rng.Intn(2000)) * time.Nanosecond
+	}
+	if rng.Intn(3) == 0 {
+		w.SDMAQueueDepth = 1 + rng.Intn(4)
+	}
+
+	ranks := w.Nodes * w.RanksPerNode
+	nmsg := 4 + rng.Intn(9)
+	for i := 0; i < nmsg; i++ {
+		src := rng.Intn(ranks)
+		dst := rng.Intn(ranks - 1)
+		if dst >= src {
+			dst++
+		}
+		w.Msgs = append(w.Msgs, Msg{
+			Src: src, Dst: dst,
+			Tag:  uint64(100 + i),
+			Size: sizeClasses[rng.Intn(len(sizeClasses))],
+		})
+	}
+	if nmsg >= 2 && rng.Intn(3) == 0 {
+		// Duplicate-tag injection: the last message reuses the first
+		// message's (src, dst, tag, size). Payloads are keyed by (tag,
+		// size), so both copies carry identical bytes and FIFO matching
+		// is exercised without making delivery schedule-dependent.
+		first := w.Msgs[0]
+		first.Size = dupSafeSizes[rng.Intn(len(dupSafeSizes))]
+		w.Msgs[0] = first
+		w.Msgs[nmsg-1] = first
+	}
+	if rng.Intn(3) == 0 {
+		w.tightenRings()
+	}
+	return w, nil
+}
+
+// generateTIDFault builds the deliberate RcvArray-exhaustion scenario:
+// two nodes, one rank each, a rendezvous-sized message, and a context
+// limited to 8 TIDs. On Linux (scattered 4K frames) a 300K window
+// needs 75 RcvArray entries, so the receiver's TID-update ioctl must
+// fail.
+func generateTIDFault(w Workload) Workload {
+	w.Nodes, w.RanksPerNode = 2, 1
+	w.Order = OrderInOrder
+	w.TIDs = 8
+	w.Msgs = []Msg{
+		{Src: 0, Dst: 1, Tag: 100, Size: 4096},
+		{Src: 0, Dst: 1, Tag: 101, Size: 300 << 10},
+	}
+	return w
+}
+
+// tightenRings shrinks the eager ring, header queue and completion
+// queue to just above this workload's worst-case occupancy, forcing
+// the near-overflow paths without ever making a correct run fail. The
+// bound assumes the slowest possible consumer: every inbound entry may
+// be resident at once, so capacity must cover the per-context totals.
+func (w *Workload) tightenRings() {
+	pr := model.Default()
+	win := pr.RendezvousWindow
+	if w.RendezvousWindow > 0 {
+		win = w.RendezvousWindow
+	}
+	chunk := pr.EagerChunk
+	nodeOf := func(r int) int { return r / w.RanksPerNode }
+	ranks := w.Nodes * w.RanksPerNode
+	eager := make([]int, ranks)
+	hdrq := make([]int, ranks)
+	cq := make([]int, ranks)
+	for _, m := range w.Msgs {
+		chunks := int((m.Size + chunk - 1) / chunk)
+		switch {
+		case nodeOf(m.Src) == nodeOf(m.Dst):
+			// Shared-memory delivery still lands in the eager ring.
+			eager[m.Dst] += chunks
+			hdrq[m.Dst] += chunks
+		case m.Size <= pr.SDMAThreshold:
+			eager[m.Dst] += chunks
+			hdrq[m.Dst] += chunks
+			if m.Size > pr.PIOMaxSize {
+				cq[m.Src]++ // one writev completion
+			}
+		default:
+			wins := int((m.Size + win - 1) / win)
+			eager[m.Dst]++          // RTS
+			hdrq[m.Dst] += 1 + wins // RTS + per-window expected-done
+			eager[m.Src] += wins    // one CTS per window
+			hdrq[m.Src] += wins
+			cq[m.Src] += wins // one writev completion per window
+		}
+	}
+	maxOf := func(v []int, floor int) int {
+		m := floor
+		for _, x := range v {
+			if x > m {
+				m = x
+			}
+		}
+		return m
+	}
+	w.EagerSlots = maxOf(eager, 8) + 8
+	w.HdrqEntries = maxOf(hdrq, 16) + 16
+	w.CQEntries = maxOf(cq, 4) + 4
+}
+
+// params renders the workload's perturbations onto the model defaults.
+func (w Workload) params() model.Params {
+	pr := model.Default()
+	if w.RendezvousWindow > 0 {
+		pr.RendezvousWindow = w.RendezvousWindow
+	}
+	pr.LinkJitter = w.LinkJitter
+	pr.SDMAQueueDepth = w.SDMAQueueDepth
+	pr.EagerSlots = w.EagerSlots
+	pr.HdrqEntries = w.HdrqEntries
+	pr.CQEntries = w.CQEntries
+	pr.TIDsPerContext = w.TIDs
+	return pr
+}
+
+// Summary is the one-line human description used in failure reports.
+func (w Workload) Summary() string {
+	var bytes uint64
+	for _, m := range w.Msgs {
+		bytes += m.Size
+	}
+	return fmt.Sprintf("cell=%s seed=%d os=%s nodes=%d ranks/node=%d order=%s msgs=%d bytes=%d",
+		w.Cell, w.Base, w.OS, w.Nodes, w.RanksPerNode, w.Order, len(w.Msgs), bytes)
+}
