@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet check bench simtest artifacts artifacts-paper examples clean
+.PHONY: all build test vet check bench simtest trace-smoke artifacts artifacts-paper examples clean
 
 all: build test
 
@@ -31,6 +31,16 @@ ifeq ($(SOAK),1)
 else
 	$(GO) test ./internal/simtest -count=1 -seed=$(SEED) -v -run 'TestSim'
 endif
+
+# Trace export smoke test: two same-seed traced runs must be
+# byte-identical Chrome trace JSON, and the output must pass the
+# tracecheck validator (parses, non-empty, Perfetto-required fields).
+trace-smoke:
+	$(GO) run ./cmd/profile -what none -nodes 2 -rpn 4 -trace /tmp/picodriver-trace-a.json >/dev/null
+	$(GO) run ./cmd/profile -what none -nodes 2 -rpn 4 -trace /tmp/picodriver-trace-b.json >/dev/null
+	cmp /tmp/picodriver-trace-a.json /tmp/picodriver-trace-b.json
+	$(GO) run ./cmd/tracecheck /tmp/picodriver-trace-a.json
+	rm -f /tmp/picodriver-trace-a.json /tmp/picodriver-trace-b.json
 
 # One testing.B benchmark per paper table/figure, plus ablations.
 # Writes BENCH_seed.json so later changes have a perf trajectory

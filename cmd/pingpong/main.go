@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	pingpong [-sizes 1K,64K,4M] [-reps N] [-j N]
+//	pingpong [-sizes 1K,64K,4M] [-reps N] [-j N] [-trace out.json]
 package main
 
 import (
@@ -13,6 +13,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/report"
 	"repro/internal/runner"
@@ -37,6 +38,7 @@ func main() {
 	sizesFlag := flag.String("sizes", "1K,4K,16K,64K,256K,1M,4M", "message sizes")
 	repsFlag := flag.Int("reps", 4, "timed repetitions per size")
 	jFlag := flag.Int("j", 0, "parallel simulation jobs (0 = GOMAXPROCS)")
+	traceFlag := flag.String("trace", "", "write a Chrome trace of one 64KB McKernel+HFI cell to this file")
 	flag.Parse()
 
 	sc := experiments.SmallScale()
@@ -56,4 +58,27 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Print(report.Fig4Table(rows))
+
+	if *traceFlag != "" {
+		rec, err := experiments.TracedPingPong(cluster.OSMcKernelHFI, 64<<10, *repsFlag, 1)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pingpong:", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*traceFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pingpong:", err)
+			os.Exit(1)
+		}
+		werr := rec.WriteChromeTrace(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "pingpong:", werr)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: 64KB McKernel+HFI1 ping-pong, %d spans -> %s\n",
+			len(rec.Spans()), *traceFlag)
+	}
 }

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	profile [-nodes 8] [-rpn 16] [-what table1,fig8,fig9] [-j N]
+//	        [-trace out.json] [-trace-app UMT2013] [-trace-os mckernel+hfi]
 package main
 
 import (
@@ -13,6 +14,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/report"
 	"repro/internal/runner"
@@ -23,6 +25,9 @@ func main() {
 	rpnFlag := flag.Int("rpn", 16, "ranks per node")
 	whatFlag := flag.String("what", "table1,fig8,fig9", "artifacts to produce")
 	jFlag := flag.Int("j", 0, "parallel simulation jobs (0 = GOMAXPROCS)")
+	traceFlag := flag.String("trace", "", "write a Chrome trace-event JSON of one run to this file")
+	traceAppFlag := flag.String("trace-app", "UMT2013", "mini-app for the traced run")
+	traceOSFlag := flag.String("trace-os", "mckernel+hfi", "OS for the traced run: linux, mckernel, mckernel+hfi")
 	flag.Parse()
 	pool := runner.New(*jFlag)
 
@@ -51,6 +56,44 @@ func main() {
 		}
 		fmt.Println(report.BreakdownTable(orig, pico))
 	}
+
+	if *traceFlag != "" {
+		os_, err := parseOS(*traceOSFlag)
+		if err != nil {
+			fatal(err)
+		}
+		rec, res, err := experiments.TracedRun(*traceAppFlag, *nodesFlag, *rpnFlag, os_, sc.Seed)
+		if err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(*traceFlag)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rec.WriteChromeTrace(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace: %s %s nodes=%d rpn=%d elapsed=%v spans=%d -> %s\n",
+			*traceAppFlag, *traceOSFlag, *nodesFlag, *rpnFlag,
+			res.Elapsed, len(rec.Spans()), *traceFlag)
+		fmt.Println(report.LatencyTable(rec))
+	}
+}
+
+func parseOS(s string) (cluster.OSType, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "linux":
+		return cluster.OSLinux, nil
+	case "mckernel":
+		return cluster.OSMcKernel, nil
+	case "mckernel+hfi", "hfi", "mckernel+hfi1":
+		return cluster.OSMcKernelHFI, nil
+	}
+	return 0, fmt.Errorf("unknown OS %q", s)
 }
 
 func fatal(err error) {

@@ -1,0 +1,79 @@
+// Command tracecheck validates a Chrome trace-event JSON file produced
+// by the simulator's span recorder: the file must parse, hold a
+// non-empty traceEvents array, and every event must carry the fields
+// Perfetto requires (name, ph, pid, ts for X/M phases, dur for X).
+//
+// Usage:
+//
+//	tracecheck trace.json [more.json ...]
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+type traceFile struct {
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	TraceEvents     []traceEvent `json:"traceEvents"`
+}
+
+type traceEvent struct {
+	Name string          `json:"name"`
+	Cat  string          `json:"cat"`
+	Ph   string          `json:"ph"`
+	Pid  *int            `json:"pid"`
+	Tid  *int            `json:"tid"`
+	Ts   json.RawMessage `json:"ts"`
+	Dur  json.RawMessage `json:"dur"`
+}
+
+func check(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var tf traceFile
+	if err := json.Unmarshal(raw, &tf); err != nil {
+		return fmt.Errorf("not valid JSON: %w", err)
+	}
+	var spans int
+	for i, ev := range tf.TraceEvents {
+		if ev.Name == "" || ev.Ph == "" || ev.Pid == nil || ev.Tid == nil {
+			return fmt.Errorf("event %d: missing name/ph/pid/tid", i)
+		}
+		switch ev.Ph {
+		case "X":
+			if len(ev.Ts) == 0 || len(ev.Dur) == 0 {
+				return fmt.Errorf("event %d (%s): X event without ts/dur", i, ev.Name)
+			}
+			if ev.Cat == "" {
+				return fmt.Errorf("event %d (%s): span without cat", i, ev.Name)
+			}
+			spans++
+		case "M":
+			// Metadata events only need name/pid/tid.
+		default:
+			return fmt.Errorf("event %d (%s): unexpected phase %q", i, ev.Name, ev.Ph)
+		}
+	}
+	if spans == 0 {
+		return fmt.Errorf("no span (ph=X) events")
+	}
+	fmt.Printf("%s: ok (%d events, %d spans)\n", path, len(tf.TraceEvents), spans)
+	return nil
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck trace.json [more.json ...]")
+		os.Exit(2)
+	}
+	for _, path := range os.Args[1:] {
+		if err := check(path); err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+	}
+}

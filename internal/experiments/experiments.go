@@ -97,46 +97,79 @@ type Fig4Row struct {
 	Size uint64
 	// MBps is bandwidth in MB/s per OS name.
 	MBps map[string]float64
+	// OneWayP50/OneWayP99 are per-repetition one-way latency
+	// percentiles per OS name (the distribution behind the mean).
+	OneWayP50 map[string]time.Duration
+	OneWayP99 map[string]time.Duration
+}
+
+// ppResult is one ping-pong cell: the mean one-way time plus the
+// per-repetition distribution.
+type ppResult struct {
+	mean time.Duration
+	hist *trace.Histogram
 }
 
 // Fig4 runs the IMB-style ping-pong sweep on a two-node cluster, one
 // pool job per (message size, OS) cell.
 func Fig4(p *runner.Pool, sc Scale) ([]Fig4Row, error) {
-	var jobs []runner.Job[time.Duration]
+	var jobs []runner.Job[ppResult]
 	for _, size := range sc.PingPongSizes {
 		for _, os := range cluster.AllOSTypes {
 			size, os := size, os
 			id := fmt.Sprintf("fig4/%dB/%s", size, osName(os))
-			jobs = append(jobs, runner.Job[time.Duration]{ID: id, Fn: func() (time.Duration, error) {
+			jobs = append(jobs, runner.Job[ppResult]{ID: id, Fn: func() (ppResult, error) {
 				return pingPong(os, size, sc.PingPongReps, runner.DeriveSeed(sc.Seed, id))
 			}})
 		}
 	}
-	oneWays, err := runner.Run(p, jobs)
+	cells, err := runner.Run(p, jobs)
 	if err != nil {
 		return nil, err
 	}
 	rows := make([]Fig4Row, 0, len(sc.PingPongSizes))
 	for i, size := range sc.PingPongSizes {
-		row := Fig4Row{Size: size, MBps: make(map[string]float64)}
+		row := Fig4Row{
+			Size: size, MBps: make(map[string]float64),
+			OneWayP50: make(map[string]time.Duration),
+			OneWayP99: make(map[string]time.Duration),
+		}
 		for j, os := range cluster.AllOSTypes {
-			oneWay := oneWays[i*len(cluster.AllOSTypes)+j]
-			row.MBps[osName(os)] = float64(size) / oneWay.Seconds() / 1e6
+			cell := cells[i*len(cluster.AllOSTypes)+j]
+			row.MBps[osName(os)] = float64(size) / cell.mean.Seconds() / 1e6
+			row.OneWayP50[osName(os)] = cell.hist.P50()
+			row.OneWayP99[osName(os)] = cell.hist.P99()
 		}
 		rows = append(rows, row)
 	}
 	return rows, nil
 }
 
-// pingPong returns the average one-way time for the given message size.
-func pingPong(os cluster.OSType, size uint64, reps int, seed int64) (time.Duration, error) {
+// pingPong returns the mean and distribution of one-way times for the
+// given message size.
+func pingPong(os cluster.OSType, size uint64, reps int, seed int64) (ppResult, error) {
+	r, err := pingPongRec(os, size, reps, seed, nil)
+	return r, err
+}
+
+// TracedPingPong runs one ping-pong cell with a span recorder attached
+// and returns the recorder alongside the timing result.
+func TracedPingPong(os cluster.OSType, size uint64, reps int, seed int64) (*trace.Recorder, error) {
+	rec := trace.NewRecorder()
+	_, err := pingPongRec(os, size, reps, seed, rec)
+	return rec, err
+}
+
+func pingPongRec(os cluster.OSType, size uint64, reps int, seed int64, rec *trace.Recorder) (ppResult, error) {
 	cl, err := cluster.New(cluster.Config{
 		Nodes: 2, OS: os, Params: model.Default(), Seed: seed, Synthetic: true,
 	})
 	if err != nil {
-		return 0, err
+		return ppResult{}, err
 	}
+	cl.E.SetRecorder(rec)
 	var total time.Duration
+	hist := &trace.Histogram{}
 	var runErr error
 	eps := make([]*psm.Endpoint, 2)
 	book := psm.MapBook{}
@@ -176,7 +209,9 @@ func pingPong(os cluster.OSType, size uint64, reps int, seed int64) (time.Durati
 						return
 					}
 					if i > 0 {
-						total += p.Now() - start
+						rtt := p.Now() - start
+						total += rtt
+						hist.Observe(rtt / 2)
 					}
 				} else {
 					if err := ep.Recv(p, 0, tag, buf, size); err != nil {
@@ -192,12 +227,12 @@ func pingPong(os cluster.OSType, size uint64, reps int, seed int64) (time.Durati
 		})
 	}
 	if err := cl.E.Run(0); err != nil {
-		return 0, err
+		return ppResult{}, err
 	}
 	if runErr != nil {
-		return 0, runErr
+		return ppResult{}, runErr
 	}
-	return total / time.Duration(2*reps), nil
+	return ppResult{mean: total / time.Duration(2*reps), hist: hist}, nil
 }
 
 // ---------------------------------------------------------------------
@@ -212,6 +247,10 @@ type ScalingPoint struct {
 	// RelToLinux is performance relative to Linux (1.0 = parity;
 	// > 1 means faster than Linux), matching the paper's y axes.
 	RelToLinux map[string]float64
+	// RankP50/RankP99 are per-rank body-time percentiles per OS name
+	// (their spread is the OS-noise signature).
+	RankP50 map[string]time.Duration
+	RankP99 map[string]time.Duration
 }
 
 // AppScaling runs one mini-app across the node sweep, one pool job per
@@ -240,9 +279,14 @@ func AppScaling(p *runner.Pool, app *miniapps.App, nodes []int, rpn int, seed in
 			Nodes:      n,
 			Elapsed:    make(map[string]time.Duration),
 			RelToLinux: make(map[string]float64),
+			RankP50:    make(map[string]time.Duration),
+			RankP99:    make(map[string]time.Duration),
 		}
 		for j, os := range cluster.AllOSTypes {
-			pt.Elapsed[osName(os)] = results[i*len(cluster.AllOSTypes)+j].Elapsed
+			res := results[i*len(cluster.AllOSTypes)+j]
+			pt.Elapsed[osName(os)] = res.Elapsed
+			pt.RankP50[osName(os)] = res.RankElapsed.P50()
+			pt.RankP99[osName(os)] = res.RankElapsed.P99()
 		}
 		lin := pt.Elapsed["Linux"]
 		for name, d := range pt.Elapsed {
@@ -261,6 +305,33 @@ func runApp(app *miniapps.App, nodes, rpn int, os cluster.OSType, seed int64) (*
 		return nil, err
 	}
 	return mpi.RunJob(cl, rpn, func(c *mpi.Comm) error { return app.Body(c, app) })
+}
+
+// TracedRun executes one mini-app job with a span recorder attached to
+// the cluster's engine and returns the recorder (spans + latency
+// histograms from every layer) alongside the job result. Same-seed
+// calls produce byte-identical Chrome trace output.
+func TracedRun(appName string, nodes, rpn int, os cluster.OSType, seed int64) (*trace.Recorder, *mpi.JobResult, error) {
+	app, err := miniapps.ByName(appName)
+	if err != nil {
+		return nil, nil, err
+	}
+	if rpn <= 0 {
+		rpn = app.RanksPerNode
+	}
+	cl, err := cluster.New(cluster.Config{
+		Nodes: nodes, OS: os, Params: model.Default(), Seed: seed, Synthetic: true,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	rec := trace.NewRecorder()
+	cl.E.SetRecorder(rec)
+	res, err := mpi.RunJob(cl, rpn, func(c *mpi.Comm) error { return app.Body(c, app) })
+	if err != nil {
+		return nil, nil, err
+	}
+	return rec, res, nil
 }
 
 // ---------------------------------------------------------------------

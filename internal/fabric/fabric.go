@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/model"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // PacketKind distinguishes receive-side handling.
@@ -99,11 +100,20 @@ func (f *Fabric) Attach(node int, deliver func(*Packet)) (*Port, error) {
 // Nodes returns the number of attached ports.
 func (f *Fabric) Nodes() int { return len(f.ports) }
 
+// kindName labels flight spans by receive-side handling.
+func kindName(k PacketKind) string {
+	if k == KindExpected {
+		return "expected"
+	}
+	return "eager"
+}
+
 // Send transmits pkt from the caller's node, blocking proc for the wire
 // serialization time (the sender's egress link is a shared resource; SDMA
 // engines of one NIC contend here). Delivery happens LinkLatency later
 // without blocking the sender.
 func (f *Fabric) Send(proc *sim.Proc, pkt *Packet) error {
+	begin := proc.Now()
 	src, ok := f.ports[pkt.SrcNode]
 	if !ok {
 		return fmt.Errorf("fabric: source node %d not attached", pkt.SrcNode)
@@ -133,6 +143,15 @@ func (f *Fabric) Send(proc *sim.Proc, pkt *Packet) error {
 		src.lastArrival[pkt.DstNode] = at
 		lat = at - f.e.Now()
 	}
-	f.e.After(lat, func() { dst.deliver(pkt) })
+	f.e.After(lat, func() {
+		// The flight span covers egress serialization plus link latency:
+		// begin at Send entry, end at delivery.
+		if rec := f.e.Recorder(); rec != nil {
+			rec.SpanBytes(trace.CatFabric, kindName(pkt.Kind),
+				fmt.Sprintf("wire:%d->%d", pkt.SrcNode, pkt.DstNode),
+				begin, f.e.Now(), pkt.Bytes)
+		}
+		dst.deliver(pkt)
+	})
 	return nil
 }

@@ -11,6 +11,7 @@ import (
 	"repro/internal/linux"
 	"repro/internal/mem"
 	"repro/internal/model"
+	"repro/internal/trace"
 	"repro/internal/uproc"
 )
 
@@ -186,7 +187,15 @@ func NewLinuxDriver(k *linux.Kernel, nic *NIC, pr *model.Params, worlds []*kmem.
 	}
 
 	nic.SetIRQSink(func(batch []*SDMATxn) {
+		raised := k.Engine().Now()
 		k.Pool.Submit("hfi1-sdma-irq", func(ctx *kernel.Ctx) {
+			// The IRQ span covers delivery (queueing for a Linux CPU)
+			// plus handler execution, on the servicing CPU's track.
+			defer func(begin time.Duration) {
+				if rec := k.Engine().Recorder(); rec != nil {
+					rec.Span(trace.CatIRQ, "hfi1-sdma-irq", ctx.P.Name(), begin, ctx.Now())
+				}
+			}(raised)
 			ctx.Spend(pr.IRQHandlerCost)
 			for _, txn := range batch {
 				ret, err := k.Space.Call(d.worlds, kmem.VirtAddr(txn.CallbackVA), ctx, txn.CallbackArg)

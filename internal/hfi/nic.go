@@ -2,11 +2,13 @@ package hfi
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/fabric"
 	"repro/internal/mem"
 	"repro/internal/model"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // SDMATxn is one submitted send transaction: the descriptor list built by
@@ -26,6 +28,10 @@ type SDMATxn struct {
 	// metadata record allocated by the submitting driver.
 	CallbackVA  uint64
 	CallbackArg uint64
+
+	// submitAt stamps SubmitSDMA entry; the engine's retirement span
+	// (submit → last packet on the wire) starts here.
+	submitAt time.Duration
 }
 
 // Bytes returns the transaction's total payload length.
@@ -237,6 +243,7 @@ func (n *NIC) SubmitSDMA(p *sim.Proc, txn *SDMATxn) error {
 				r.Src.Len, n.pr.MaxSDMARequest)
 		}
 	}
+	txn.submitAt = p.Now()
 	p.Sleep(n.pr.SDMADoorbell)
 	eng := n.engines[txn.Engine]
 	if depth := n.pr.SDMAQueueDepth; depth > 0 {
@@ -326,6 +333,9 @@ func (n *NIC) runEngine(p *sim.Proc, eng *SDMAEngine) {
 				return
 			}
 			eng.BytesSent += req.Src.Len
+		}
+		if rec := n.e.Recorder(); rec != nil {
+			rec.SpanBytes(trace.CatSDMA, "txn", p.Name(), txn.submitAt, p.Now(), txn.Bytes())
 		}
 		n.complete(txn)
 		eng.drain.Broadcast()

@@ -13,6 +13,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/model"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/vas"
 )
 
@@ -132,5 +133,8 @@ func (d *Delegator) Offload(p *sim.Proc, name string, fn func(ctx *kernel.Ctx)) 
 	lat := p.Now() - start
 	d.Count++
 	d.Time += lat
+	if rec := p.Engine().Recorder(); rec != nil {
+		rec.Span(trace.CatIKC, "offload:"+name, p.Name(), start, p.Now())
+	}
 	return lat
 }

@@ -111,6 +111,16 @@ func (k *Kernel) Engine() *sim.Engine { return k.e }
 // Params returns the model constants.
 func (k *Kernel) Params() *model.Params { return k.pr }
 
+// account closes out one syscall: it feeds the profiler and, when
+// tracing is on, emits a span on the calling process's track.
+func (k *Kernel) account(ctx *kernel.Ctx, name string, start time.Duration) {
+	end := ctx.Now()
+	k.Syscalls.Add(name, end-start)
+	if rec := k.e.Recorder(); rec != nil {
+		rec.Span(trace.CatLinux, name, ctx.P.Name(), start, end)
+	}
+}
+
 // syscallOverhead is the entry/exit plus VFS dispatch cost of a local
 // Linux system call on a device file.
 func (k *Kernel) syscallOverhead(ctx *kernel.Ctx) {
@@ -120,7 +130,7 @@ func (k *Kernel) syscallOverhead(ctx *kernel.Ctx) {
 // Open opens a device file on behalf of proc.
 func (k *Kernel) Open(ctx *kernel.Ctx, proc *uproc.Process, path string) (*File, error) {
 	start := ctx.Now()
-	defer func() { k.Syscalls.Add("open", ctx.Now()-start) }()
+	defer k.account(ctx, "open", start)
 	k.syscallOverhead(ctx)
 	drv, ok := k.devices[path]
 	if !ok {
@@ -137,7 +147,7 @@ func (k *Kernel) Open(ctx *kernel.Ctx, proc *uproc.Process, path string) (*File,
 // Close releases a device file.
 func (k *Kernel) Close(ctx *kernel.Ctx, f *File) error {
 	start := ctx.Now()
-	defer func() { k.Syscalls.Add("close", ctx.Now()-start) }()
+	defer k.account(ctx, "close", start)
 	k.syscallOverhead(ctx)
 	return f.Drv.Release(ctx, f)
 }
@@ -145,7 +155,7 @@ func (k *Kernel) Close(ctx *kernel.Ctx, f *File) error {
 // Writev issues a vectored write on a device file.
 func (k *Kernel) Writev(ctx *kernel.Ctx, f *File, iov []IOVec) (uint64, error) {
 	start := ctx.Now()
-	defer func() { k.Syscalls.Add("writev", ctx.Now()-start) }()
+	defer k.account(ctx, "writev", start)
 	k.syscallOverhead(ctx)
 	return f.Drv.Writev(ctx, f, iov)
 }
@@ -153,7 +163,7 @@ func (k *Kernel) Writev(ctx *kernel.Ctx, f *File, iov []IOVec) (uint64, error) {
 // Ioctl issues an ioctl on a device file.
 func (k *Kernel) Ioctl(ctx *kernel.Ctx, f *File, cmd uint32, arg uproc.VirtAddr) (uint64, error) {
 	start := ctx.Now()
-	defer func() { k.Syscalls.Add("ioctl", ctx.Now()-start) }()
+	defer k.account(ctx, "ioctl", start)
 	k.syscallOverhead(ctx)
 	return f.Drv.Ioctl(ctx, f, cmd, arg)
 }
@@ -161,7 +171,7 @@ func (k *Kernel) Ioctl(ctx *kernel.Ctx, f *File, cmd uint32, arg uproc.VirtAddr)
 // MmapDevice maps a driver region into the calling process.
 func (k *Kernel) MmapDevice(ctx *kernel.Ctx, f *File, kind uint32, length uint64) (uproc.VirtAddr, error) {
 	start := ctx.Now()
-	defer func() { k.Syscalls.Add("mmap", ctx.Now()-start) }()
+	defer k.account(ctx, "mmap", start)
 	k.syscallOverhead(ctx)
 	return f.Drv.Mmap(ctx, f, kind, length)
 }
@@ -169,7 +179,7 @@ func (k *Kernel) MmapDevice(ctx *kernel.Ctx, f *File, kind uint32, length uint64
 // Poll polls a device file.
 func (k *Kernel) Poll(ctx *kernel.Ctx, f *File) (uint32, error) {
 	start := ctx.Now()
-	defer func() { k.Syscalls.Add("poll", ctx.Now()-start) }()
+	defer k.account(ctx, "poll", start)
 	k.syscallOverhead(ctx)
 	return f.Drv.Poll(ctx, f)
 }
@@ -178,7 +188,7 @@ func (k *Kernel) Poll(ctx *kernel.Ctx, f *File) (uint32, error) {
 // (scattered 4K backing) with a per-page population cost.
 func (k *Kernel) MmapAnon(ctx *kernel.Ctx, proc *uproc.Process, size uint64) (uproc.VirtAddr, error) {
 	start := ctx.Now()
-	defer func() { k.Syscalls.Add("mmap", ctx.Now()-start) }()
+	defer k.account(ctx, "mmap", start)
 	ctx.Spend(k.pr.SyscallEntry)
 	npages := (size + mem.PageSize4K - 1) / mem.PageSize4K
 	ctx.Spend(time.Duration(npages) * 180 * time.Nanosecond)
@@ -188,7 +198,7 @@ func (k *Kernel) MmapAnon(ctx *kernel.Ctx, proc *uproc.Process, size uint64) (up
 // Munmap tears a mapping down.
 func (k *Kernel) Munmap(ctx *kernel.Ctx, proc *uproc.Process, va uproc.VirtAddr) error {
 	start := ctx.Now()
-	defer func() { k.Syscalls.Add("munmap", ctx.Now()-start) }()
+	defer k.account(ctx, "munmap", start)
 	ctx.Spend(k.pr.SyscallEntry)
 	v, ok := proc.VMAOf(va)
 	if ok {
@@ -202,7 +212,7 @@ func (k *Kernel) Munmap(ctx *kernel.Ctx, proc *uproc.Process, va uproc.VirtAddr)
 // /proc files, nanosleep, ...), so syscall profiles include them.
 func (k *Kernel) Misc(ctx *kernel.Ctx, name string, cost time.Duration) {
 	start := ctx.Now()
-	defer func() { k.Syscalls.Add(name, ctx.Now()-start) }()
+	defer k.account(ctx, name, start)
 	ctx.Spend(k.pr.SyscallEntry + cost)
 }
 

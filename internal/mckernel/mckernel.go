@@ -62,6 +62,16 @@ func NewKernel(e *sim.Engine, pr *model.Params, space *kmem.Space, lin *linux.Ke
 	}
 }
 
+// account closes out one syscall: it feeds the in-house profiler and,
+// when tracing is on, emits a span on the calling process's track.
+func (k *Kernel) account(ctx *kernel.Ctx, name string, start time.Duration) {
+	end := ctx.Now()
+	k.Syscalls.Add(name, end-start)
+	if rec := k.e.Recorder(); rec != nil {
+		rec.Span(trace.CatMcKernel, name, ctx.P.Name(), start, end)
+	}
+}
+
 // RegisterFastPath installs a PicoDriver's fast-path handlers for a
 // device path.
 func (k *Kernel) RegisterFastPath(path string, fp *FastPath) error {
@@ -93,7 +103,7 @@ func (k *Kernel) NewProcess(name string) *uproc.Process {
 // descriptor (§2.1).
 func (k *Kernel) Open(ctx *kernel.Ctx, proc *uproc.Process, path string) (*linux.File, error) {
 	start := ctx.Now()
-	defer func() { k.Syscalls.Add("open", ctx.Now()-start) }()
+	defer k.account(ctx, "open", start)
 	ctx.Spend(lwkSyscallEntry)
 	var f *linux.File
 	var err error
@@ -106,7 +116,7 @@ func (k *Kernel) Open(ctx *kernel.Ctx, proc *uproc.Process, path string) (*linux
 // Close releases a device file (offloaded).
 func (k *Kernel) Close(ctx *kernel.Ctx, f *linux.File) error {
 	start := ctx.Now()
-	defer func() { k.Syscalls.Add("close", ctx.Now()-start) }()
+	defer k.account(ctx, "close", start)
 	ctx.Spend(lwkSyscallEntry)
 	var err error
 	k.Del.Offload(ctx.P, "close", func(lctx *kernel.Ctx) {
@@ -120,7 +130,7 @@ func (k *Kernel) Close(ctx *kernel.Ctx, f *linux.File) error {
 // full offload round trip plus Linux-CPU queueing.
 func (k *Kernel) Writev(ctx *kernel.Ctx, f *linux.File, iov []linux.IOVec) (uint64, error) {
 	start := ctx.Now()
-	defer func() { k.Syscalls.Add("writev", ctx.Now()-start) }()
+	defer k.account(ctx, "writev", start)
 	ctx.Spend(lwkSyscallEntry)
 	if fp := k.fast[f.Path]; fp != nil && fp.Writev != nil {
 		n, handled, err := fp.Writev(ctx, f, iov)
@@ -140,7 +150,7 @@ func (k *Kernel) Writev(ctx *kernel.Ctx, f *linux.File, iov []linux.IOVec) (uint
 // ported and offloading the rest transparently.
 func (k *Kernel) Ioctl(ctx *kernel.Ctx, f *linux.File, cmd uint32, arg uproc.VirtAddr) (uint64, error) {
 	start := ctx.Now()
-	defer func() { k.Syscalls.Add("ioctl", ctx.Now()-start) }()
+	defer k.account(ctx, "ioctl", start)
 	ctx.Spend(lwkSyscallEntry)
 	if fp := k.fast[f.Path]; fp != nil && fp.Ioctl != nil {
 		res, handled, err := fp.Ioctl(ctx, f, cmd, arg)
@@ -160,7 +170,7 @@ func (k *Kernel) Ioctl(ctx *kernel.Ctx, f *linux.File, cmd uint32, arg uproc.Vir
 // established through the proxy, §2.1).
 func (k *Kernel) MmapDevice(ctx *kernel.Ctx, f *linux.File, kind uint32, length uint64) (uproc.VirtAddr, error) {
 	start := ctx.Now()
-	defer func() { k.Syscalls.Add("mmap", ctx.Now()-start) }()
+	defer k.account(ctx, "mmap", start)
 	ctx.Spend(lwkSyscallEntry)
 	var va uproc.VirtAddr
 	var err error
@@ -173,7 +183,7 @@ func (k *Kernel) MmapDevice(ctx *kernel.Ctx, f *linux.File, kind uint32, length 
 // Poll polls a device file (offloaded).
 func (k *Kernel) Poll(ctx *kernel.Ctx, f *linux.File) (uint32, error) {
 	start := ctx.Now()
-	defer func() { k.Syscalls.Add("poll", ctx.Now()-start) }()
+	defer k.account(ctx, "poll", start)
 	ctx.Spend(lwkSyscallEntry)
 	var ev uint32
 	var err error
@@ -187,7 +197,7 @@ func (k *Kernel) Poll(ctx *kernel.Ctx, f *linux.File) (uint32, error) {
 // implements itself.
 func (k *Kernel) MmapAnon(ctx *kernel.Ctx, proc *uproc.Process, size uint64) (uproc.VirtAddr, error) {
 	start := ctx.Now()
-	defer func() { k.Syscalls.Add("mmap", ctx.Now()-start) }()
+	defer k.account(ctx, "mmap", start)
 	ctx.Spend(lwkSyscallEntry)
 	npages := (size + mem.PageSize4K - 1) / mem.PageSize4K
 	ctx.Spend(time.Duration(npages) * k.pr.McKMmapPerPage)
@@ -198,7 +208,7 @@ func (k *Kernel) MmapAnon(ctx *kernel.Ctx, proc *uproc.Process, size uint64) (up
 // shortcoming the paper's profiling exposed.
 func (k *Kernel) Munmap(ctx *kernel.Ctx, proc *uproc.Process, va uproc.VirtAddr) error {
 	start := ctx.Now()
-	defer func() { k.Syscalls.Add("munmap", ctx.Now()-start) }()
+	defer k.account(ctx, "munmap", start)
 	ctx.Spend(lwkSyscallEntry)
 	if v, ok := proc.VMAOf(va); ok {
 		npages := v.Range.Size / mem.PageSize4K
@@ -211,7 +221,7 @@ func (k *Kernel) Munmap(ctx *kernel.Ctx, proc *uproc.Process, va uproc.VirtAddr)
 // files, nanosleep, ...) so that kernel profiles include them.
 func (k *Kernel) OffloadSimple(ctx *kernel.Ctx, name string, linuxCost time.Duration) {
 	start := ctx.Now()
-	defer func() { k.Syscalls.Add(name, ctx.Now()-start) }()
+	defer k.account(ctx, name, start)
 	ctx.Spend(lwkSyscallEntry)
 	k.Del.Offload(ctx.P, name, func(lctx *kernel.Ctx) {
 		lctx.Spend(linuxCost)

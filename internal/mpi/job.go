@@ -28,6 +28,9 @@ type JobResult struct {
 	Ranks int
 	// PerRankElapsed is the mean of per-rank body times.
 	PerRankElapsed time.Duration
+	// RankElapsed is the distribution of per-rank body times (one
+	// sample per rank), for percentile reporting.
+	RankElapsed *trace.Histogram
 }
 
 // RunJob launches ranksPerNode ranks on every node of the cluster, runs
@@ -84,7 +87,7 @@ func RunJob(cl *cluster.Cluster, ranksPerNode int, body RankFunc) (*JobResult, e
 		}
 	}
 
-	res := &JobResult{MPI: trace.NewSyscallProfile(), Ranks: nRanks}
+	res := &JobResult{MPI: trace.NewSyscallProfile(), Ranks: nRanks, RankElapsed: &trace.Histogram{}}
 	var latest, meanSum time.Duration
 	earliest := bodyStart[0]
 	for r := 0; r < nRanks; r++ {
@@ -95,6 +98,7 @@ func RunJob(cl *cluster.Cluster, ranksPerNode int, body RankFunc) (*JobResult, e
 			earliest = bodyStart[r]
 		}
 		meanSum += bodyEnd[r] - bodyStart[r]
+		res.RankElapsed.Observe(bodyEnd[r] - bodyStart[r])
 		res.MPI.Merge(comms[r].Prof)
 	}
 	res.Elapsed = latest - earliest

@@ -8,6 +8,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/hfi"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/uproc"
 )
 
@@ -24,6 +25,7 @@ type Endpoint struct {
 	CtxID  int
 	nic    *hfi.NIC
 	notify *sim.Cond
+	eng    *sim.Engine
 
 	// User mappings of the context's host-memory areas.
 	statusVA, hdrqVA, eagerVA, cqVA uproc.VirtAddr
@@ -104,6 +106,8 @@ type sendReq struct {
 	remaining uint64 // bytes not yet CTS'd
 	windows   int    // outstanding window completions
 	ctsDone   bool
+	// op names the transfer mode for the completion span.
+	op string
 }
 
 type sendWindow struct {
@@ -185,6 +189,7 @@ func NewEndpoint(p *sim.Proc, os OSOps, rank int, book AddressBook, synthetic bo
 		return nil, err
 	}
 	ep.nic = os.NIC()
+	ep.eng = p.Engine()
 	hwctx, ok := ep.nic.Context(ep.CtxID)
 	if !ok {
 		return nil, fmt.Errorf("psm: hardware context %d missing", ep.CtxID)
@@ -204,6 +209,16 @@ func (ep *Endpoint) Close(p *sim.Proc) error {
 }
 
 func (ep *Endpoint) proc() *uproc.Process { return ep.OS.Proc() }
+
+// span emits one protocol-phase span on this rank's track, ending now.
+func (ep *Endpoint) span(name string, begin time.Duration, bytes uint64) {
+	if ep.eng == nil {
+		return
+	}
+	if rec := ep.eng.Recorder(); rec != nil {
+		rec.SpanBytes(trace.CatPSM, name, fmt.Sprintf("rank%d", ep.Rank), begin, ep.eng.Now(), bytes)
+	}
+}
 
 func (ep *Endpoint) addrOf(rank int) (Addr, error) {
 	a, ok := ep.Book.Lookup(rank)

@@ -220,6 +220,7 @@ func (ep *Endpoint) onSendComplete(seq uint32) error {
 	if sr.remaining == 0 && sr.windows == 0 {
 		sr.req.Done = true
 		delete(ep.sends, sr.msgid)
+		ep.span(sr.op, sr.req.begin, sr.length)
 	}
 	return nil
 }

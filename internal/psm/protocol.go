@@ -19,7 +19,7 @@ func (ep *Endpoint) Isend(p *sim.Proc, dst int, tag uint64, buf uproc.VirtAddr, 
 	if err != nil {
 		return nil, err
 	}
-	req := &Request{Bytes: length, kind: reqSend}
+	req := &Request{Bytes: length, kind: reqSend, begin: p.Now()}
 	ep.nextMsgSeq++
 	msgid := uint64(ep.Rank)<<32 | ep.nextMsgSeq
 	ep.Stats.BytesSent += length
@@ -31,12 +31,14 @@ func (ep *Endpoint) Isend(p *sim.Proc, dst int, tag uint64, buf uproc.VirtAddr, 
 		}
 		ep.Stats.SendsLocal++
 		req.Done = true
+		ep.span("send:local", req.begin, length)
 	case length <= ep.nic.Params().PIOMaxSize:
 		if err := ep.sendPIO(p, a, tag, msgid, buf, length); err != nil {
 			return nil, err
 		}
 		ep.Stats.SendsPIO++
 		req.Done = true
+		ep.span("send:pio", req.begin, length)
 	case length <= ep.nic.Params().SDMAThreshold:
 		if err := ep.sendEagerSDMA(p, a, tag, msgid, buf, length, req); err != nil {
 			return nil, err
@@ -136,7 +138,8 @@ func (ep *Endpoint) sendEagerSDMA(p *sim.Proc, a Addr, tag, msgid uint64, buf up
 		return err
 	}
 	sr := &sendReq{req: req, dst: a, tag: tag, msgid: msgid, buf: buf,
-		length: length, remaining: 0, windows: 1, ctsDone: true}
+		length: length, remaining: 0, windows: 1, ctsDone: true,
+		op: "send:eager-sdma"}
 	ep.bySeq[cs] = &sendWindow{send: sr}
 	return nil
 }
@@ -144,7 +147,7 @@ func (ep *Endpoint) sendEagerSDMA(p *sim.Proc, a Addr, tag, msgid uint64, buf up
 // sendRendezvous issues the RTS; the CTS handler drives the SDMA windows.
 func (ep *Endpoint) sendRendezvous(p *sim.Proc, a Addr, tag, msgid uint64, buf uproc.VirtAddr, length uint64, req *Request) error {
 	sr := &sendReq{req: req, dst: a, tag: tag, msgid: msgid, buf: buf,
-		length: length, remaining: length}
+		length: length, remaining: length, op: "send:rdv"}
 	ep.sends[msgid] = sr
 	hdr := ep.header(OpRTS, tag, msgid, length, 0, 0)
 	return ep.nic.PIOSend(p, a.Node, a.Ctx, hdr, nil, 16)
@@ -175,7 +178,7 @@ func (ep *Endpoint) flags() uint32 {
 
 // Irecv posts a receive for (src, tag) into buf (capacity bytes).
 func (ep *Endpoint) Irecv(p *sim.Proc, src int, tag uint64, buf uproc.VirtAddr, capacity uint64) (*Request, error) {
-	req := &Request{kind: reqRecv}
+	req := &Request{kind: reqRecv, begin: p.Now()}
 	rr := &recvReq{req: req, src: src, tag: tag, buf: buf, capacity: capacity}
 
 	// 1. A fully arrived unexpected eager message?
@@ -250,6 +253,7 @@ func (ep *Endpoint) completeRecv(rr *recvReq, n uint64) {
 	rr.req.Done = true
 	ep.Stats.Recvs++
 	ep.Stats.BytesRecv += n
+	ep.span("recv", rr.req.begin, n)
 }
 
 // matchPosted removes and returns the oldest posted receive matching

@@ -92,6 +92,8 @@ type Request struct {
 	// Bytes is the message length.
 	Bytes uint64
 	kind  reqKind
+	// begin stamps Isend/Irecv entry for the operation's trace span.
+	begin time.Duration
 }
 
 type reqKind uint8

@@ -3,34 +3,48 @@ package report
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
 )
 
 // CSV emitters for plotting the regenerated figures with external tools.
 
-// Fig4CSV renders the bandwidth sweep as size,linux,mckernel,hfi rows.
+// Fig4CSV renders the bandwidth sweep as size,linux,mckernel,hfi rows
+// with per-OS one-way latency p50/p99 columns (microseconds).
 func Fig4CSV(rows []experiments.Fig4Row) string {
 	var b strings.Builder
-	b.WriteString("bytes,linux_mbps,mckernel_mbps,mckernel_hfi_mbps\n")
+	b.WriteString("bytes,linux_mbps,mckernel_mbps,mckernel_hfi_mbps," +
+		"linux_p50_us,linux_p99_us,mckernel_p50_us,mckernel_p99_us," +
+		"mckernel_hfi_p50_us,mckernel_hfi_p99_us\n")
+	us := func(d time.Duration) float64 { return float64(d) / 1e3 }
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%d,%.1f,%.1f,%.1f\n",
-			r.Size, r.MBps["Linux"], r.MBps["McKernel"], r.MBps["McKernel+HFI1"])
+		fmt.Fprintf(&b, "%d,%.1f,%.1f,%.1f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f\n",
+			r.Size, r.MBps["Linux"], r.MBps["McKernel"], r.MBps["McKernel+HFI1"],
+			us(r.OneWayP50["Linux"]), us(r.OneWayP99["Linux"]),
+			us(r.OneWayP50["McKernel"]), us(r.OneWayP99["McKernel"]),
+			us(r.OneWayP50["McKernel+HFI1"]), us(r.OneWayP99["McKernel+HFI1"]))
 	}
 	return b.String()
 }
 
-// ScalingCSV renders a scaling study as nodes,relative-performance rows.
+// ScalingCSV renders a scaling study as nodes,relative-performance rows
+// with per-OS rank-time p50/p99 columns (seconds).
 func ScalingCSV(pts []experiments.ScalingPoint) string {
 	var b strings.Builder
-	b.WriteString("nodes,linux_rel,mckernel_rel,mckernel_hfi_rel,linux_seconds\n")
+	b.WriteString("nodes,linux_rel,mckernel_rel,mckernel_hfi_rel,linux_seconds," +
+		"linux_p50_s,linux_p99_s,mckernel_p50_s,mckernel_p99_s," +
+		"mckernel_hfi_p50_s,mckernel_hfi_p99_s\n")
 	for _, p := range pts {
-		fmt.Fprintf(&b, "%d,%.4f,%.4f,%.4f,%.6f\n",
+		fmt.Fprintf(&b, "%d,%.4f,%.4f,%.4f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f\n",
 			p.Nodes,
 			p.RelToLinux["Linux"],
 			p.RelToLinux["McKernel"],
 			p.RelToLinux["McKernel+HFI1"],
-			p.Elapsed["Linux"].Seconds())
+			p.Elapsed["Linux"].Seconds(),
+			p.RankP50["Linux"].Seconds(), p.RankP99["Linux"].Seconds(),
+			p.RankP50["McKernel"].Seconds(), p.RankP99["McKernel"].Seconds(),
+			p.RankP50["McKernel+HFI1"].Seconds(), p.RankP99["McKernel+HFI1"].Seconds())
 	}
 	return b.String()
 }

@@ -6,24 +6,52 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/trace"
 )
 
-// Fig4Table renders the ping-pong bandwidth sweep.
+// LatencyTable renders the per-phase latency distributions a Recorder
+// accumulated (one histogram per category/name pair, in first-use
+// order).
+func LatencyTable(rec *trace.Recorder) string {
+	var b strings.Builder
+	b.WriteString("Span latency distributions (per category/phase)\n")
+	fmt.Fprintf(&b, "%-28s %9s %12s %12s %12s %12s %12s\n",
+		"phase", "count", "mean", "p50", "p90", "p99", "max")
+	for _, name := range rec.HistogramNames() {
+		h := rec.Histogram(name)
+		fmt.Fprintf(&b, "%-28s %9d %12v %12v %12v %12v %12v\n",
+			name, h.Count(), h.Mean(), h.P50(), h.P90(), h.P99(), h.Max())
+	}
+	return b.String()
+}
+
+// Fig4Table renders the ping-pong bandwidth sweep with one-way latency
+// percentiles (p50/p99 over repetitions) next to the means.
 func Fig4Table(rows []experiments.Fig4Row) string {
 	var b strings.Builder
-	b.WriteString("Figure 4: MPI ping-pong bandwidth (MB/s)\n")
-	fmt.Fprintf(&b, "%-10s %12s %12s %14s %9s %9s\n",
-		"size", "Linux", "McKernel", "McKernel+HFI1", "McK/Lin", "HFI/Lin")
+	b.WriteString("Figure 4: MPI ping-pong bandwidth (MB/s) and one-way latency p50/p99 (µs)\n")
+	fmt.Fprintf(&b, "%-10s %12s %12s %14s %9s %9s %15s %15s %15s\n",
+		"size", "Linux", "McKernel", "McKernel+HFI1", "McK/Lin", "HFI/Lin",
+		"Lin p50/p99", "McK p50/p99", "HFI p50/p99")
 	for _, r := range rows {
 		lin := r.MBps["Linux"]
 		mck := r.MBps["McKernel"]
 		hfi := r.MBps["McKernel+HFI1"]
-		fmt.Fprintf(&b, "%-10s %12.1f %12.1f %14.1f %8.1f%% %8.1f%%\n",
-			sizeLabel(r.Size), lin, mck, hfi, 100*mck/lin, 100*hfi/lin)
+		fmt.Fprintf(&b, "%-10s %12.1f %12.1f %14.1f %8.1f%% %8.1f%% %15s %15s %15s\n",
+			sizeLabel(r.Size), lin, mck, hfi, 100*mck/lin, 100*hfi/lin,
+			pctPair(r.OneWayP50["Linux"], r.OneWayP99["Linux"]),
+			pctPair(r.OneWayP50["McKernel"], r.OneWayP99["McKernel"]),
+			pctPair(r.OneWayP50["McKernel+HFI1"], r.OneWayP99["McKernel+HFI1"]))
 	}
 	return b.String()
+}
+
+// pctPair formats a p50/p99 pair in microseconds.
+func pctPair(p50, p99 time.Duration) string {
+	return fmt.Sprintf("%.1f/%.1f", float64(p50)/1e3, float64(p99)/1e3)
 }
 
 func sizeLabel(n uint64) string {
@@ -38,18 +66,30 @@ func sizeLabel(n uint64) string {
 
 // ScalingTable renders one mini-app scaling study (Figures 5-7): the
 // paper's y axis is performance relative to Linux (100% = parity).
+// Per-rank body-time p50/p99 columns expose the OS-noise spread behind
+// each mean.
 func ScalingTable(title string, pts []experiments.ScalingPoint) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s (performance relative to Linux)\n", title)
-	fmt.Fprintf(&b, "%-7s %12s %12s %14s\n", "nodes", "Linux", "McKernel", "McKernel+HFI1")
+	fmt.Fprintf(&b, "%s (performance relative to Linux; rank-time p50/p99 in ms)\n", title)
+	fmt.Fprintf(&b, "%-7s %12s %12s %14s %17s %17s %17s\n",
+		"nodes", "Linux", "McKernel", "McKernel+HFI1",
+		"Lin p50/p99", "McK p50/p99", "HFI p50/p99")
 	for _, p := range pts {
-		fmt.Fprintf(&b, "%-7d %11.1f%% %11.1f%% %13.1f%%\n",
+		fmt.Fprintf(&b, "%-7d %11.1f%% %11.1f%% %13.1f%% %17s %17s %17s\n",
 			p.Nodes,
 			100*p.RelToLinux["Linux"],
 			100*p.RelToLinux["McKernel"],
-			100*p.RelToLinux["McKernel+HFI1"])
+			100*p.RelToLinux["McKernel+HFI1"],
+			msPair(p.RankP50["Linux"], p.RankP99["Linux"]),
+			msPair(p.RankP50["McKernel"], p.RankP99["McKernel"]),
+			msPair(p.RankP50["McKernel+HFI1"], p.RankP99["McKernel+HFI1"]))
 	}
 	return b.String()
+}
+
+// msPair formats a p50/p99 pair in milliseconds.
+func msPair(p50, p99 time.Duration) string {
+	return fmt.Sprintf("%.2f/%.2f", float64(p50)/1e6, float64(p99)/1e6)
 }
 
 // Table1 renders the communication profile in the layout of the paper's

@@ -15,8 +15,11 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"runtime/debug"
 	"sort"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // Engine is a discrete-event simulator. Create one with NewEngine, add
@@ -32,6 +35,7 @@ type Engine struct {
 	live   int
 	failv  any
 	rnd    uint64 // cheap deterministic counter for Rng-free jitter
+	rec    *trace.Recorder
 }
 
 type event struct {
@@ -52,6 +56,15 @@ func NewEngine(seed int64) *Engine {
 
 // Now returns the current virtual time.
 func (e *Engine) Now() time.Duration { return e.now }
+
+// SetRecorder attaches a span recorder. Instrumented layers read it
+// through Recorder(); a nil recorder (the default) disables tracing at
+// the cost of a nil check per span site.
+func (e *Engine) SetRecorder(r *trace.Recorder) { e.rec = r }
+
+// Recorder returns the attached span recorder (nil when tracing is
+// off; all trace.Recorder methods are nil-safe).
+func (e *Engine) Recorder() *trace.Recorder { return e.rec }
 
 // Fail records err as a fatal simulation failure: Run returns it once the
 // current event finishes. It exists for code running in event or device
@@ -123,7 +136,7 @@ func (e *Engine) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
 		<-p.resume
 		defer func() {
 			if r := recover(); r != nil && e.failv == nil {
-				e.failv = fmt.Sprintf("proc %q panicked: %v", p.name, r)
+				e.failv = &PanicError{Proc: p.name, Value: r, Stack: debug.Stack()}
 			}
 			e.live--
 			delete(e.procs, p)
@@ -169,6 +182,20 @@ func (p *Proc) Sleep(d time.Duration) {
 // before the process continues.
 func (p *Proc) Yield() { p.Sleep(0) }
 
+// PanicError is returned (wrapped) by Run when a simulated process
+// panics. It preserves the panicking process's name, the panic value
+// and the goroutine stack captured at recover time, and unwraps via
+// errors.As.
+type PanicError struct {
+	Proc  string
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("proc %q panicked: %v\n%s", e.Proc, e.Value, e.Stack)
+}
+
 // DeadlockError is returned by Run when processes remain blocked but no
 // events are pending.
 type DeadlockError struct {
@@ -183,17 +210,27 @@ func (d *DeadlockError) Error() string {
 
 // Run executes events until the heap is empty or until limit (if > 0) is
 // reached. It returns a *DeadlockError if processes remain blocked with
-// no pending events, and an error if any process panicked.
+// no pending events, and a *PanicError (wrapped) if any process
+// panicked.
+//
+// Run is resumable: an event past the limit stays queued, so
+// Run(t) followed by Run(0) reaches exactly the same final state as a
+// single Run(0).
 func (e *Engine) Run(limit time.Duration) error {
 	for len(e.heap) > 0 {
-		ev := e.heap.pop()
-		if limit > 0 && ev.at > limit {
+		// Peek before popping: the first event past the limit must stay
+		// in the heap for a later resumed Run to execute.
+		if limit > 0 && e.heap[0].at > limit {
 			e.now = limit
 			return nil
 		}
+		ev := e.heap.pop()
 		e.now = ev.at
 		ev.fn()
 		if e.failv != nil {
+			if err, ok := e.failv.(error); ok {
+				return fmt.Errorf("sim: %w", err)
+			}
 			return fmt.Errorf("sim: %v", e.failv)
 		}
 	}

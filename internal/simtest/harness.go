@@ -11,6 +11,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/psm"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/uproc"
 )
 
@@ -20,6 +21,9 @@ type Report struct {
 	Digest      string
 	VirtualTime time.Duration
 	Messages    int
+	// Spans is the number of trace spans the run's recorder captured;
+	// the serialized trace is folded into Digest.
+	Spans int
 }
 
 // Repro is the single-seed repro command printed with every failure.
@@ -44,18 +48,21 @@ func CheckCell(base int64, cell string) (*Report, error) {
 
 // Check runs the workload twice and asserts same-seed determinism: two
 // executions of an identical workload must produce identical trace
-// digests.
+// digests. The second execution is split at half the first run's
+// virtual time (Run(t); Run(0)), so the determinism check doubles as a
+// pause/resume invariant on Engine.Run's limit handling.
 func Check(w Workload) (*Report, error) {
 	r1, err := Run(w)
 	if err != nil {
 		return nil, err
 	}
-	r2, err := Run(w)
+	r2, err := run(w, r1.VirtualTime/2)
 	if err != nil {
-		return nil, fmt.Errorf("simtest: rerun of identical workload failed: %w", err)
+		return nil, fmt.Errorf("simtest: split rerun of identical workload failed: %w", err)
 	}
 	if r1.Digest != r2.Digest {
-		return nil, fmt.Errorf("simtest: nondeterminism: same seed produced digests %s and %s", r1.Digest, r2.Digest)
+		return nil, fmt.Errorf("simtest: nondeterminism: same seed produced digests %s (one-shot) and %s (split at %v)",
+			r1.Digest, r2.Digest, r1.VirtualTime/2)
 	}
 	return r1, nil
 }
@@ -64,7 +71,11 @@ func Check(w Workload) (*Report, error) {
 // invariant battery: byte-exact delivery, pin and TID balance at
 // teardown, closed contexts, no dropped packets, and per-rank
 // virtual-clock monotonicity.
-func Run(w Workload) (*Report, error) {
+func Run(w Workload) (*Report, error) { return run(w, 0) }
+
+// run executes the workload; a nonzero splitAt pauses the engine at
+// that virtual time and resumes, which must not change any observable.
+func run(w Workload, splitAt time.Duration) (*Report, error) {
 	if len(w.Msgs) == 0 {
 		return nil, fmt.Errorf("simtest: empty workload")
 	}
@@ -84,6 +95,8 @@ func Run(w Workload) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	rec := trace.NewRecorder()
+	cl.E.SetRecorder(rec)
 	// Pin balance is measured against the post-boot baseline: McKernel
 	// ranks pin their anonymous memory at mmap time, so only the delta
 	// across the workload must return to zero.
@@ -107,7 +120,13 @@ func Run(w Workload) (*Report, error) {
 			rankErr[r] = runRank(p, w, node, r, book, eps, ready, done, sums)
 		})
 	}
-	engineErr := cl.E.Run(0)
+	var engineErr error
+	if splitAt > 0 {
+		engineErr = cl.E.Run(splitAt)
+	}
+	if engineErr == nil {
+		engineErr = cl.E.Run(0)
+	}
 	var fails []string
 	for r, e := range rankErr {
 		if e != nil {
@@ -145,17 +164,19 @@ func Run(w Workload) (*Report, error) {
 	}
 	return &Report{
 		Workload:    w,
-		Digest:      traceDigest(cl, eps, sums),
+		Digest:      traceDigest(cl, eps, sums, rec),
 		VirtualTime: cl.E.Now(),
 		Messages:    len(w.Msgs),
+		Spans:       len(rec.Spans()),
 	}, nil
 }
 
 // traceDigest folds the observable trace of a run — final virtual
-// time, per-node NIC counters, per-rank PSM statistics and per-message
-// payload checksums — into a short stable digest. Two executions of
-// the same workload must agree on every one of these.
-func traceDigest(cl *cluster.Cluster, eps []*psm.Endpoint, sums [][]byte) string {
+// time, per-node NIC counters, per-rank PSM statistics, per-message
+// payload checksums and the serialized span trace — into a short
+// stable digest. Two executions of the same workload must agree on
+// every one of these.
+func traceDigest(cl *cluster.Cluster, eps []*psm.Endpoint, sums [][]byte, rec *trace.Recorder) string {
 	h := sha256.New()
 	fmt.Fprintf(h, "vt=%d\n", cl.E.Now())
 	for _, n := range cl.Nodes {
@@ -171,6 +192,7 @@ func traceDigest(cl *cluster.Cluster, eps []*psm.Endpoint, sums [][]byte) string
 	for i, s := range sums {
 		fmt.Fprintf(h, "msg%d %x\n", i, s)
 	}
+	h.Write(rec.ChromeTraceJSON())
 	return hex.EncodeToString(h.Sum(nil))[:16]
 }
 

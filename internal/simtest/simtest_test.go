@@ -94,6 +94,21 @@ func TestSimTIDExhaustionFault(t *testing.T) {
 	t.Logf("fault output:\n%s\nshrunk: %s → %v", out, min.Summary(), minErr)
 }
 
+// TestTraceFoldedIntoDigest pins the recorder integration: every cell
+// run attaches a span recorder, so a successful Check must have seen a
+// non-trivial number of spans (their serialized form participates in
+// the digest the split-run comparison is made over).
+func TestTraceFoldedIntoDigest(t *testing.T) {
+	rep, err := simtest.CheckCell(*seedFlag, "McKernel+HFI1/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Spans == 0 {
+		t.Fatal("harness run recorded no spans; recorder not attached")
+	}
+	t.Logf("cell recorded %d spans, digest %s", rep.Spans, rep.Digest)
+}
+
 // TestGenerateStable pins generation determinism: the same (seed,
 // cell) pair must always expand to the identical workload, and
 // distinct cells must differ.

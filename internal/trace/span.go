@@ -1,0 +1,204 @@
+// Span tracing: a Recorder collects typed begin/end spans from every
+// layer of the simulated stack (system calls, IKC round trips, SDMA
+// descriptor lifecycles, IRQ delivery, PSM protocol phases, packet
+// flight) and exports them as Chrome trace-event JSON that Perfetto
+// loads directly. Every span also feeds a per-(category, name) latency
+// histogram, so distributions come for free wherever spans are emitted.
+//
+// All Recorder methods are safe on a nil receiver and do nothing: an
+// untraced simulation pays only a nil check per span site.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Span categories, one per instrumented subsystem. They become the
+// "cat" field of the Chrome trace events (filterable in Perfetto).
+const (
+	CatMcKernel = "mckernel" // LWK syscall service
+	CatLinux    = "linux"    // Linux syscall service
+	CatIKC      = "ikc"      // inter-kernel offload round trips
+	CatSDMA     = "sdma"     // SDMA descriptor lifecycle (submit → retire)
+	CatIRQ      = "irq"      // completion IRQ delivery + handler
+	CatPSM      = "psm"      // PSM protocol phases (send/recv lifecycles)
+	CatFabric   = "fabric"   // packet flight (egress → delivery)
+)
+
+// Span is one completed interval on a named track. Begin and End are
+// virtual timestamps (nanoseconds since simulation start).
+type Span struct {
+	Cat   string
+	Name  string
+	Track string
+	Begin time.Duration
+	End   time.Duration
+	// Bytes annotates data-carrying spans (0 = omitted from the JSON).
+	Bytes uint64
+}
+
+// Recorder accumulates spans and derived latency histograms. The zero
+// value is not usable; create with NewRecorder. A nil *Recorder is the
+// disabled state: every method is a no-op.
+//
+// Determinism: spans are stored in emission order and track/histogram
+// ids are interned in first-use order, both of which are reproducible
+// under the deterministic engine — so two same-seed runs serialize to
+// byte-identical JSON.
+type Recorder struct {
+	spans      []Span
+	trackIDs   map[string]int
+	trackOrder []string
+	hists      map[string]*Histogram
+	histOrder  []string
+}
+
+// NewRecorder returns an empty, enabled recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		trackIDs: make(map[string]int),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Enabled reports whether spans are being collected.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Span records a completed interval and feeds the cat/name histogram.
+func (r *Recorder) Span(cat, name, track string, begin, end time.Duration) {
+	r.SpanBytes(cat, name, track, begin, end, 0)
+}
+
+// SpanBytes is Span with a byte-count annotation.
+func (r *Recorder) SpanBytes(cat, name, track string, begin, end time.Duration, bytes uint64) {
+	if r == nil {
+		return
+	}
+	if end < begin {
+		end = begin
+	}
+	if _, ok := r.trackIDs[track]; !ok {
+		r.trackIDs[track] = len(r.trackOrder) + 1 // tids start at 1
+		r.trackOrder = append(r.trackOrder, track)
+	}
+	r.spans = append(r.spans, Span{Cat: cat, Name: name, Track: track, Begin: begin, End: end, Bytes: bytes})
+	r.Observe(cat+"/"+name, end-begin)
+}
+
+// Observe feeds a named histogram directly (for latencies that are not
+// spans, e.g. per-repetition ping-pong one-way times).
+func (r *Recorder) Observe(name string, d time.Duration) {
+	if r == nil {
+		return
+	}
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+		r.histOrder = append(r.histOrder, name)
+	}
+	h.Observe(d)
+}
+
+// Spans returns the recorded spans in emission order (nil when
+// disabled).
+func (r *Recorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	return r.spans
+}
+
+// Histogram returns the named histogram, or nil if nothing was
+// observed under that name.
+func (r *Recorder) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.hists[name]
+}
+
+// HistogramNames returns the observed histogram names in first-use
+// order.
+func (r *Recorder) HistogramNames() []string {
+	if r == nil {
+		return nil
+	}
+	return r.histOrder
+}
+
+// tsMicros renders a virtual-nanosecond timestamp in the microsecond
+// unit Chrome trace events use, with nanosecond precision preserved.
+func tsMicros(d time.Duration) string {
+	return fmt.Sprintf("%d.%03d", d/1000, d%1000)
+}
+
+// jsonEscape escapes the characters that can occur in track/span names.
+func jsonEscape(s string) string {
+	if !strings.ContainsAny(s, `"\`) {
+		return s
+	}
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// WriteChromeTrace serializes the recorded spans as Chrome trace-event
+// JSON (the "JSON object format": {"traceEvents":[...]}), loadable in
+// Perfetto and chrome://tracing. Output is byte-identical across
+// same-seed runs: events appear in emission order, preceded by
+// thread-name metadata in track-intern order.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[]}`+"\n")
+		return err
+	}
+	if _, err := io.WriteString(w, `{"displayTimeUnit":"ns","traceEvents":[`+"\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(format string, args ...any) error {
+		sep := ",\n"
+		if first {
+			sep = ""
+			first = false
+		}
+		_, err := fmt.Fprintf(w, sep+format, args...)
+		return err
+	}
+	if err := emit(`{"ph":"M","pid":1,"tid":0,"name":"process_name","args":{"name":"picodriver-sim"}}`); err != nil {
+		return err
+	}
+	for i, track := range r.trackOrder {
+		if err := emit(`{"ph":"M","pid":1,"tid":%d,"name":"thread_name","args":{"name":"%s"}}`,
+			i+1, jsonEscape(track)); err != nil {
+			return err
+		}
+	}
+	for _, s := range r.spans {
+		tid := r.trackIDs[s.Track]
+		if s.Bytes != 0 {
+			if err := emit(`{"ph":"X","pid":1,"tid":%d,"cat":"%s","name":"%s","ts":%s,"dur":%s,"args":{"bytes":%d}}`,
+				tid, jsonEscape(s.Cat), jsonEscape(s.Name), tsMicros(s.Begin), tsMicros(s.End-s.Begin), s.Bytes); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := emit(`{"ph":"X","pid":1,"tid":%d,"cat":"%s","name":"%s","ts":%s,"dur":%s}`,
+			tid, jsonEscape(s.Cat), jsonEscape(s.Name), tsMicros(s.Begin), tsMicros(s.End-s.Begin)); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n]}\n")
+	return err
+}
+
+// ChromeTraceJSON returns the serialized trace as a byte slice.
+func (r *Recorder) ChromeTraceJSON() []byte {
+	var b strings.Builder
+	// strings.Builder writes cannot fail.
+	_ = r.WriteChromeTrace(&b)
+	return []byte(b.String())
+}

@@ -53,16 +53,16 @@ func (s *SyscallProfile) Clone() *SyscallProfile {
 }
 
 // Sub subtracts a baseline profile (earlier snapshot of the same
-// accumulator); entries never go negative.
+// accumulator); entries never go negative. The two maps stay in
+// lockstep: a name is removed only once BOTH its time and its count
+// reach zero, so a call whose time zeroes out while invocations remain
+// (or vice versa) still shows up in Top and String.
 func (s *SyscallProfile) Sub(base *SyscallProfile) {
 	for n, d := range base.times {
 		if s.times[n] >= d {
 			s.times[n] -= d
 		} else {
 			s.times[n] = 0
-		}
-		if s.times[n] == 0 {
-			delete(s.times, n)
 		}
 	}
 	for n, c := range base.counts {
@@ -71,7 +71,16 @@ func (s *SyscallProfile) Sub(base *SyscallProfile) {
 		} else {
 			s.counts[n] = 0
 		}
-		if s.counts[n] == 0 {
+	}
+	for n := range base.times {
+		if s.times[n] == 0 && s.counts[n] == 0 {
+			delete(s.times, n)
+			delete(s.counts, n)
+		}
+	}
+	for n := range base.counts {
+		if s.times[n] == 0 && s.counts[n] == 0 {
+			delete(s.times, n)
 			delete(s.counts, n)
 		}
 	}
@@ -95,11 +104,21 @@ type Entry struct {
 	Share float64 // fraction of the profile total
 }
 
-// Top returns the n most expensive calls, descending by time.
+// Top returns the n most expensive calls, descending by time. It
+// covers the union of the time and count maps, so an entry with
+// invocations but zero accumulated time is still reported.
 func (s *SyscallProfile) Top(n int) []Entry {
 	total := s.Total()
+	names := make(map[string]bool, len(s.times))
+	for name := range s.times {
+		names[name] = true
+	}
+	for name := range s.counts {
+		names[name] = true
+	}
 	var out []Entry
-	for name, d := range s.times {
+	for name := range names {
+		d := s.times[name]
 		e := Entry{Name: name, Time: d, Count: s.counts[name]}
 		if total > 0 {
 			e.Share = float64(d) / float64(total)

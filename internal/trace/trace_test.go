@@ -1,8 +1,10 @@
 package trace
 
 import (
+	"math/rand"
 	"strings"
 	"testing"
+	"testing/quick"
 	"time"
 )
 
@@ -77,6 +79,84 @@ func TestMergeCloneSub(t *testing.T) {
 	a.Sub(snap)
 	if a.Time("x") != 0 {
 		t.Fatal("negative time after double sub")
+	}
+}
+
+// TestSubKeepsMapsInLockstep is the regression test for Sub deleting
+// names from times and counts independently: a call whose time zeroes
+// out while invocations remain (or vice versa) must survive in BOTH
+// maps and still be reported by Top and String.
+func TestSubKeepsMapsInLockstep(t *testing.T) {
+	base := NewSyscallProfile()
+	base.Add("ioctl", 100) // snapshot: 1 call, 100ns
+
+	cur := base.Clone()
+	cur.Add("ioctl", 0) // second call contributes no time
+	cur.Sub(base)       // delta: 1 call, 0ns
+
+	if cur.Count("ioctl") != 1 {
+		t.Fatalf("count after Sub = %d, want 1", cur.Count("ioctl"))
+	}
+	if len(cur.times) != len(cur.counts) {
+		t.Fatalf("maps diverged: %d times vs %d counts", len(cur.times), len(cur.counts))
+	}
+	top := cur.Top(0)
+	if len(top) != 1 || top[0].Name != "ioctl" || top[0].Count != 1 {
+		t.Fatalf("Top dropped the zero-time entry: %+v", top)
+	}
+	if !strings.Contains(cur.String(), "ioctl") {
+		t.Fatal("String dropped the zero-time entry")
+	}
+}
+
+// TestSubMapConsistencyProperty drives Sub with random accumulator /
+// baseline pairs and checks the structural invariants: times and
+// counts always hold exactly the same key set, every surviving entry
+// is nonzero in at least one map, and Top reports every surviving
+// name.
+func TestSubMapConsistencyProperty(t *testing.T) {
+	names := []string{"read", "write", "ioctl", "futex", "poll"}
+	f := func(adds []uint8, snapAt uint8) bool {
+		acc := NewSyscallProfile()
+		var snap *SyscallProfile
+		cut := int(snapAt) % (len(adds) + 1)
+		for i, a := range adds {
+			if i == cut {
+				snap = acc.Clone()
+			}
+			// Low bits pick the name; high bits pick the duration, with
+			// duration 0 hit often to exercise zero-time entries.
+			acc.Add(names[int(a)%len(names)], time.Duration(a>>4))
+		}
+		if snap == nil {
+			snap = acc.Clone()
+		}
+		acc.Sub(snap)
+		if len(acc.times) != len(acc.counts) {
+			return false
+		}
+		for n := range acc.times {
+			if _, ok := acc.counts[n]; !ok {
+				return false
+			}
+			if acc.times[n] == 0 && acc.counts[n] == 0 {
+				return false // fully-zero entries must be pruned
+			}
+		}
+		for n := range acc.counts {
+			if _, ok := acc.times[n]; !ok {
+				return false
+			}
+		}
+		top := acc.Top(0)
+		if len(top) != len(acc.times) {
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(5))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
 	}
 }
 
