@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet check bench simtest trace-smoke artifacts artifacts-paper examples clean
+.PHONY: all build test vet check bench simtest trace-smoke verbs-trace-smoke artifacts artifacts-paper examples clean
 
 all: build test
 
@@ -17,7 +17,7 @@ test:
 
 # Full static + race gate: the parallel experiment runner makes ./...
 # the first real concurrent exercise of cross-engine isolation. -short
-# keeps the simtest battery at its default 27 cells.
+# keeps the simtest battery at its default 36 cells.
 check: vet
 	$(GO) test -race -short ./...
 
@@ -41,6 +41,16 @@ trace-smoke:
 	cmp /tmp/picodriver-trace-a.json /tmp/picodriver-trace-b.json
 	$(GO) run ./cmd/tracecheck /tmp/picodriver-trace-a.json
 	rm -f /tmp/picodriver-trace-a.json /tmp/picodriver-trace-b.json
+
+# Same gate over the one-sided RDMA path: a traced LAMMPS-RMA run
+# exercises the verbs doorbell/dma/cqe spans, and two same-seed runs
+# must serialize to byte-identical Chrome traces.
+verbs-trace-smoke:
+	$(GO) run ./cmd/profile -what none -nodes 2 -rpn 4 -trace-app LAMMPS-RMA -trace /tmp/picodriver-verbs-a.json >/dev/null
+	$(GO) run ./cmd/profile -what none -nodes 2 -rpn 4 -trace-app LAMMPS-RMA -trace /tmp/picodriver-verbs-b.json >/dev/null
+	cmp /tmp/picodriver-verbs-a.json /tmp/picodriver-verbs-b.json
+	$(GO) run ./cmd/tracecheck /tmp/picodriver-verbs-a.json
+	rm -f /tmp/picodriver-verbs-a.json /tmp/picodriver-verbs-b.json
 
 # One testing.B benchmark per paper table/figure, plus ablations.
 # Writes BENCH_seed.json so later changes have a perf trajectory

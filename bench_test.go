@@ -46,6 +46,8 @@ func benchScale() experiments.Scale {
 	sc.ProfileRPN = 8
 	sc.PingPongSizes = []uint64{4 << 20}
 	sc.PingPongReps = 3
+	sc.VerbsSizes = []uint64{1 << 20}
+	sc.VerbsReps = 3
 	return sc
 }
 
@@ -110,6 +112,25 @@ func BenchmarkFig6bHACC(b *testing.B) { appBench(b, miniapps.HACC(), 2) }
 // BenchmarkFig7QBOX regenerates Figure 7 (starts at 4 nodes, as in the
 // paper).
 func BenchmarkFig7QBOX(b *testing.B) { appBench(b, miniapps.QBOX(), 4) }
+
+// BenchmarkVerbsDataPath runs the RDMA registration-vs-data-path sweep
+// at one message size and reports the registration latency per OS (the
+// paper's control-path story) next to the OS-invariant WRITE latency.
+func BenchmarkVerbsDataPath(b *testing.B) {
+	var rows []experiments.VerbsRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.VerbsSweep(benchPool, benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	r := rows[0]
+	b.ReportMetric(float64(r.RegLat["Linux"])/1e3, "linux-reg-µs")
+	b.ReportMetric(float64(r.RegLat["McKernel"])/1e3, "mckernel-reg-µs")
+	b.ReportMetric(float64(r.RegLat["McKernel+HFI1"])/1e3, "hfi-reg-µs")
+	b.ReportMetric(float64(r.WriteLat["McKernel+HFI1"])/1e3, "write-µs")
+}
 
 // BenchmarkTable1Profile regenerates the Table 1 communication profile.
 func BenchmarkTable1Profile(b *testing.B) {
@@ -321,32 +342,17 @@ func BenchmarkExtensionMLXRegMR(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		// The cluster registers the mlx driver and attaches its fast path
+		// itself on this configuration; the offloaded leg detaches it.
 		n := cl.Nodes[0]
-		drv, err := mlx.NewDriver(n.Lin)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if err := n.Lin.RegisterDevice("/dev/infiniband/uverbs0", drv); err != nil {
-			b.Fatal(err)
-		}
-		if fast {
-			fw, err := core.NewFramework(n.Lin, n.Mck)
-			if err != nil {
-				b.Fatal(err)
-			}
-			pico, err := core.NewMLXPico(fw, drv.DWARFBlob)
-			if err != nil {
-				b.Fatal(err)
-			}
-			if err := pico.Attach(fw, "/dev/infiniband/uverbs0"); err != nil {
-				b.Fatal(err)
-			}
+		if !fast {
+			n.Mck.ReplaceFastPath(mlx.DevicePath, nil)
 		}
 		var lat time.Duration
 		proc := n.Mck.NewProcess("verbs")
 		cl.E.Go("app", func(p *sim.Proc) {
 			ctx := &kernel.Ctx{P: p, CPU: n.AppCPUs()[0]}
-			f, err := n.Mck.Open(ctx, proc, "/dev/infiniband/uverbs0")
+			f, err := n.Mck.Open(ctx, proc, mlx.DevicePath)
 			if err != nil {
 				b.Error(err)
 				return

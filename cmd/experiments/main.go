@@ -6,7 +6,7 @@
 //	experiments [-scale small|paper] [-only fig4,fig5a,...] [-out DIR] [-j N]
 //
 // Experiment ids: fig4, fig5a, fig5b, fig6a, fig6b, fig7, table1, fig8,
-// fig9. With -out, each artifact is also written to DIR/<id>.txt.
+// fig9, verbs. With -out, each artifact is also written to DIR/<id>.txt.
 //
 // -j fans the independent simulation cells of each experiment out over N
 // workers (default: GOMAXPROCS). Artifacts are byte-identical for any
@@ -30,6 +30,7 @@ import (
 // experimentIDs lists every known id in output order.
 var experimentIDs = []string{
 	"fig4", "fig5a", "fig5b", "fig6a", "fig6b", "fig7", "table1", "fig8", "fig9",
+	"verbs",
 }
 
 func main() {
@@ -168,6 +169,17 @@ func main() {
 				return
 			}
 			emit(bd.id, report.BreakdownTable(orig, pico), report.BreakdownCSV(orig, pico))
+		})
+	}
+
+	if selected("verbs") {
+		timed("verbs", func() {
+			rows, err := experiments.VerbsSweep(pool, sc)
+			if err != nil {
+				fail("verbs", err)
+				return
+			}
+			emit("verbs", report.VerbsTable(rows), report.VerbsCSV(rows))
 		})
 	}
 

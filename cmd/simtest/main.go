@@ -33,8 +33,11 @@ func main() {
 	}
 	var work []runner.Job[outcome]
 	for _, osType := range cluster.AllOSTypes {
-		for i := 0; i < *cells; i++ {
+		for i := 0; i < *cells+(*cells+2)/3; i++ {
 			cell := fmt.Sprintf("%s/%d", osType, i)
+			if i >= *cells {
+				cell = fmt.Sprintf("%s/rma/%d", osType, i-*cells)
+			}
 			work = append(work, runner.Job[outcome]{
 				ID: cell,
 				Fn: func() (outcome, error) {

@@ -15,9 +15,11 @@ import (
 	"repro/internal/linux"
 	"repro/internal/mckernel"
 	"repro/internal/mem"
+	"repro/internal/mlx"
 	"repro/internal/model"
 	"repro/internal/sim"
 	"repro/internal/vas"
+	"repro/internal/verbs"
 )
 
 // OSType selects the node operating system configuration.
@@ -71,6 +73,9 @@ type Config struct {
 type Cluster struct {
 	E      *sim.Engine
 	Fab    *fabric.Fabric
+	// IBFab is the InfiniBand network the verbs HCAs attach to — a
+	// second adapter per node, independent of the OmniPath fabric.
+	IBFab  *fabric.Fabric
 	Params *model.Params
 	Cfg    Config
 	Nodes  []*Node
@@ -90,6 +95,9 @@ type Node struct {
 	NIC      *hfi.NIC
 	Drv      *hfi.LinuxDriver
 	Pico     *core.HFIPico
+	RNIC     *verbs.RNIC
+	Mlx      *mlx.Driver
+	MlxPico  *core.MLXPico
 
 	appCPUs []int
 	nextApp int
@@ -115,6 +123,7 @@ func New(cfg Config) (*Cluster, error) {
 		Cfg:    cfg,
 	}
 	c.Fab = fabric.New(c.E, c.Params)
+	c.IBFab = fabric.New(c.E, c.Params)
 	for i := 0; i < cfg.Nodes; i++ {
 		n, err := c.buildNode(i)
 		if err != nil {
@@ -198,6 +207,22 @@ func (c *Cluster) buildNode(id int) (*Node, error) {
 		return nil, err
 	}
 
+	// The verbs HCA and its driver: present on every configuration (the
+	// device is the same; only the registration path differs).
+	n.RNIC, err = verbs.NewRNIC(c.E, c.Params, id, n.Phys, c.IBFab, n.LinSpace, cfg.Synthetic)
+	if err != nil {
+		return nil, err
+	}
+	n.Mlx, err = mlx.NewDriver(n.Lin)
+	if err != nil {
+		return nil, err
+	}
+	n.Mlx.Engine = n.RNIC
+	n.Mlx.Table = n.RNIC
+	if err := n.Lin.RegisterDevice(mlx.DevicePath, n.Mlx); err != nil {
+		return nil, err
+	}
+
 	if cfg.OS == OSMcKernelHFI {
 		fw, err := core.NewFramework(n.Lin, n.Mck)
 		if err != nil {
@@ -208,6 +233,14 @@ func (c *Cluster) buildNode(id int) (*Node, error) {
 			return nil, err
 		}
 		if err := n.Pico.Attach(fw, "/dev/hfi1"); err != nil {
+			return nil, err
+		}
+		n.MlxPico, err = core.NewMLXPico(fw, n.Mlx.DWARFBlob)
+		if err != nil {
+			return nil, err
+		}
+		n.MlxPico.Table = n.RNIC
+		if err := n.MlxPico.Attach(fw, mlx.DevicePath); err != nil {
 			return nil, err
 		}
 	}

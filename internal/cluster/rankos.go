@@ -10,6 +10,7 @@ import (
 	"repro/internal/psm"
 	"repro/internal/sim"
 	"repro/internal/uproc"
+	"repro/internal/verbs"
 )
 
 // NewRankOS creates the per-rank OS personality: the process (with the
@@ -45,6 +46,7 @@ func (o *linuxOS) Name() string         { return OSLinux.String() }
 func (o *linuxOS) NodeID() int          { return o.node.ID }
 func (o *linuxOS) Proc() *uproc.Process { return o.proc }
 func (o *linuxOS) NIC() *hfi.NIC        { return o.node.NIC }
+func (o *linuxOS) RNIC() *verbs.RNIC    { return o.node.RNIC }
 
 func (o *linuxOS) Open(p *sim.Proc, path string) (psm.Handle, error) {
 	return o.node.Lin.Open(o.ctx(p), o.proc, path)
@@ -98,6 +100,7 @@ func (o *mckOS) Name() string         { return o.node.OS.String() }
 func (o *mckOS) NodeID() int          { return o.node.ID }
 func (o *mckOS) Proc() *uproc.Process { return o.proc }
 func (o *mckOS) NIC() *hfi.NIC        { return o.node.NIC }
+func (o *mckOS) RNIC() *verbs.RNIC    { return o.node.RNIC }
 
 func (o *mckOS) Open(p *sim.Proc, path string) (psm.Handle, error) {
 	return o.node.Mck.Open(o.ctx(p), o.proc, path)

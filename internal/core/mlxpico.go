@@ -37,6 +37,10 @@ type MLXPico struct {
 	// mrs maps lkeys this fast path issued to their MR records.
 	mrs map[uint32]kmem.VirtAddr
 
+	// Table, when set, receives key programming exactly like the Linux
+	// driver's: fast-path registrations are indistinguishable to the HCA.
+	Table mlx.MRTable
+
 	// Stats.
 	FastRegs   uint64
 	FastDeregs uint64
@@ -99,6 +103,9 @@ func (m *MLXPico) regMR(ctx *kernel.Ctx, f *linux.File, arg uproc.VirtAddr) (uin
 		return 0, true, err
 	}
 	ctx.Spend(time.Duration(len(extents)) * m.pr0().PTWalkPerExtent)
+	// The MTT can only encode power-of-two runs; split the merged
+	// contiguous extents before programming them.
+	extents = mlx.SplitMTTExtents(extents)
 
 	fdl, err := m.reg.Lookup("mlx_filedata")
 	if err != nil {
@@ -109,12 +116,16 @@ func (m *MLXPico) regMR(ctx *kernel.Ctx, f *linux.File, arg uproc.VirtAddr) (uin
 	if err != nil {
 		return 0, true, err
 	}
-	lkey, mrVA, _, err := mlx.BuildMR(ctx, m.space, m.reg, devVA,
-		extents, uint64(mi.VAddr), mi.Length, 1 /* owner: lwk */)
+	lkey, mrVA, mttVA, err := mlx.BuildMR(ctx, m.space, m.reg, devVA,
+		extents, uint64(mi.VAddr), mi.Length, 1 /* owner: lwk */, uint64(mi.Access))
 	if err != nil {
 		return 0, true, err
 	}
 	m.mrs[lkey] = mrVA
+	if m.Table != nil {
+		m.Table.ProgramKey(lkey, mlx.MRHandle{Space: m.space, MTTVA: mttVA,
+			Entries: uint64(len(extents)), IOVA: uint64(mi.VAddr), Length: mi.Length, Access: mi.Access})
+	}
 	if err := mlx.WriteLKeyBack(f.Proc, arg, lkey); err != nil {
 		return 0, true, err
 	}
@@ -146,10 +157,16 @@ func (m *MLXPico) deregMR(ctx *kernel.Ctx, f *linux.File, arg uproc.VirtAddr) (u
 	if err := mlx.DestroyMR(ctx, m.space, m.reg, devVA, mrVA); err != nil {
 		return 0, true, err
 	}
+	if m.Table != nil {
+		m.Table.InvalidateKey(mi.LKey)
+	}
 	delete(m.mrs, mi.LKey)
 	m.FastDeregs++
 	return 0, true, nil
 }
+
+// LiveMRs counts fast-path registrations not yet deregistered.
+func (m *MLXPico) LiveMRs() int { return len(m.mrs) }
 
 // pr0 lazily defaults the params (the MLX fast path only needs the
 // page-table-walk constant).

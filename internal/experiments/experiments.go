@@ -47,7 +47,10 @@ type Scale struct {
 	// ProfileNodes/ProfileRPN size the Table 1 / Figures 8-9 runs.
 	ProfileNodes int
 	ProfileRPN   int
-	Seed         int64
+	// VerbsSizes/VerbsReps size the RDMA registration-vs-data-path sweep.
+	VerbsSizes []uint64
+	VerbsReps  int
+	Seed       int64
 }
 
 // SmallScale is the default: shapes are visible, runtime is modest.
@@ -61,6 +64,8 @@ func SmallScale() Scale {
 		RanksPerNode:  16,
 		ProfileNodes:  8,
 		ProfileRPN:    16,
+		VerbsSizes:    []uint64{4 << 10, 64 << 10, 1 << 20, 2<<20 + 4096},
+		VerbsReps:     4,
 		Seed:          1,
 	}
 }
@@ -79,7 +84,12 @@ func PaperScale() Scale {
 		RanksPerNode: 32,
 		ProfileNodes: 8,
 		ProfileRPN:   32,
-		Seed:         1,
+		VerbsSizes: []uint64{
+			1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20,
+			2 << 20, 2<<20 + 4096, 8 << 20,
+		},
+		VerbsReps: 8,
+		Seed:      1,
 	}
 }
 

@@ -23,6 +23,9 @@ const (
 	// KindExpected is delivered through a programmed RcvArray (TID)
 	// entry directly into user memory.
 	KindExpected
+	// KindRDMA is delivered to the destination's RDMA HCA (the verbs
+	// engine): DstCtx is a QP number, not a receive context.
+	KindRDMA
 )
 
 // Header carries the PSM-protocol fields of a packet. The NIC copies
@@ -102,8 +105,11 @@ func (f *Fabric) Nodes() int { return len(f.ports) }
 
 // kindName labels flight spans by receive-side handling.
 func kindName(k PacketKind) string {
-	if k == KindExpected {
+	switch k {
+	case KindExpected:
 		return "expected"
+	case KindRDMA:
+		return "rdma"
 	}
 	return "eager"
 }

@@ -155,6 +155,62 @@ func LAMMPS() *App {
 	}
 }
 
+// LAMMPSRMA is the one-sided variant of the LAMMPS halo exchange: the
+// same decomposition, faces and cadence, but neighbors deposit halo
+// faces directly into each other's windows with MPI_Put between two
+// fences instead of Isend/Irecv pairs. After window setup the exchange
+// is pure RDMA — zero system calls per step on every OS configuration —
+// so the remaining OS sensitivity isolates the *registration* path,
+// which is exactly what the MLX PicoDriver ports (§6 future work).
+func LAMMPSRMA() *App {
+	return &App{
+		Name:         "LAMMPS-RMA",
+		RanksPerNode: 64,
+		Steps:        6,
+		Body: func(c *mpi.Comm, a *App) error {
+			const face = 10 << 10
+			nx, ny := nodeGrid(c)
+			// Window layout mirrors the two-sided buffer: inbox slot d at
+			// d*face, outgoing slot d at (4+d)*face.
+			buf, err := c.MmapAnon(8 * face)
+			if err != nil {
+				return err
+			}
+			win, err := c.WinCreate(buf, 8*face)
+			if err != nil {
+				return err
+			}
+			dirs := [][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}}
+			for step := 0; step < a.Steps; step++ {
+				c.Compute(3 * time.Millisecond)
+				if err := win.Fence(); err != nil { // open exposure epoch
+					return err
+				}
+				for d, dir := range dirs {
+					nb := gridNeighbor(c, nx, ny, dir[0], dir[1])
+					if nb < 0 {
+						continue
+					}
+					// My +x face lands in the neighbor's -x inbox: the
+					// opposite direction of d is d^1.
+					if err := win.Put(nb, uint64(4+d)*face, uint64(d^1)*face, face); err != nil {
+						return err
+					}
+				}
+				if err := win.Fence(); err != nil { // close epoch
+					return err
+				}
+				if step%3 == 0 {
+					if err := c.Allreduce(8); err != nil {
+						return err
+					}
+				}
+			}
+			return win.Free()
+		},
+	}
+}
+
 // Nekbone is the CG-iteration skeleton: 32 ranks/node, four OpenMP
 // threads folded into the compute time, two scalar allreduces plus a
 // small halo per iteration.
@@ -397,9 +453,10 @@ func QBOX() *App {
 	}
 }
 
-// All returns every mini-app in paper order.
+// All returns every mini-app in paper order, then this repo's one-sided
+// extension variant.
 func All() []*App {
-	return []*App{LAMMPS(), Nekbone(), UMT2013(), HACC(), QBOX()}
+	return []*App{LAMMPS(), Nekbone(), UMT2013(), HACC(), QBOX(), LAMMPSRMA()}
 }
 
 // ByName looks an app up.

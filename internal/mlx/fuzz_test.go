@@ -1,0 +1,92 @@
+package mlx
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// FuzzMTTEntryCodec drives the encode side of the MTT entry format: for
+// any (address, length) pair, building an entry the way BuildMR does
+// must round-trip through DecodeMTTEntry to the same address, a
+// present bit that tracks bit 0, and the smallest power-of-two page
+// size covering the length.
+func FuzzMTTEntryCodec(f *testing.F) {
+	f.Add(uint64(0), uint64(1))
+	f.Add(uint64(0x1000), uint64(mem.PageSize4K))
+	f.Add(uint64(0x200000), uint64(2<<20)) // one large page
+	f.Add(uint64(0xffff_ffff_f000), uint64(1<<30))
+	f.Add(uint64(1)<<40, uint64(1)<<62)
+	f.Add(^uint64(0), ^uint64(0)) // would hang an unclamped encoder
+	f.Fuzz(func(t *testing.T, addr, length uint64) {
+		addr &^= 0xff // the codec owns the low byte
+		entry := addr | encodeMTTSize(length) | mttPresent
+		pa, size, present := DecodeMTTEntry(entry)
+		if !present {
+			t.Fatalf("entry %#x: present bit lost", entry)
+		}
+		if uint64(pa) != addr {
+			t.Fatalf("entry %#x: addr %#x -> %#x", entry, addr, uint64(pa))
+		}
+		if size < uint64(mem.PageSize4K) || size&(size-1) != 0 {
+			t.Fatalf("entry %#x: size %#x is not a power-of-two page size", entry, size)
+		}
+		// Smallest cover: size >= length (up to the encodable maximum),
+		// and halving it would no longer fit.
+		max := uint64(mem.PageSize4K) << mttMaxLg
+		if length <= max && size < length {
+			t.Fatalf("size %#x does not cover length %#x", size, length)
+		}
+		if size > uint64(mem.PageSize4K) && size/2 >= length {
+			t.Fatalf("size %#x is not minimal for length %#x", size, length)
+		}
+		// Clearing bit 0 must invalidate the entry without touching the
+		// rest of the decode.
+		pa2, size2, present2 := DecodeMTTEntry(entry &^ mttPresent)
+		if present2 {
+			t.Fatalf("entry %#x: invalid bit decoded as present", entry&^mttPresent)
+		}
+		if pa2 != pa || size2 != size {
+			t.Fatalf("entry %#x: clearing the present bit changed the payload", entry)
+		}
+	})
+}
+
+// FuzzDecodeMTTEntry decodes arbitrary 64-bit words: the decoder must
+// be total (no panics), keep the address 256-byte aligned, mirror bit 0
+// into present, and — whenever the size field is within the encodable
+// range — re-encode to the identical size bits.
+func FuzzDecodeMTTEntry(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(^uint64(0))
+	f.Add(uint64(0x1000) | 1)
+	f.Add(uint64(0xfe))            // all size bits, no present bit
+	f.Add(uint64(mttMaxLg+1) << 1) // first overflowing exponent
+	f.Fuzz(func(t *testing.T, raw uint64) {
+		pa, size, present := DecodeMTTEntry(raw)
+		if uint64(pa)&0xff != 0 {
+			t.Fatalf("raw %#x: unaligned address %#x", raw, uint64(pa))
+		}
+		if uint64(pa) != raw&^uint64(0xff) {
+			t.Fatalf("raw %#x: address bits mangled", raw)
+		}
+		if present != (raw&mttPresent != 0) {
+			t.Fatalf("raw %#x: present bit mismatch", raw)
+		}
+		lg := (raw >> 1) & 0x7f
+		if lg > mttMaxLg {
+			// Unencodable exponents overflow the shift to zero; the
+			// codec never produces them.
+			if size != 0 {
+				t.Fatalf("raw %#x: overflowing exponent decoded to %#x", raw, size)
+			}
+			return
+		}
+		if size != uint64(mem.PageSize4K)<<lg {
+			t.Fatalf("raw %#x: size %#x != 4K<<%d", raw, size, lg)
+		}
+		if got := encodeMTTSize(size); got != lg<<1 {
+			t.Fatalf("raw %#x: size bits %#x re-encode to %#x", raw, lg<<1, got)
+		}
+	})
+}

@@ -14,6 +14,7 @@ package mlx
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/kernel"
@@ -33,6 +34,7 @@ const (
 	CmdQueryDevice uint32 = 0xB003
 	CmdCreateQP    uint32 = 0xB004
 	CmdModifyQP    uint32 = 0xB005
+	CmdDestroyQP   uint32 = 0xB006
 )
 
 // RegCmds are the memory-registration commands a PicoDriver ports.
@@ -102,6 +104,9 @@ type MRInfo struct {
 	Length uint64
 	// LKey is out for RegMR, in for DeregMR.
 	LKey uint32
+	// Access grants (AccessLocalWrite | AccessRemote*); the rkey equals
+	// the lkey in this model, so remote grants attach to the same key.
+	Access uint32
 }
 
 // EncodeMRInfo writes the argument into user memory.
@@ -111,6 +116,7 @@ func EncodeMRInfo(p *uproc.Process, va uproc.VirtAddr, mi *MRInfo) error {
 	le.PutUint64(b[0:], uint64(mi.VAddr))
 	le.PutUint64(b[8:], mi.Length)
 	le.PutUint32(b[16:], mi.LKey)
+	le.PutUint32(b[20:], mi.Access)
 	return p.WriteAt(va, b[:])
 }
 
@@ -125,6 +131,7 @@ func DecodeMRInfo(p *uproc.Process, va uproc.VirtAddr) (*MRInfo, error) {
 		VAddr:  uproc.VirtAddr(le.Uint64(b[0:])),
 		Length: le.Uint64(b[8:]),
 		LKey:   le.Uint32(b[16:]),
+		Access: le.Uint32(b[20:]),
 	}, nil
 }
 
@@ -144,6 +151,13 @@ type Driver struct {
 	devVA     kmem.VirtAddr
 	// mrs tracks Linux-registered regions (for unpinning at dereg).
 	mrs map[uint32]*linuxMR
+	// qps tracks QPs per file id for release-time cleanup.
+	qps map[int][]uint32
+	// Engine, when set, is the HCA the QP ioctls and mmap regions are
+	// backed by. Nil keeps the historical control-path-only stubs.
+	Engine QPEngine
+	// Table, when set, receives key programming at reg/dereg time.
+	Table MRTable
 	// MRBytesRegistered is instrumentation.
 	MRBytesRegistered uint64
 }
@@ -153,6 +167,8 @@ type linuxMR struct {
 	mttVA  kmem.VirtAddr
 	mttLen uint64
 	pages  []mem.Extent
+	fileID int
+	proc   *uproc.Process
 }
 
 // NewDriver performs module init.
@@ -162,7 +178,8 @@ func NewDriver(k *linux.Kernel) (*Driver, error) {
 	if err != nil {
 		return nil, err
 	}
-	d := &Driver{K: k, reg: reg, DWARFBlob: blob, mrs: make(map[uint32]*linuxMR)}
+	d := &Driver{K: k, reg: reg, DWARFBlob: blob,
+		mrs: make(map[uint32]*linuxMR), qps: make(map[int][]uint32)}
 	devLayout, err := reg.Lookup("mlx_device")
 	if err != nil {
 		return nil, err
@@ -214,10 +231,41 @@ func (d *Driver) Open(ctx *kernel.Ctx, f *linux.File) error {
 	return nil
 }
 
-// Release frees per-file data.
+// Release frees per-file data, destroying any QPs and MRs the process
+// left live (the kernel must not leak pins or MTT memory when an
+// application exits without deregistering).
 func (d *Driver) Release(ctx *kernel.Ctx, f *linux.File) error {
+	if d.Engine != nil {
+		for _, qpn := range d.qps[f.ID] {
+			if err := d.Engine.DestroyQP(ctx, qpn); err != nil {
+				return err
+			}
+		}
+	}
+	delete(d.qps, f.ID)
+	var orphans []uint32
+	for lkey, rec := range d.mrs {
+		if rec.fileID == f.ID {
+			orphans = append(orphans, lkey)
+		}
+	}
+	sort.Slice(orphans, func(i, j int) bool { return orphans[i] < orphans[j] })
+	for _, lkey := range orphans {
+		rec := d.mrs[lkey]
+		if err := DestroyMR(ctx, d.K.Space, d.reg, d.devVA, rec.mrVA); err != nil {
+			return err
+		}
+		d.K.PutUserPages(rec.proc, rec.pages)
+		if d.Table != nil {
+			d.Table.InvalidateKey(lkey)
+		}
+		delete(d.mrs, lkey)
+	}
 	return d.K.Space.Kfree(f.Private, ctx.CPU)
 }
+
+// LiveMRs counts Linux-registered regions not yet deregistered.
+func (d *Driver) LiveMRs() int { return len(d.mrs) }
 
 // Writev is unsupported: verbs data movement is pure OS bypass.
 func (d *Driver) Writev(ctx *kernel.Ctx, f *linux.File, iov []linux.IOVec) (uint64, error) {
@@ -236,7 +284,16 @@ func (d *Driver) Ioctl(ctx *kernel.Ctx, f *linux.File, cmd uint32, arg uproc.Vir
 		return 1635, nil
 	case CmdCreateQP, CmdModifyQP:
 		ctx.Spend(15 * time.Microsecond) // slow-path QP state machine
-		return 0, nil
+		if d.Engine == nil {
+			return 0, nil
+		}
+		return d.qpIoctl(ctx, f, cmd, arg)
+	case CmdDestroyQP:
+		ctx.Spend(8 * time.Microsecond)
+		if d.Engine == nil {
+			return 0, nil
+		}
+		return d.qpIoctl(ctx, f, cmd, arg)
 	}
 	return 0, fmt.Errorf("mlx: unknown ioctl %#x", cmd)
 }
@@ -252,14 +309,20 @@ func (d *Driver) regMR(ctx *kernel.Ctx, f *linux.File, arg uproc.VirtAddr) (uint
 	if err != nil {
 		return 0, err
 	}
+	mtt := SplitMTTExtents(pages)
 	lkey, mrVA, mttVA, err := BuildMR(ctx, d.K.Space, d.reg, d.devVA,
-		pages, uint64(mi.VAddr), mi.Length, 0 /* owner: linux */)
+		mtt, uint64(mi.VAddr), mi.Length, 0 /* owner: linux */, uint64(mi.Access))
 	if err != nil {
 		d.K.PutUserPages(f.Proc, pages)
 		return 0, err
 	}
-	d.mrs[lkey] = &linuxMR{mrVA: mrVA, mttVA: mttVA, mttLen: uint64(len(pages)) * 8, pages: pages}
+	d.mrs[lkey] = &linuxMR{mrVA: mrVA, mttVA: mttVA, mttLen: uint64(len(mtt)) * 8,
+		pages: pages, fileID: f.ID, proc: f.Proc}
 	d.MRBytesRegistered += mi.Length
+	if d.Table != nil {
+		d.Table.ProgramKey(lkey, MRHandle{Space: d.K.Space, MTTVA: mttVA,
+			Entries: uint64(len(mtt)), IOVA: uint64(mi.VAddr), Length: mi.Length, Access: mi.Access})
+	}
 	if err := WriteLKeyBack(f.Proc, arg, lkey); err != nil {
 		return 0, err
 	}
@@ -280,13 +343,30 @@ func (d *Driver) deregMR(ctx *kernel.Ctx, f *linux.File, arg uproc.VirtAddr) (ui
 		return 0, err
 	}
 	d.K.PutUserPages(f.Proc, rec.pages)
+	if d.Table != nil {
+		d.Table.InvalidateKey(mi.LKey)
+	}
 	delete(d.mrs, mi.LKey)
 	return 0, nil
 }
 
-// Mmap and Poll are administrative.
+// Mmap exposes QP ring memory (allocated by the engine in Linux kernel
+// memory) to userspace; the data path then runs entirely on mapped
+// pages. Without an engine there is nothing to map.
 func (d *Driver) Mmap(ctx *kernel.Ctx, f *linux.File, kind uint32, length uint64) (uproc.VirtAddr, error) {
-	return 0, fmt.Errorf("mlx: no mmap regions in this model")
+	if d.Engine == nil {
+		return 0, fmt.Errorf("mlx: no mmap regions in this model")
+	}
+	region, qpn := SplitMmapKind(kind)
+	ext, err := d.Engine.Region(qpn, region)
+	if err != nil {
+		return 0, err
+	}
+	if length > ext.Len {
+		return 0, fmt.Errorf("mlx: mmap kind %#x: length %d exceeds region %d", kind, length, ext.Len)
+	}
+	ctx.Spend(2 * time.Microsecond)
+	return f.Proc.MapDevice([]mem.Extent{ext})
 }
 
 // Poll reports nothing pending.
@@ -298,11 +378,47 @@ const mttEntryCost = 28 * time.Nanosecond
 // BuildMR allocates an mlx_mr and its MTT in the calling kernel's memory
 // and links it to the device under the MR lock. It is expressed over
 // structure layouts so the LWK fast path executes the same protocol with
+// SplitMTTExtents expands physically contiguous extents into
+// power-of-two-sized pieces, largest first. An MTT entry stores its
+// size as a log2 field, so it can only describe a power-of-two run;
+// passing a merged extent of arbitrary length would silently round the
+// entry up and shift every later entry's offset during a DMA walk.
+// Page-granular extents pass through unchanged.
+func SplitMTTExtents(extents []mem.Extent) []mem.Extent {
+	const page = uint64(mem.PageSize4K)
+	out := make([]mem.Extent, 0, len(extents))
+	for _, e := range extents {
+		addr, n := e.Addr, e.Len
+		// Page walks trim the final extent to the registered byte length;
+		// its frame is whole, and every access is bounds-limited by the MR
+		// length, so the entry may safely describe the full page.
+		n = (n + page - 1) &^ (page - 1)
+		for n > 0 {
+			piece := page
+			for piece*2 <= n {
+				piece *= 2
+			}
+			out = append(out, mem.Extent{Addr: addr, Len: piece})
+			addr += mem.PhysAddr(piece)
+			n -= piece
+		}
+	}
+	return out
+}
+
 // DWARF-extracted layouts. Each extent becomes one MTT entry (the Linux
-// driver passes per-page extents; the fast path passes merged extents,
-// so large pages collapse into single entries).
+// driver passes per-page extents; the fast path passes merged extents
+// through SplitMTTExtents, so contiguous large-page runs collapse into
+// few entries). Extents must be power-of-two sized — the entry format
+// cannot represent anything else.
 func BuildMR(ctx *kernel.Ctx, space *kmem.Space, reg *kstruct.Registry, devVA kmem.VirtAddr,
-	extents []mem.Extent, iova, length uint64, owner uint64) (uint32, kmem.VirtAddr, kmem.VirtAddr, error) {
+	extents []mem.Extent, iova, length uint64, owner uint64, access uint64) (uint32, kmem.VirtAddr, kmem.VirtAddr, error) {
+
+	for _, e := range extents {
+		if e.Len == 0 || e.Len&(e.Len-1) != 0 {
+			return 0, 0, 0, fmt.Errorf("mlx: MTT extent length %d is not a power of two (split with SplitMTTExtents)", e.Len)
+		}
+	}
 
 	mrLayout, err := reg.Lookup("mlx_mr")
 	if err != nil {
@@ -362,7 +478,7 @@ func BuildMR(ctx *kernel.Ctx, space *kmem.Space, reg *kstruct.Registry, devVA km
 	}{
 		{"lkey", lkeyU}, {"npages", uint64(len(extents))},
 		{"mtt_kva", uint64(mttVA)}, {"iova", iova}, {"length", length},
-		{"owner", owner},
+		{"access", access}, {"owner", owner},
 	} {
 		if err := mr.SetU(fv.name, fv.v); err != nil {
 			return 0, 0, 0, err
@@ -425,10 +541,17 @@ func DestroyMR(ctx *kernel.Ctx, space *kmem.Space, reg *kstruct.Registry, devVA 
 	return space.Kfree(mrVA, ctx.CPU)
 }
 
-// encodeMTTSize packs log2(len)-12 into bits 1..7.
+// mttMaxLg caps the size exponent: 4KB << 51 = 2^63 is the largest
+// encodable extent. Beyond it the shift would wrap to zero and the
+// search below would never terminate.
+const mttMaxLg = 51
+
+// encodeMTTSize packs log2(len)-12 into bits 1..7, clamped at the
+// largest encodable size so oversized lengths cannot corrupt the
+// address bits or hang the encoder.
 func encodeMTTSize(n uint64) uint64 {
 	lg := uint64(0)
-	for (uint64(mem.PageSize4K) << lg) < n {
+	for lg < mttMaxLg && (uint64(mem.PageSize4K)<<lg) < n {
 		lg++
 	}
 	return lg << 1

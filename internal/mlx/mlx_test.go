@@ -17,7 +17,10 @@ import (
 )
 
 // rig boots a one-node McKernel+HFI cluster (for the unified address
-// space) and loads the mlx driver next to the HFI one.
+// space) and uses its built-in mlx driver. The cluster attaches the MLX
+// fast path itself on this configuration, so the rig detaches it: tests
+// measure offloaded-vs-fast deltas from a known pure-offload state and
+// attach their own pico instance to count on.
 type rig struct {
 	cl  *cluster.Cluster
 	drv *mlx.Driver
@@ -31,14 +34,8 @@ func newRig(t *testing.T) *rig {
 	if err != nil {
 		t.Fatal(err)
 	}
-	drv, err := mlx.NewDriver(cl.Nodes[0].Lin)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := cl.Nodes[0].Lin.RegisterDevice("/dev/infiniband/uverbs0", drv); err != nil {
-		t.Fatal(err)
-	}
-	return &rig{cl: cl, drv: drv}
+	cl.Nodes[0].Mck.ReplaceFastPath(mlx.DevicePath, nil)
+	return &rig{cl: cl, drv: cl.Nodes[0].Mlx}
 }
 
 func (r *rig) attachPico(t *testing.T) *core.MLXPico {
@@ -52,9 +49,8 @@ func (r *rig) attachPico(t *testing.T) *core.MLXPico {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := pico.Attach(fw, "/dev/infiniband/uverbs0"); err != nil {
-		t.Fatal(err)
-	}
+	pico.Table = n.RNIC
+	n.Mck.ReplaceFastPath(mlx.DevicePath, pico.FastPath())
 	return pico
 }
 
@@ -66,7 +62,7 @@ func (r *rig) regDereg(t *testing.T, size uint64) (lat time.Duration, mttEntries
 	proc := n.Mck.NewProcess("verbs-app")
 	r.cl.E.Go("app", func(p *sim.Proc) {
 		ctx := &kernel.Ctx{P: p, CPU: n.AppCPUs()[0]}
-		f, err := n.Mck.Open(ctx, proc, "/dev/infiniband/uverbs0")
+		f, err := n.Mck.Open(ctx, proc, mlx.DevicePath)
 		if err != nil {
 			t.Error(err)
 			return
@@ -204,7 +200,7 @@ func TestMTTEntriesReflectBacking(t *testing.T) {
 			return
 		}
 		_, _, mttPagesVA, err := mlx.BuildMR(ctx, n.LinSpace, drv.Registry(), drv.DeviceVA(),
-			pages, uint64(buf), size, 0)
+			pages, uint64(buf), size, 0, uint64(mlx.AccessLocalWrite))
 		if err != nil {
 			t.Error(err)
 			return
@@ -243,13 +239,20 @@ func TestPicoFallbacks(t *testing.T) {
 	proc := n.Mck.NewProcess("app")
 	r.cl.E.Go("t", func(p *sim.Proc) {
 		ctx := &kernel.Ctx{P: p, CPU: n.AppCPUs()[0]}
-		f, err := n.Mck.Open(ctx, proc, "/dev/infiniband/uverbs0")
+		f, err := n.Mck.Open(ctx, proc, mlx.DevicePath)
 		if err != nil {
 			t.Error(err)
 			return
 		}
-		// QP creation is never fast-pathed.
-		if _, err := n.Mck.Ioctl(ctx, f, mlx.CmdCreateQP, 0); err != nil {
+		// QP creation is never fast-pathed: it flows to the Linux driver,
+		// which drives the real engine.
+		argVA, _ := n.Mck.MmapAnon(ctx, proc, 4096)
+		qi := &mlx.QPInfo{SQEntries: 8, RQEntries: 8, CQEntries: 16}
+		if err := mlx.EncodeQPInfo(proc, argVA, qi); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := n.Mck.Ioctl(ctx, f, mlx.CmdCreateQP, argVA); err != nil {
 			t.Error(err)
 		}
 		if v, err := n.Mck.Ioctl(ctx, f, mlx.CmdQueryDevice, 0); err != nil || v != 1635 {
@@ -278,7 +281,7 @@ func TestMixedOwnershipDereg(t *testing.T) {
 	// Phase 1: register via offload (no fast path yet).
 	r.cl.E.Go("reg", func(p *sim.Proc) {
 		ctx := &kernel.Ctx{P: p, CPU: n.AppCPUs()[0]}
-		f, err := n.Mck.Open(ctx, proc, "/dev/infiniband/uverbs0")
+		f, err := n.Mck.Open(ctx, proc, mlx.DevicePath)
 		if err != nil {
 			t.Error(err)
 			return
@@ -307,10 +310,7 @@ func TestMixedOwnershipDereg(t *testing.T) {
 			t.Error(err)
 			return
 		}
-		if err := pico.Attach(fw, "/dev/infiniband/uverbs0"); err != nil {
-			t.Error(err)
-			return
-		}
+		n.Mck.ReplaceFastPath(mlx.DevicePath, pico.FastPath())
 		if err := mlx.EncodeMRInfo(proc, argVA, &mlx.MRInfo{LKey: lkey}); err != nil {
 			t.Error(err)
 			return
@@ -335,7 +335,7 @@ func TestDeregUnknownLKey(t *testing.T) {
 	proc := n.Mck.NewProcess("app")
 	r.cl.E.Go("t", func(p *sim.Proc) {
 		ctx := &kernel.Ctx{P: p, CPU: n.AppCPUs()[0]}
-		f, err := n.Mck.Open(ctx, proc, "/dev/infiniband/uverbs0")
+		f, err := n.Mck.Open(ctx, proc, mlx.DevicePath)
 		if err != nil {
 			t.Error(err)
 			return

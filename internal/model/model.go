@@ -105,6 +105,24 @@ type Params struct {
 	// TIDMaxEntries is the per-ioctl entry limit.
 	TIDMaxEntries int
 
+	// ---- RDMA verbs (mlx data path) ----
+
+	// VerbsMTU is the InfiniBand path MTU: messages are segmented into
+	// packets of at most this many payload bytes.
+	VerbsMTU uint64
+	// VerbsDoorbell is the MMIO cost of ringing a QP doorbell from
+	// userspace (the entire kernel-bypass submit cost).
+	VerbsDoorbell time.Duration
+	// VerbsWQEFetch is the HCA's cost to DMA and decode one work queue
+	// entry after a doorbell.
+	VerbsWQEFetch time.Duration
+	// VerbsMTTLookup is the HCA's cost per MTT entry consulted while
+	// translating a virtual span to physical pages.
+	VerbsMTTLookup time.Duration
+	// VerbsCQEWrite is the HCA's cost to DMA one completion entry into
+	// host memory.
+	VerbsCQEWrite time.Duration
+
 	// ---- System calls ----
 
 	// SyscallEntry is the local user→kernel transition cost.
@@ -212,6 +230,12 @@ func Default() Params {
 		TIDMaxEntryBytes: 256 << 10,
 		TIDProgramCost:   20 * time.Nanosecond,
 		TIDMaxEntries:    2048,
+
+		VerbsMTU:       4096,
+		VerbsDoorbell:  100 * time.Nanosecond,
+		VerbsWQEFetch:  150 * time.Nanosecond,
+		VerbsMTTLookup: 8 * time.Nanosecond,
+		VerbsCQEWrite:  60 * time.Nanosecond,
 
 		SyscallEntry:        250 * time.Nanosecond,
 		VFSDispatch:         150 * time.Nanosecond,

@@ -8,8 +8,6 @@ import (
 // sendrecvStage exchanges n bytes with two peers through the staging
 // buffers (send to dst, receive from src) using the collective tag space.
 func (c *Comm) sendrecvStage(seq uint64, round, dst, src int, sendN, recvN uint64) error {
-	var reqs []*reqPair
-	_ = reqs
 	sendVA, err := c.stage(false, 0, sendN)
 	if err != nil {
 		return err
@@ -31,8 +29,6 @@ func (c *Comm) sendrecvStage(seq uint64, round, dst, src int, sendN, recvN uint6
 	}
 	return c.EP.Wait(c.P, rr)
 }
-
-type reqPair struct{}
 
 // Barrier is a dissemination barrier: ceil(log2(n)) rounds of 16-byte
 // notifications.
@@ -326,11 +322,4 @@ func (c *Comm) Allgather(n uint64) error {
 		}
 		return nil
 	})
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

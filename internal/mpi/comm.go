@@ -14,6 +14,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/uproc"
+	"repro/internal/verbs"
 )
 
 // Comm is one rank's view of the world communicator.
@@ -34,6 +35,13 @@ type Comm struct {
 	// sendBuf/recvBuf are internal staging areas for collectives.
 	sendBuf, recvBuf uproc.VirtAddr
 	bufCap           uint64
+
+	// rma is the job-shared window directory; verbsU is this rank's
+	// lazily opened verbs device context; winSeq numbers windows (all
+	// ranks create windows in the same collective order).
+	rma    *rmaWorld
+	verbsU *verbs.UContext
+	winSeq uint64
 }
 
 // collBufCap sizes the internal collective staging buffers.

@@ -40,6 +40,7 @@ type JobResult struct {
 func RunJob(cl *cluster.Cluster, ranksPerNode int, body RankFunc) (*JobResult, error) {
 	nRanks := len(cl.Nodes) * ranksPerNode
 	book := make(psm.MapBook, nRanks)
+	rma := newRMAWorld()
 	comms := make([]*Comm, nRanks)
 	errs := make([]error, nRanks)
 	bodyStart := make([]time.Duration, nRanks)
@@ -54,7 +55,7 @@ func RunJob(cl *cluster.Cluster, ranksPerNode int, body RankFunc) (*JobResult, e
 		node := cl.Nodes[r/ranksPerNode]
 		osops := node.NewRankOS(r)
 		cl.E.Go(fmt.Sprintf("rank%d", r), func(p *sim.Proc) {
-			comm, err := initRank(p, cl, osops, r, nRanks, book, ready)
+			comm, err := initRank(p, cl, osops, r, nRanks, book, rma, ready)
 			if err != nil {
 				errs[r] = err
 				return
@@ -113,7 +114,7 @@ func RunJob(cl *cluster.Cluster, ranksPerNode int, body RankFunc) (*JobResult, e
 // MPI_Init visibly larger with the PicoDriver because of its kernel-
 // level mapping bootstrap).
 func initRank(p *sim.Proc, cl *cluster.Cluster, osops psm.OSOps, rank, nRanks int,
-	book psm.MapBook, ready *sim.WaitGroup) (*Comm, error) {
+	book psm.MapBook, rma *rmaWorld, ready *sim.WaitGroup) (*Comm, error) {
 	initStart := p.Now()
 	ep, err := psm.NewEndpoint(p, osops, rank, book, cl.Cfg.Synthetic)
 	if err != nil {
@@ -144,6 +145,7 @@ func initRank(p *sim.Proc, cl *cluster.Cluster, osops psm.OSOps, rank, nRanks in
 		RanksPerNode: nRanks / len(cl.Nodes),
 		Prof:         trace.NewSyscallProfile(),
 		bufCap:       collBufCap,
+		rma:          rma,
 	}
 	comm.sendBuf, err = osops.MmapAnon(p, collBufCap)
 	if err != nil {

@@ -62,6 +62,25 @@ func Table1CSV(profiles []experiments.AppProfile) string {
 	return b.String()
 }
 
+// VerbsCSV renders the registration-vs-data-path sweep as one row per
+// message size (all latencies in microseconds).
+func VerbsCSV(rows []experiments.VerbsRow) string {
+	var b strings.Builder
+	b.WriteString("bytes,linux_reg_us,mckernel_reg_us,mckernel_hfi_reg_us," +
+		"linux_write_us,linux_read_us,mckernel_write_us,mckernel_read_us," +
+		"mckernel_hfi_write_us,mckernel_hfi_read_us\n")
+	us := func(d time.Duration) float64 { return float64(d) / 1e3 }
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%d,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f\n",
+			r.Size,
+			us(r.RegLat["Linux"]), us(r.RegLat["McKernel"]), us(r.RegLat["McKernel+HFI1"]),
+			us(r.WriteLat["Linux"]), us(r.ReadLat["Linux"]),
+			us(r.WriteLat["McKernel"]), us(r.ReadLat["McKernel"]),
+			us(r.WriteLat["McKernel+HFI1"]), us(r.ReadLat["McKernel+HFI1"]))
+	}
+	return b.String()
+}
+
 // BreakdownCSV renders a syscall-share pair.
 func BreakdownCSV(orig, pico experiments.Breakdown) string {
 	var b strings.Builder

@@ -120,6 +120,30 @@ func Table1(profiles []experiments.AppProfile) string {
 	return b.String()
 }
 
+// VerbsTable renders the RDMA registration-vs-data-path sweep: per
+// message size, the memory-registration latency under each OS
+// configuration next to the mean RDMA WRITE/READ post-to-completion
+// latencies. The data-path columns are OS-invariant by construction
+// (kernel bypass); the registration columns carry the PicoDriver story.
+func VerbsTable(rows []experiments.VerbsRow) string {
+	var b strings.Builder
+	b.WriteString("RDMA verbs: registration latency (µs) vs data-path latency (µs)\n")
+	fmt.Fprintf(&b, "%-10s %10s %10s %10s %15s %15s %15s\n",
+		"size", "reg Lin", "reg McK", "reg HFI",
+		"Lin wr/rd", "McK wr/rd", "HFI wr/rd")
+	us := func(d time.Duration) float64 { return float64(d) / 1e3 }
+	wrRd := func(r experiments.VerbsRow, os string) string {
+		return fmt.Sprintf("%.1f/%.1f", us(r.WriteLat[os]), us(r.ReadLat[os]))
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %10.1f %10.1f %10.1f %15s %15s %15s\n",
+			sizeLabel(r.Size),
+			us(r.RegLat["Linux"]), us(r.RegLat["McKernel"]), us(r.RegLat["McKernel+HFI1"]),
+			wrRd(r, "Linux"), wrRd(r, "McKernel"), wrRd(r, "McKernel+HFI1"))
+	}
+	return b.String()
+}
+
 // BreakdownTable renders a Figures 8/9 pair: the per-syscall kernel-time
 // shares under the original McKernel and under McKernel+HFI, plus the
 // headline ratio of total kernel time.

@@ -9,10 +9,12 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/mlx"
 	"repro/internal/psm"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/uproc"
+	"repro/internal/verbs"
 )
 
 // Report summarizes one successful workload execution.
@@ -113,11 +115,16 @@ func run(w Workload, splitAt time.Duration) (*Report, error) {
 	ready.Add(ranks)
 	done := sim.NewWaitGroup(cl.E)
 	done.Add(ranks)
+	descs := make([]rmaDesc, ranks)
 	for r := 0; r < ranks; r++ {
 		r := r
 		node := cl.Nodes[r/w.RanksPerNode]
 		cl.E.Go(fmt.Sprintf("simtest/rank%d", r), func(p *sim.Proc) {
-			rankErr[r] = runRank(p, w, node, r, book, eps, ready, done, sums)
+			if w.RMA {
+				rankErr[r] = runRankRMA(p, w, node, r, descs, ready, done, sums)
+			} else {
+				rankErr[r] = runRank(p, w, node, r, book, eps, ready, done, sums)
+			}
 		})
 	}
 	var engineErr error
@@ -161,6 +168,23 @@ func run(w Workload, splitAt time.Duration) (*Report, error) {
 		if n.NIC.RxDropped != 0 {
 			return nil, fmt.Errorf("simtest: node %d dropped %d packets", i, n.NIC.RxDropped)
 		}
+		// HCA-side balance: every MR deregistered (lkeys invalidated on
+		// the RNIC) and every QP destroyed, on whichever path — Linux
+		// driver or PicoDriver fast path — registered them.
+		if live := n.Mlx.LiveMRs(); live != 0 {
+			return nil, fmt.Errorf("simtest: node %d leaks %d mlx MRs", i, live)
+		}
+		if n.MlxPico != nil {
+			if live := n.MlxPico.LiveMRs(); live != 0 {
+				return nil, fmt.Errorf("simtest: node %d leaks %d fast-path MRs", i, live)
+			}
+		}
+		if live := n.RNIC.LiveQPs(); live != 0 {
+			return nil, fmt.Errorf("simtest: node %d leaks %d verbs QPs", i, live)
+		}
+		if live := n.RNIC.KeysLive(); live != 0 {
+			return nil, fmt.Errorf("simtest: node %d leaks %d programmed rkeys", i, live)
+		}
 	}
 	return &Report{
 		Workload:    w,
@@ -183,6 +207,9 @@ func traceDigest(cl *cluster.Cluster, eps []*psm.Endpoint, sums [][]byte, rec *t
 		fmt.Fprintf(h, "node%d rx=%d sdma=%d full=%d irq=%d tx=%d tidp=%d tidc=%d\n",
 			n.ID, n.NIC.RxPackets, n.NIC.SDMARequests, n.NIC.SDMAFullSize,
 			n.NIC.IRQsRaised, n.NIC.TxBytes(), n.NIC.TIDProgramOps, n.NIC.TIDClearOps)
+		fmt.Fprintf(h, "node%d rnic db=%d wqe=%d dma=%d cqe=%d err=%d rx=%d\n",
+			n.ID, n.RNIC.Doorbells, n.RNIC.WQEs, n.RNIC.DMAChunks,
+			n.RNIC.CQEs, n.RNIC.ErrCQEs, n.RNIC.RxPackets)
 	}
 	for r, ep := range eps {
 		if ep != nil {
@@ -352,6 +379,209 @@ func runRank(p *sim.Proc, w Workload, node *cluster.Node, r int,
 		}
 	}
 	if err := ep.Close(p); err != nil {
+		return err
+	}
+	return mono("teardown")
+}
+
+// rmaDesc is the out-of-band connection descriptor a rank publishes
+// before the rendezvous: enough for any peer to target its window.
+type rmaDesc struct {
+	node int
+	qpn  uint32
+	rkey uint32
+	base uint64
+}
+
+// rmaLayout assigns each message r receives a dedicated slot in r's
+// window, in plan order. Senders recompute the same layout from the
+// shared workload, so no slot offsets travel on the wire.
+func rmaLayout(w Workload, r int) (total uint64, off map[int]uint64) {
+	off = make(map[int]uint64)
+	for _, i := range msgsTo(w, r) {
+		off[i] = total
+		total += w.Msgs[i].Size
+	}
+	if total == 0 {
+		total = 4096 // every rank publishes a (possibly unused) window
+	}
+	return total, off
+}
+
+// runRankRMA is one rank's life in a one-sided cell: register a
+// window, publish its descriptor, rendezvous, RDMA-WRITE every
+// outgoing message into its slot on the receiver, rendezvous again
+// (initiator completions imply remote placement), verify the window
+// byte-for-byte, then tear the HCA state down explicitly.
+func runRankRMA(p *sim.Proc, w Workload, node *cluster.Node, r int,
+	descs []rmaDesc, ready, done *sim.WaitGroup, sums [][]byte) error {
+	last := p.Now()
+	mono := func(stage string) error {
+		now := p.Now()
+		if now < last {
+			return fmt.Errorf("virtual clock moved backwards at %s: %v < %v", stage, now, last)
+		}
+		last = now
+		return nil
+	}
+	osops := node.NewRankOS(r)
+	vops, ok := osops.(verbs.OSOps)
+	if !ok {
+		ready.Done()
+		return fmt.Errorf("rank OS %T does not expose the verbs HCA", osops)
+	}
+	u, err := verbs.Open(p, vops)
+	if err != nil {
+		ready.Done()
+		return err
+	}
+	winSize, off := rmaLayout(w, r)
+	win, err := osops.MmapAnon(p, winSize)
+	if err != nil {
+		ready.Done()
+		return err
+	}
+	mrWin, err := u.RegMR(p, win, winSize,
+		mlx.AccessLocalWrite|mlx.AccessRemoteWrite)
+	if err != nil {
+		ready.Done()
+		return err
+	}
+	qpT, err := u.CreateQP(p, verbs.QPConfig{})
+	if err != nil {
+		ready.Done()
+		return err
+	}
+	if err := qpT.ToInit(p); err != nil {
+		ready.Done()
+		return err
+	}
+	if err := qpT.ToRTRAnySource(p); err != nil {
+		ready.Done()
+		return err
+	}
+	descs[r] = rmaDesc{node: node.ID, qpn: qpT.QPN, rkey: mrWin.LKey, base: uint64(win)}
+
+	// Staging buffer: all outgoing payloads, concatenated in plan order.
+	sends := msgsFrom(w, r)
+	var sendSize uint64
+	sendOff := make(map[int]uint64)
+	for _, i := range sends {
+		sendOff[i] = sendSize
+		sendSize += w.Msgs[i].Size
+	}
+	if sendSize == 0 {
+		sendSize = 4096
+	}
+	stage, err := osops.MmapAnon(p, sendSize)
+	if err != nil {
+		ready.Done()
+		return err
+	}
+	for _, i := range sends {
+		if err := osops.Proc().WriteAt(stage+uproc.VirtAddr(sendOff[i]), payloadFor(w, i)); err != nil {
+			ready.Done()
+			return err
+		}
+	}
+	mrStage, err := u.RegMR(p, stage, sendSize, mlx.AccessLocalWrite)
+	if err != nil {
+		ready.Done()
+		return err
+	}
+	ready.Done()
+	ready.Wait(p)
+	if err := mono("init"); err != nil {
+		return err
+	}
+
+	// One connected QP per distinct destination, created lazily in plan
+	// order; each WRITE waits for its completion before the next posts.
+	peers := make(map[int]*verbs.QP)
+	var peerOrder []int
+	for _, i := range sends {
+		m := w.Msgs[i]
+		qp, ok := peers[m.Dst]
+		if !ok {
+			d := descs[m.Dst]
+			qp, err = u.CreateQP(p, verbs.QPConfig{})
+			if err != nil {
+				return err
+			}
+			if err := qp.ToInit(p); err != nil {
+				return err
+			}
+			if err := qp.ToRTR(p, d.node, d.qpn); err != nil {
+				return err
+			}
+			if err := qp.ToRTS(p); err != nil {
+				return err
+			}
+			peers[m.Dst] = qp
+			peerOrder = append(peerOrder, m.Dst)
+		}
+		d := descs[m.Dst]
+		_, dstOff := rmaLayout(w, m.Dst)
+		if err := qp.PostSend(p, &verbs.WQE{
+			Opcode: verbs.OpcodeWrite, WRID: uint64(i),
+			LKey: mrStage.LKey, LAddr: uint64(stage) + sendOff[i], Len: m.Size,
+			RKey: d.rkey, RAddr: d.base + dstOff[i],
+		}); err != nil {
+			return fmt.Errorf("write msg %d: %w", i, err)
+		}
+		cqes, err := qp.WaitCQ(p, 1)
+		if err != nil {
+			return fmt.Errorf("write msg %d: %w", i, err)
+		}
+		if len(cqes) != 1 || cqes[0].Status != verbs.StatusOK || cqes[0].WRID != uint64(i) {
+			return fmt.Errorf("write msg %d: completion %+v", i, cqes)
+		}
+	}
+	if err := mono("completion"); err != nil {
+		return err
+	}
+	done.Done()
+	done.Wait(p)
+
+	// Byte-exact placement against the in-memory reference.
+	for _, i := range msgsTo(w, r) {
+		m := w.Msgs[i]
+		got := make([]byte, m.Size)
+		if err := osops.Proc().ReadAt(win+uproc.VirtAddr(off[i]), got); err != nil {
+			return err
+		}
+		want := payloadFor(w, i)
+		if !bytes.Equal(got, want) {
+			return fmt.Errorf("msg %d (src %d dst %d size %d): RDMA WRITE bytes differ from reference at offset %d",
+				i, m.Src, m.Dst, m.Size, firstDiff(got, want))
+		}
+		sum := sha256.Sum256(got)
+		sums[i] = sum[:8]
+	}
+
+	// Explicit teardown, initiator QPs in creation order: the harness
+	// asserts QP/rkey/MR balance after the run.
+	for _, dst := range peerOrder {
+		if err := peers[dst].Destroy(p); err != nil {
+			return err
+		}
+	}
+	if err := qpT.Destroy(p); err != nil {
+		return err
+	}
+	if err := u.DeregMR(p, mrStage); err != nil {
+		return err
+	}
+	if err := u.DeregMR(p, mrWin); err != nil {
+		return err
+	}
+	if err := u.Close(p); err != nil {
+		return err
+	}
+	if err := osops.Munmap(p, stage); err != nil {
+		return err
+	}
+	if err := osops.Munmap(p, win); err != nil {
 		return err
 	}
 	return mono("teardown")

@@ -35,6 +35,15 @@ func TestSimHarness(t *testing.T) {
 				runCell(t, cell)
 			})
 		}
+		// One-sided cells: the same invariant battery over RDMA WRITEs
+		// through the verbs HCA instead of PSM send/recv.
+		for i := 0; i < (*cellsFlag+2)/3; i++ {
+			cell := fmt.Sprintf("%s/rma/%d", osType, i)
+			t.Run(cell, func(t *testing.T) {
+				t.Parallel()
+				runCell(t, cell)
+			})
+		}
 	}
 }
 

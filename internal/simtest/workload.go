@@ -74,6 +74,9 @@ type Workload struct {
 	Nodes        int
 	RanksPerNode int
 	Order        OrderMode
+	// RMA routes every message through the verbs HCA as a one-sided
+	// RDMA WRITE into the receiver's window instead of PSM send/recv.
+	RMA bool
 	// LargePages backs Linux ranks with contiguous large pages
 	// (ignored by the McKernel configurations, whose LWK policy is
 	// always contiguous).
@@ -101,6 +104,14 @@ var sizeClasses = []uint64{
 	16<<10 - 1, 16 << 10, 16<<10 + 1, 40 << 10,
 	64<<10 - 8, 64 << 10, 64<<10 + 8,
 	96 << 10, 200 << 10, 520 << 10,
+}
+
+// rmaSizeClasses straddle the verbs DMA chunking boundaries: sub-MTU,
+// exactly one MTU (4K), one byte over, multi-page, and large transfers
+// spanning many chunks.
+var rmaSizeClasses = []uint64{
+	1, 1000, 4095, 4096, 4097, 12345,
+	64 << 10, 200 << 10, 520 << 10,
 }
 
 // dupSafeSizes are the classes eligible for duplicate-tag injection:
@@ -141,6 +152,9 @@ func Generate(base int64, cell string) (Workload, error) {
 	}
 	if strings.Contains(cell, "/!tid/") {
 		return generateTIDFault(w), nil
+	}
+	if strings.Contains(cell, "/rma/") {
+		return generateRMA(w), nil
 	}
 	rng := rand.New(rand.NewSource(w.Seed))
 	w.Nodes = 1 + rng.Intn(3)
@@ -188,6 +202,37 @@ func Generate(base int64, cell string) (Workload, error) {
 		w.tightenRings()
 	}
 	return w, nil
+}
+
+// generateRMA builds a one-sided workload: every message becomes an
+// RDMA WRITE into a dedicated slot of the receiver's registered
+// window, so delivery order cannot affect the bytes and the harness
+// additionally exercises MR registration, QP wiring and the HCA
+// teardown balance.
+func generateRMA(w Workload) Workload {
+	rng := rand.New(rand.NewSource(w.Seed))
+	w.RMA = true
+	w.Nodes = 2 + rng.Intn(2)
+	w.RanksPerNode = 1 + rng.Intn(2)
+	w.LargePages = rng.Intn(2) == 0
+	if rng.Intn(3) == 0 {
+		w.LinkJitter = time.Duration(1+rng.Intn(2000)) * time.Nanosecond
+	}
+	ranks := w.Nodes * w.RanksPerNode
+	nmsg := 3 + rng.Intn(6)
+	for i := 0; i < nmsg; i++ {
+		src := rng.Intn(ranks)
+		dst := rng.Intn(ranks - 1)
+		if dst >= src {
+			dst++
+		}
+		w.Msgs = append(w.Msgs, Msg{
+			Src: src, Dst: dst,
+			Tag:  uint64(100 + i),
+			Size: rmaSizeClasses[rng.Intn(len(rmaSizeClasses))],
+		})
+	}
+	return w
 }
 
 // generateTIDFault builds the deliberate RcvArray-exhaustion scenario:

@@ -26,6 +26,7 @@ const (
 	CatIRQ      = "irq"      // completion IRQ delivery + handler
 	CatPSM      = "psm"      // PSM protocol phases (send/recv lifecycles)
 	CatFabric   = "fabric"   // packet flight (egress → delivery)
+	CatVerbs    = "verbs"    // RDMA verbs (doorbell → WQE DMA → CQE)
 )
 
 // Span is one completed interval on a named track. Begin and End are
