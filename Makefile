@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet check bench simtest trace-smoke verbs-trace-smoke artifacts artifacts-paper examples clean
+.PHONY: all build test vet check bench simtest trace-smoke verbs-trace-smoke reliability-smoke artifacts artifacts-paper examples clean
 
 all: build test
 
@@ -51,6 +51,19 @@ verbs-trace-smoke:
 	cmp /tmp/picodriver-verbs-a.json /tmp/picodriver-verbs-b.json
 	$(GO) run ./cmd/tracecheck /tmp/picodriver-verbs-a.json
 	rm -f /tmp/picodriver-verbs-a.json /tmp/picodriver-verbs-b.json
+
+# Lossy-fabric reliability gate: two same-seed traced ping-pong runs at
+# 2% packet loss must produce byte-identical bandwidth tables (payloads
+# are verified against a reference pattern inside the experiment) and
+# byte-identical Chrome traces containing the recovery spans.
+reliability-smoke:
+	$(GO) run ./cmd/pingpong -sizes 32K -reps 6 -loss 0.02 -trace /tmp/picodriver-rel-a.json | sed 's/-> .*//' > /tmp/picodriver-rel-a.txt
+	$(GO) run ./cmd/pingpong -sizes 32K -reps 6 -loss 0.02 -trace /tmp/picodriver-rel-b.json | sed 's/-> .*//' > /tmp/picodriver-rel-b.txt
+	cmp /tmp/picodriver-rel-a.txt /tmp/picodriver-rel-b.txt
+	cmp /tmp/picodriver-rel-a.json /tmp/picodriver-rel-b.json
+	grep -q retransmit /tmp/picodriver-rel-a.json
+	$(GO) run ./cmd/tracecheck /tmp/picodriver-rel-a.json
+	rm -f /tmp/picodriver-rel-a.json /tmp/picodriver-rel-b.json /tmp/picodriver-rel-a.txt /tmp/picodriver-rel-b.txt
 
 # One testing.B benchmark per paper table/figure, plus ablations.
 # Writes BENCH_seed.json so later changes have a perf trajectory

@@ -48,7 +48,15 @@ func benchScale() experiments.Scale {
 	sc.PingPongReps = 3
 	sc.VerbsSizes = []uint64{1 << 20}
 	sc.VerbsReps = 3
+	sc.LossRates = []float64{0.02}
+	sc.ReliabilitySizes = []uint64{32 << 10}
 	return sc
+}
+
+// benchConfig is the shared-pool experiment configuration every
+// benchmark runs under.
+func benchConfig() experiments.Config {
+	return experiments.Config{Scale: benchScale(), Pool: benchPool}
 }
 
 // fig4Bench regenerates the Figure 4 headline point: 4 MB ping-pong
@@ -56,10 +64,12 @@ func benchScale() experiments.Scale {
 // the given pool.
 func fig4Bench(b *testing.B, pool *runner.Pool) {
 	b.Helper()
+	cfg := benchConfig()
+	cfg.Pool = pool
 	var rows []experiments.Fig4Row
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = experiments.Fig4(pool, benchScale())
+		rows, err = experiments.Fig4(cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -82,11 +92,11 @@ func BenchmarkFig4PingPongSeq(b *testing.B) { fig4Bench(b, runner.New(1)) }
 // performance metrics of Figures 5-7.
 func appBench(b *testing.B, app *miniapps.App, nodes int) {
 	b.Helper()
-	sc := benchScale()
+	cfg := benchConfig()
 	var pts []experiments.ScalingPoint
 	for i := 0; i < b.N; i++ {
 		var err error
-		pts, err = experiments.AppScaling(benchPool, app, []int{nodes}, sc.RanksPerNode, sc.Seed)
+		pts, err = experiments.AppScaling(cfg, app, []int{nodes})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -120,7 +130,7 @@ func BenchmarkVerbsDataPath(b *testing.B) {
 	var rows []experiments.VerbsRow
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = experiments.VerbsSweep(benchPool, benchScale())
+		rows, err = experiments.VerbsSweep(benchConfig())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -137,7 +147,7 @@ func BenchmarkTable1Profile(b *testing.B) {
 	var profiles []experiments.AppProfile
 	for i := 0; i < b.N; i++ {
 		var err error
-		profiles, err = experiments.Table1(benchPool, benchScale())
+		profiles, err = experiments.Table1(benchConfig())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -177,12 +187,28 @@ func breakdownBench(b *testing.B, app string) {
 	var orig, pico experiments.Breakdown
 	for i := 0; i < b.N; i++ {
 		var err error
-		orig, pico, err = experiments.SyscallBreakdown(benchPool, app, benchScale())
+		orig, pico, err = experiments.SyscallBreakdown(benchConfig(), app)
 		if err != nil {
 			b.Fatal(err)
 		}
 	}
 	b.ReportMetric(100*float64(pico.KernelTime)/float64(orig.KernelTime), "hfi-kerneltime-%oforig")
+}
+
+// BenchmarkReliabilityLossy runs one lossy (2% drop) reliability cell
+// set and reports the recovery cost next to the delivered goodput.
+func BenchmarkReliabilityLossy(b *testing.B) {
+	var rows []experiments.ReliabilityRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Reliability(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	r := rows[0]
+	b.ReportMetric(r.Goodput["McKernel+HFI1"], "hfi-MB/s")
+	b.ReportMetric(float64(r.Retransmits["McKernel+HFI1"]), "hfi-retransmits")
 }
 
 // ---------------------------------------------------------------------

@@ -6,7 +6,8 @@
 //	experiments [-scale small|paper] [-only fig4,fig5a,...] [-out DIR] [-j N]
 //
 // Experiment ids: fig4, fig5a, fig5b, fig6a, fig6b, fig7, table1, fig8,
-// fig9, verbs. With -out, each artifact is also written to DIR/<id>.txt.
+// fig9, verbs, reliability. With -out, each artifact is also written to
+// DIR/<id>.txt.
 //
 // -j fans the independent simulation cells of each experiment out over N
 // workers (default: GOMAXPROCS). Artifacts are byte-identical for any
@@ -24,13 +25,12 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/miniapps"
 	"repro/internal/report"
-	"repro/internal/runner"
 )
 
 // experimentIDs lists every known id in output order.
 var experimentIDs = []string{
 	"fig4", "fig5a", "fig5b", "fig6a", "fig6b", "fig7", "table1", "fig8", "fig9",
-	"verbs",
+	"verbs", "reliability",
 }
 
 func main() {
@@ -69,8 +69,8 @@ func main() {
 	}
 	selected := func(id string) bool { return len(want) == 0 || want[id] }
 
-	pool := runner.New(*jFlag)
-	fmt.Fprintf(os.Stderr, "experiments: scale=%s workers=%d\n", sc.Name, pool.Workers())
+	cfg := experiments.NewConfig(sc, *jFlag)
+	fmt.Fprintf(os.Stderr, "experiments: scale=%s workers=%d\n", sc.Name, cfg.Pool.Workers())
 
 	// A failed sweep job doesn't abort the whole run: the experiment is
 	// named on stderr, the remaining experiments still execute, and the
@@ -108,7 +108,7 @@ func main() {
 
 	if selected("fig4") {
 		timed("fig4", func() {
-			rows, err := experiments.Fig4(pool, sc)
+			rows, err := experiments.Fig4(cfg)
 			if err != nil {
 				fail("fig4", err)
 				return
@@ -134,7 +134,7 @@ func main() {
 		}
 		s := s
 		timed(s.id, func() {
-			pts, err := experiments.AppScaling(pool, s.app, s.nodes, sc.RanksPerNode, sc.Seed)
+			pts, err := experiments.AppScaling(cfg, s.app, s.nodes)
 			if err != nil {
 				fail(s.id, err)
 				return
@@ -145,7 +145,7 @@ func main() {
 
 	if selected("table1") {
 		timed("table1", func() {
-			profiles, err := experiments.Table1(pool, sc)
+			profiles, err := experiments.Table1(cfg)
 			if err != nil {
 				fail("table1", err)
 				return
@@ -163,7 +163,7 @@ func main() {
 		}
 		bd := bd
 		timed(bd.id, func() {
-			orig, pico, err := experiments.SyscallBreakdown(pool, bd.app, sc)
+			orig, pico, err := experiments.SyscallBreakdown(cfg, bd.app)
 			if err != nil {
 				fail(bd.id, err)
 				return
@@ -174,12 +174,23 @@ func main() {
 
 	if selected("verbs") {
 		timed("verbs", func() {
-			rows, err := experiments.VerbsSweep(pool, sc)
+			rows, err := experiments.VerbsSweep(cfg)
 			if err != nil {
 				fail("verbs", err)
 				return
 			}
 			emit("verbs", report.VerbsTable(rows), report.VerbsCSV(rows))
+		})
+	}
+
+	if selected("reliability") {
+		timed("reliability", func() {
+			rows, err := experiments.Reliability(cfg)
+			if err != nil {
+				fail("reliability", err)
+				return
+			}
+			emit("reliability", report.ReliabilityTable(rows), report.ReliabilityCSV(rows))
 		})
 	}
 

@@ -17,7 +17,6 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/miniapps"
 	"repro/internal/report"
-	"repro/internal/runner"
 )
 
 func main() {
@@ -46,7 +45,10 @@ func main() {
 		}
 		nodes = append(nodes, n)
 	}
-	pts, err := experiments.AppScaling(runner.New(*jFlag), app, nodes, *rpnFlag, *seedFlag)
+	sc := experiments.SmallScale()
+	sc.RanksPerNode = *rpnFlag
+	sc.Seed = *seedFlag
+	pts, err := experiments.AppScaling(experiments.NewConfig(sc, *jFlag), app, nodes)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "miniapp:", err)
 		os.Exit(1)

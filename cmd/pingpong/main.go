@@ -3,7 +3,11 @@
 //
 // Usage:
 //
-//	pingpong [-sizes 1K,64K,4M] [-reps N] [-j N] [-trace out.json]
+//	pingpong [-sizes 1K,64K,4M] [-reps N] [-j N] [-loss 0.02] [-trace out.json]
+//
+// A nonzero -loss arms the fabric fault model: packets are dropped at
+// the given probability and the PSM reliability layer recovers them,
+// with every bounce verified byte-for-byte against a reference pattern.
 package main
 
 import (
@@ -16,7 +20,6 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/report"
-	"repro/internal/runner"
 )
 
 func parseSize(s string) (uint64, error) {
@@ -39,6 +42,7 @@ func main() {
 	repsFlag := flag.Int("reps", 4, "timed repetitions per size")
 	jFlag := flag.Int("j", 0, "parallel simulation jobs (0 = GOMAXPROCS)")
 	traceFlag := flag.String("trace", "", "write a Chrome trace of one 64KB McKernel+HFI cell to this file")
+	lossFlag := flag.Float64("loss", 0, "per-packet drop probability (activates the PSM reliability layer)")
 	flag.Parse()
 
 	sc := experiments.SmallScale()
@@ -52,7 +56,9 @@ func main() {
 		}
 		sc.PingPongSizes = append(sc.PingPongSizes, size)
 	}
-	rows, err := experiments.Fig4(runner.New(*jFlag), sc)
+	cfg := experiments.NewConfig(sc, *jFlag)
+	cfg.Faults.Drop = *lossFlag
+	rows, err := experiments.Fig4(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pingpong:", err)
 		os.Exit(1)
@@ -60,7 +66,7 @@ func main() {
 	fmt.Print(report.Fig4Table(rows))
 
 	if *traceFlag != "" {
-		rec, err := experiments.TracedPingPong(cluster.OSMcKernelHFI, 64<<10, *repsFlag, 1)
+		rec, err := experiments.TracedPingPong(cfg, cluster.OSMcKernelHFI, 64<<10)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "pingpong:", err)
 			os.Exit(1)

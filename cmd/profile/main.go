@@ -17,7 +17,6 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/report"
-	"repro/internal/runner"
 )
 
 func main() {
@@ -29,18 +28,18 @@ func main() {
 	traceAppFlag := flag.String("trace-app", "UMT2013", "mini-app for the traced run")
 	traceOSFlag := flag.String("trace-os", "mckernel+hfi", "OS for the traced run: linux, mckernel, mckernel+hfi")
 	flag.Parse()
-	pool := runner.New(*jFlag)
 
 	sc := experiments.SmallScale()
 	sc.ProfileNodes = *nodesFlag
 	sc.ProfileRPN = *rpnFlag
+	cfg := experiments.NewConfig(sc, *jFlag)
 	want := map[string]bool{}
 	for _, w := range strings.Split(*whatFlag, ",") {
 		want[strings.TrimSpace(w)] = true
 	}
 
 	if want["table1"] {
-		profiles, err := experiments.Table1(pool, sc)
+		profiles, err := experiments.Table1(cfg)
 		if err != nil {
 			fatal(err)
 		}
@@ -50,7 +49,7 @@ func main() {
 		if !want[id] {
 			continue
 		}
-		orig, pico, err := experiments.SyscallBreakdown(pool, app, sc)
+		orig, pico, err := experiments.SyscallBreakdown(cfg, app)
 		if err != nil {
 			fatal(err)
 		}
@@ -62,7 +61,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		rec, res, err := experiments.TracedRun(*traceAppFlag, *nodesFlag, *rpnFlag, os_, sc.Seed)
+		rec, res, err := experiments.TracedRun(cfg, *traceAppFlag, *nodesFlag, *rpnFlag, os_)
 		if err != nil {
 			fatal(err)
 		}

@@ -33,9 +33,12 @@ func main() {
 	}
 	var work []runner.Job[outcome]
 	for _, osType := range cluster.AllOSTypes {
-		for i := 0; i < *cells+(*cells+2)/3; i++ {
+		extra := (*cells + 2) / 3 // one-sided and lossy cells each
+		for i := 0; i < *cells+2*extra; i++ {
 			cell := fmt.Sprintf("%s/%d", osType, i)
-			if i >= *cells {
+			if i >= *cells+extra {
+				cell = fmt.Sprintf("%s/lossy/%d", osType, i-*cells-extra)
+			} else if i >= *cells {
 				cell = fmt.Sprintf("%s/rma/%d", osType, i-*cells)
 			}
 			work = append(work, runner.Job[outcome]{

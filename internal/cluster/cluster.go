@@ -67,6 +67,11 @@ type Config struct {
 	// modeling hugetlbfs-backed applications. McKernel ranks always use
 	// the LWK's contiguous policy, so this only affects OSLinux.
 	LinuxHugePages bool
+	// Faults configures deterministic fault injection on the OmniPath
+	// fabric (the verbs/IB fabric is exempt: RC transport retries at
+	// the link level in hardware). The zero value is loss-free. An
+	// unset Faults.Seed defaults to the cluster Seed.
+	Faults fabric.FaultProfile
 }
 
 // Cluster is the simulated machine.
@@ -117,6 +122,9 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.Spec.TotalCPUs == 0 {
 		cfg.Spec = ihk.DefaultNodeSpec()
 	}
+	if cfg.Faults.Seed == 0 {
+		cfg.Faults.Seed = cfg.Seed
+	}
 	c := &Cluster{
 		E:      sim.NewEngine(cfg.Seed),
 		Params: &cfg.Params,
@@ -124,6 +132,7 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	c.Fab = fabric.New(c.E, c.Params)
 	c.IBFab = fabric.New(c.E, c.Params)
+	c.Fab.SetFaults(&c.Cfg.Faults)
 	for i := 0; i < cfg.Nodes; i++ {
 		n, err := c.buildNode(i)
 		if err != nil {

@@ -133,6 +133,11 @@ func (h *HFIPico) completionFn(args ...any) any {
 	if err != nil {
 		return fmt.Errorf("core: completion reading comp_seq: %w", err)
 	}
+	if len(args) > 2 {
+		if st, ok := args[2].(uint64); ok {
+			seq |= st
+		}
+	}
 	if err := hfi.PostCompletion(ctx, h.space, h.reg, h.NIC, ctxtVA, seq); err != nil {
 		return fmt.Errorf("core: completion CQ append: %w", err)
 	}

@@ -16,10 +16,12 @@
 package experiments
 
 import (
+	"bytes"
 	"fmt"
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/fabric"
 	"repro/internal/miniapps"
 	"repro/internal/model"
 	"repro/internal/mpi"
@@ -29,6 +31,49 @@ import (
 	"repro/internal/trace"
 	"repro/internal/uproc"
 )
+
+// Config is the single entry point every experiment runs under: the
+// sweep bounds, the pool the independent simulation cells fan out over,
+// an optional span recorder for the traced single-run variants, and a
+// fabric fault profile applied to every cluster the experiments build.
+// Callers construct one Config instead of re-plumbing (pool, scale,
+// seed, recorder, faults) through each entry point.
+type Config struct {
+	Scale Scale
+	// Pool fans the experiment's cells out (nil = a fresh
+	// GOMAXPROCS-wide pool per call).
+	Pool *runner.Pool
+	// Trace, when non-nil, receives the spans of traced single runs
+	// (TracedRun, TracedPingPong, TracedVerbsRun).
+	Trace *trace.Recorder
+	// Faults is the lossy-fabric profile for every cluster built by the
+	// experiments. The reliability sweep overrides the drop rate per
+	// cell; everything else runs it as given.
+	Faults fabric.FaultProfile
+}
+
+// NewConfig bundles a scale with a worker pool (workers 0 = GOMAXPROCS).
+func NewConfig(sc Scale, workers int) Config {
+	return Config{Scale: sc, Pool: runner.New(workers)}
+}
+
+// pool returns the configured pool, lazily defaulting.
+func (c Config) pool() *runner.Pool {
+	if c.Pool != nil {
+		return c.Pool
+	}
+	return runner.New(0)
+}
+
+// cluster builds one simulation cluster under the Config's fault
+// profile. Synthetic clusters skip payload materialization; lossy cells
+// need real bytes, so the reliability sweep passes synthetic=false.
+func (c Config) cluster(nodes int, os cluster.OSType, seed int64, synthetic bool) (*cluster.Cluster, error) {
+	return cluster.New(cluster.Config{
+		Nodes: nodes, OS: os, Params: model.Default(), Seed: seed,
+		Synthetic: synthetic, Faults: c.Faults,
+	})
+}
 
 // Scale bounds an experiment run. SmallScale finishes in minutes on a
 // laptop; PaperScale sweeps the paper's node counts (hours).
@@ -50,7 +95,13 @@ type Scale struct {
 	// VerbsSizes/VerbsReps size the RDMA registration-vs-data-path sweep.
 	VerbsSizes []uint64
 	VerbsReps  int
-	Seed       int64
+	// LossRates is the per-packet drop probability sweep of the
+	// reliability experiment (0 = the loss-free reference column).
+	LossRates []float64
+	// ReliabilitySizes straddle the PIO (16K) and eager-SDMA (64K)
+	// protocol thresholds so every transfer mode recovers from loss.
+	ReliabilitySizes []uint64
+	Seed             int64
 }
 
 // SmallScale is the default: shapes are visible, runtime is modest.
@@ -66,7 +117,9 @@ func SmallScale() Scale {
 		ProfileRPN:    16,
 		VerbsSizes:    []uint64{4 << 10, 64 << 10, 1 << 20, 2<<20 + 4096},
 		VerbsReps:     4,
-		Seed:          1,
+		LossRates:        []float64{0, 0.001, 0.01, 0.05},
+		ReliabilitySizes: []uint64{8 << 10, 32 << 10, 256 << 10},
+		Seed:             1,
 	}
 }
 
@@ -89,7 +142,11 @@ func PaperScale() Scale {
 			2 << 20, 2<<20 + 4096, 8 << 20,
 		},
 		VerbsReps: 8,
-		Seed:      1,
+		LossRates: []float64{0, 0.001, 0.01, 0.05},
+		ReliabilitySizes: []uint64{
+			2 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10, 256 << 10,
+		},
+		Seed: 1,
 	}
 }
 
@@ -122,18 +179,19 @@ type ppResult struct {
 
 // Fig4 runs the IMB-style ping-pong sweep on a two-node cluster, one
 // pool job per (message size, OS) cell.
-func Fig4(p *runner.Pool, sc Scale) ([]Fig4Row, error) {
+func Fig4(cfg Config) ([]Fig4Row, error) {
+	sc := cfg.Scale
 	var jobs []runner.Job[ppResult]
 	for _, size := range sc.PingPongSizes {
 		for _, os := range cluster.AllOSTypes {
 			size, os := size, os
 			id := fmt.Sprintf("fig4/%dB/%s", size, osName(os))
 			jobs = append(jobs, runner.Job[ppResult]{ID: id, Fn: func() (ppResult, error) {
-				return pingPong(os, size, sc.PingPongReps, runner.DeriveSeed(sc.Seed, id))
+				return pingPong(cfg, os, size, sc.PingPongReps, runner.DeriveSeed(sc.Seed, id))
 			}})
 		}
 	}
-	cells, err := runner.Run(p, jobs)
+	cells, err := runner.Run(cfg.pool(), jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -157,23 +215,29 @@ func Fig4(p *runner.Pool, sc Scale) ([]Fig4Row, error) {
 
 // pingPong returns the mean and distribution of one-way times for the
 // given message size.
-func pingPong(os cluster.OSType, size uint64, reps int, seed int64) (ppResult, error) {
-	r, err := pingPongRec(os, size, reps, seed, nil)
+func pingPong(cfg Config, os cluster.OSType, size uint64, reps int, seed int64) (ppResult, error) {
+	r, err := pingPongRec(cfg, os, size, reps, seed, nil)
 	return r, err
 }
 
 // TracedPingPong runs one ping-pong cell with a span recorder attached
-// and returns the recorder alongside the timing result.
-func TracedPingPong(os cluster.OSType, size uint64, reps int, seed int64) (*trace.Recorder, error) {
-	rec := trace.NewRecorder()
-	_, err := pingPongRec(os, size, reps, seed, rec)
+// (cfg.Trace, or a fresh one) and returns the recorder alongside the
+// timing result.
+func TracedPingPong(cfg Config, os cluster.OSType, size uint64) (*trace.Recorder, error) {
+	rec := cfg.Trace
+	if rec == nil {
+		rec = trace.NewRecorder()
+	}
+	_, err := pingPongRec(cfg, os, size, cfg.Scale.PingPongReps, cfg.Scale.Seed, rec)
 	return rec, err
 }
 
-func pingPongRec(os cluster.OSType, size uint64, reps int, seed int64, rec *trace.Recorder) (ppResult, error) {
-	cl, err := cluster.New(cluster.Config{
-		Nodes: 2, OS: os, Params: model.Default(), Seed: seed, Synthetic: true,
-	})
+func pingPongRec(cfg Config, os cluster.OSType, size uint64, reps int, seed int64, rec *trace.Recorder) (ppResult, error) {
+	// Loss-free cells run synthetic (no payload materialization); a
+	// lossy fault profile needs real bytes so every bounce can be
+	// verified against the reference pattern.
+	lossy := cfg.Faults.Active()
+	cl, err := cfg.cluster(2, os, seed, !lossy)
 	if err != nil {
 		return ppResult{}, err
 	}
@@ -185,11 +249,12 @@ func pingPongRec(os cluster.OSType, size uint64, reps int, seed int64, rec *trac
 	book := psm.MapBook{}
 	ready := sim.NewWaitGroup(cl.E)
 	ready.Add(2)
+	idle := new(int)
 	for r := 0; r < 2; r++ {
 		r := r
 		osops := cl.Nodes[r].NewRankOS(r)
 		cl.E.Go(fmt.Sprintf("pp%d", r), func(p *sim.Proc) {
-			ep, err := psm.NewEndpoint(p, osops, r, book, true)
+			ep, err := psm.NewEndpoint(p, osops, r, book, !lossy)
 			if err != nil {
 				runErr = err
 				ready.Done()
@@ -203,6 +268,15 @@ func pingPongRec(os cluster.OSType, size uint64, reps int, seed int64, rec *trac
 			if err != nil {
 				runErr = err
 				return
+			}
+			// On a lossy fabric rank 0 seeds a reference pattern and
+			// checks that every bounce returns it intact: the reliability
+			// layer must recover loss, never rewrite bytes.
+			if lossy && r == 0 {
+				if err := ep.OS.Proc().WriteAt(buf, relPattern(uint64(seed), size)); err != nil {
+					runErr = err
+					return
+				}
 			}
 			// Warmup round, then timed rounds.
 			for i := 0; i <= reps; i++ {
@@ -218,6 +292,17 @@ func pingPongRec(os cluster.OSType, size uint64, reps int, seed int64, rec *trac
 						runErr = err
 						return
 					}
+					if lossy {
+						got := make([]byte, size)
+						if err := ep.OS.Proc().ReadAt(buf, got); err != nil {
+							runErr = err
+							return
+						}
+						if !bytes.Equal(got, relPattern(uint64(seed), size)) {
+							runErr = fmt.Errorf("pingpong: bounce %d corrupted the payload (size %d, %s)", i, size, os)
+							return
+						}
+					}
 					if i > 0 {
 						rtt := p.Now() - start
 						total += rtt
@@ -232,6 +317,23 @@ func pingPongRec(os cluster.OSType, size uint64, reps int, seed int64, rec *trac
 						runErr = err
 						return
 					}
+				}
+			}
+			if lossy {
+				if err := ep.Quiesce(p); err != nil {
+					runErr = err
+					return
+				}
+				// Stay alive until the peer has drained too: a quiesced
+				// rank still re-ACKs duplicate arrivals, and the peer's
+				// final ACK may have been the packet that was dropped.
+				*idle++
+				for *idle < 2 {
+					if _, err := ep.Progress(p); err != nil {
+						runErr = err
+						return
+					}
+					p.Sleep(time.Microsecond)
 				}
 			}
 		})
@@ -264,8 +366,10 @@ type ScalingPoint struct {
 }
 
 // AppScaling runs one mini-app across the node sweep, one pool job per
-// (node count, OS) cell.
-func AppScaling(p *runner.Pool, app *miniapps.App, nodes []int, rpn int, seed int64) ([]ScalingPoint, error) {
+// (node count, OS) cell. Ranks per node and the seed come from
+// cfg.Scale.
+func AppScaling(cfg Config, app *miniapps.App, nodes []int) ([]ScalingPoint, error) {
+	rpn := cfg.Scale.RanksPerNode
 	if rpn <= 0 {
 		rpn = app.RanksPerNode
 	}
@@ -275,11 +379,11 @@ func AppScaling(p *runner.Pool, app *miniapps.App, nodes []int, rpn int, seed in
 			n, os := n, os
 			id := fmt.Sprintf("%s/%dn/%s", app.Name, n, osName(os))
 			jobs = append(jobs, runner.Job[*mpi.JobResult]{ID: id, Fn: func() (*mpi.JobResult, error) {
-				return runApp(app, n, rpn, os, runner.DeriveSeed(seed, id))
+				return runApp(cfg, app, n, rpn, os, runner.DeriveSeed(cfg.Scale.Seed, id))
 			}})
 		}
 	}
-	results, err := runner.Run(p, jobs)
+	results, err := runner.Run(cfg.pool(), jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -307,10 +411,8 @@ func AppScaling(p *runner.Pool, app *miniapps.App, nodes []int, rpn int, seed in
 	return out, nil
 }
 
-func runApp(app *miniapps.App, nodes, rpn int, os cluster.OSType, seed int64) (*mpi.JobResult, error) {
-	cl, err := cluster.New(cluster.Config{
-		Nodes: nodes, OS: os, Params: model.Default(), Seed: seed, Synthetic: true,
-	})
+func runApp(cfg Config, app *miniapps.App, nodes, rpn int, os cluster.OSType, seed int64) (*mpi.JobResult, error) {
+	cl, err := cfg.cluster(nodes, os, seed, true)
 	if err != nil {
 		return nil, err
 	}
@@ -318,10 +420,11 @@ func runApp(app *miniapps.App, nodes, rpn int, os cluster.OSType, seed int64) (*
 }
 
 // TracedRun executes one mini-app job with a span recorder attached to
-// the cluster's engine and returns the recorder (spans + latency
-// histograms from every layer) alongside the job result. Same-seed
-// calls produce byte-identical Chrome trace output.
-func TracedRun(appName string, nodes, rpn int, os cluster.OSType, seed int64) (*trace.Recorder, *mpi.JobResult, error) {
+// the cluster's engine (cfg.Trace, or a fresh one) and returns the
+// recorder (spans + latency histograms from every layer) alongside the
+// job result. Same-seed calls produce byte-identical Chrome trace
+// output.
+func TracedRun(cfg Config, appName string, nodes, rpn int, os cluster.OSType) (*trace.Recorder, *mpi.JobResult, error) {
 	app, err := miniapps.ByName(appName)
 	if err != nil {
 		return nil, nil, err
@@ -329,13 +432,14 @@ func TracedRun(appName string, nodes, rpn int, os cluster.OSType, seed int64) (*
 	if rpn <= 0 {
 		rpn = app.RanksPerNode
 	}
-	cl, err := cluster.New(cluster.Config{
-		Nodes: nodes, OS: os, Params: model.Default(), Seed: seed, Synthetic: true,
-	})
+	cl, err := cfg.cluster(nodes, os, cfg.Scale.Seed, true)
 	if err != nil {
 		return nil, nil, err
 	}
-	rec := trace.NewRecorder()
+	rec := cfg.Trace
+	if rec == nil {
+		rec = trace.NewRecorder()
+	}
 	cl.E.SetRecorder(rec)
 	res, err := mpi.RunJob(cl, rpn, func(c *mpi.Comm) error { return app.Body(c, app) })
 	if err != nil {
@@ -367,7 +471,8 @@ type AppProfile struct {
 
 // Table1 profiles UMT2013, HACC and QBOX on the configured node count
 // under all three OS configurations, one pool job per (app, OS) cell.
-func Table1(p *runner.Pool, sc Scale) ([]AppProfile, error) {
+func Table1(cfg Config) ([]AppProfile, error) {
+	sc := cfg.Scale
 	names := []string{"UMT2013", "HACC", "QBOX"}
 	type cell struct {
 		app string
@@ -385,11 +490,11 @@ func Table1(p *runner.Pool, sc Scale) ([]AppProfile, error) {
 			id := fmt.Sprintf("table1/%s/%s", name, osName(os))
 			cells = append(cells, cell{app: name, os: os})
 			jobs = append(jobs, runner.Job[*mpi.JobResult]{ID: id, Fn: func() (*mpi.JobResult, error) {
-				return runApp(app, sc.ProfileNodes, sc.ProfileRPN, os, runner.DeriveSeed(sc.Seed, id))
+				return runApp(cfg, app, sc.ProfileNodes, sc.ProfileRPN, os, runner.DeriveSeed(sc.Seed, id))
 			}})
 		}
 	}
-	results, err := runner.Run(p, jobs)
+	results, err := runner.Run(cfg.pool(), jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -434,16 +539,15 @@ type Breakdown struct {
 // their kernel profiles. The paper reports that with the HFI PicoDriver
 // the kernel time shrinks to 7% (UMT2013) and 25% (QBOX) of the original
 // McKernel's, with ioctl+writev dropping from >70% to <30% of it.
-func SyscallBreakdown(p *runner.Pool, appName string, sc Scale) (orig, pico Breakdown, err error) {
+func SyscallBreakdown(cfg Config, appName string) (orig, pico Breakdown, err error) {
+	sc := cfg.Scale
 	app, err := miniapps.ByName(appName)
 	if err != nil {
 		return orig, pico, err
 	}
 	run := func(os cluster.OSType) (Breakdown, error) {
 		seed := runner.DeriveSeed(sc.Seed, fmt.Sprintf("breakdown/%s/%s", appName, osName(os)))
-		cl, err := cluster.New(cluster.Config{
-			Nodes: sc.ProfileNodes, OS: os, Params: model.Default(), Seed: seed, Synthetic: true,
-		})
+		cl, err := cfg.cluster(sc.ProfileNodes, os, seed, true)
 		if err != nil {
 			return Breakdown{}, err
 		}
@@ -480,7 +584,7 @@ func SyscallBreakdown(p *runner.Pool, appName string, sc Scale) (orig, pico Brea
 		{ID: fmt.Sprintf("breakdown/%s/%s", appName, osName(cluster.OSMcKernelHFI)),
 			Fn: func() (Breakdown, error) { return run(cluster.OSMcKernelHFI) }},
 	}
-	results, err := runner.Run(p, jobs)
+	results, err := runner.Run(cfg.pool(), jobs)
 	if err != nil {
 		return orig, pico, err
 	}

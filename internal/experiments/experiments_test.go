@@ -15,21 +15,27 @@ var pool = runner.New(0)
 // tinyScale keeps the smoke tests fast.
 func tinyScale() Scale {
 	return Scale{
-		Name:          "tiny",
-		PingPongSizes: []uint64{4 << 10, 256 << 10},
-		PingPongReps:  2,
-		AppNodes:      []int{1, 2},
-		QBoxNodes:     []int{4},
-		RanksPerNode:  4,
-		ProfileNodes:  2,
-		ProfileRPN:    4,
-		Seed:          1,
+		Name:             "tiny",
+		PingPongSizes:    []uint64{4 << 10, 256 << 10},
+		PingPongReps:     2,
+		AppNodes:         []int{1, 2},
+		QBoxNodes:        []int{4},
+		RanksPerNode:     4,
+		ProfileNodes:     2,
+		ProfileRPN:       4,
+		LossRates:        []float64{0, 0.02},
+		ReliabilitySizes: []uint64{8 << 10, 96 << 10},
+		Seed:             1,
 	}
 }
 
+// tinyConfig bundles tinyScale with the shared pool.
+func tinyConfig() Config {
+	return Config{Scale: tinyScale(), Pool: pool}
+}
+
 func TestFig4ShapesAndDeterminism(t *testing.T) {
-	sc := tinyScale()
-	rows, err := Fig4(pool, sc)
+	rows, err := Fig4(tinyConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +55,7 @@ func TestFig4ShapesAndDeterminism(t *testing.T) {
 		t.Fatalf("fig4 ordering broken: %+v", big.MBps)
 	}
 	// Determinism.
-	again, err := Fig4(pool, sc)
+	again, err := Fig4(tinyConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +69,9 @@ func TestFig4ShapesAndDeterminism(t *testing.T) {
 }
 
 func TestAppScalingRelatives(t *testing.T) {
-	pts, err := AppScaling(pool, miniapps.UMT2013(), []int{1, 2}, 8, 1)
+	cfg := tinyConfig()
+	cfg.Scale.RanksPerNode = 8
+	pts, err := AppScaling(cfg, miniapps.UMT2013(), []int{1, 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,8 +96,7 @@ func TestAppScalingRelatives(t *testing.T) {
 }
 
 func TestTable1Shape(t *testing.T) {
-	sc := tinyScale()
-	profiles, err := Table1(pool, sc)
+	profiles, err := Table1(tinyConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +119,7 @@ func TestTable1Shape(t *testing.T) {
 }
 
 func TestSyscallBreakdownUMT(t *testing.T) {
-	orig, pico, err := SyscallBreakdown(pool, "UMT2013", tinyScale())
+	orig, pico, err := SyscallBreakdown(tinyConfig(), "UMT2013")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,11 +157,11 @@ func TestFig4PoolSizeInvariance(t *testing.T) {
 	// merge actually has rows to misorder.
 	sc.PingPongSizes = sc.PingPongSizes[:3]
 	sc.PingPongReps = 2
-	seq, err := Fig4(runner.New(1), sc)
+	seq, err := Fig4(NewConfig(sc, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := Fig4(runner.New(16), sc)
+	par, err := Fig4(NewConfig(sc, 16))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,15 +174,67 @@ func TestFig4PoolSizeInvariance(t *testing.T) {
 // sweeps (Figures 5-7).
 func TestAppScalingPoolSizeInvariance(t *testing.T) {
 	app := miniapps.UMT2013()
-	seq, err := AppScaling(runner.New(1), app, []int{1, 2}, 4, 1)
+	sc := tinyScale()
+	seq, err := AppScaling(NewConfig(sc, 1), app, []int{1, 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := AppScaling(runner.New(16), app, []int{1, 2}, 4, 1)
+	par, err := AppScaling(NewConfig(sc, 16), app, []int{1, 2})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(seq, par) {
 		t.Fatalf("scaling points differ between -j 1 and -j 16:\n%+v\n%+v", seq, par)
+	}
+}
+
+// TestReliabilitySweep is the end-to-end gate on the lossy-fabric
+// machinery at experiment level: byte-identical delivery is asserted
+// inside every cell, retransmit counts must be nonzero exactly when the
+// loss rate is, lossy goodput must not exceed the loss-free reference,
+// and same-seed reruns must be deeply equal.
+func TestReliabilitySweep(t *testing.T) {
+	rows, err := Reliability(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := tinyScale()
+	if len(rows) != len(sc.LossRates)*len(sc.ReliabilitySizes) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	bySize := map[uint64]map[float64]ReliabilityRow{}
+	for _, r := range rows {
+		if bySize[r.Size] == nil {
+			bySize[r.Size] = map[float64]ReliabilityRow{}
+		}
+		bySize[r.Size][r.Loss] = r
+		for _, name := range OSNames {
+			if r.Goodput[name] <= 0 {
+				t.Fatalf("%s goodput missing at loss=%g size=%d", name, r.Loss, r.Size)
+			}
+			if retr := r.Retransmits[name]; (retr > 0) != (r.Loss > 0) {
+				t.Fatalf("%s retransmits=%d at loss=%g size=%d", name, retr, r.Loss, r.Size)
+			}
+		}
+	}
+	// Loss costs goodput, never correctness.
+	for size, byLoss := range bySize {
+		for loss, r := range byLoss {
+			if loss == 0 {
+				continue
+			}
+			for _, name := range OSNames {
+				if r.Goodput[name] > byLoss[0].Goodput[name] {
+					t.Fatalf("%s goodput at loss=%g size=%d beats the loss-free reference", name, loss, size)
+				}
+			}
+		}
+	}
+	again, err := Reliability(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rows, again) {
+		t.Fatal("reliability sweep not deterministic")
 	}
 }

@@ -13,7 +13,6 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/mlx"
-	"repro/internal/model"
 	"repro/internal/mpi"
 	"repro/internal/runner"
 	"repro/internal/sim"
@@ -39,18 +38,19 @@ type verbsCell struct {
 
 // VerbsSweep runs the registration-vs-data-path sweep, one pool job per
 // (message size, OS) cell.
-func VerbsSweep(p *runner.Pool, sc Scale) ([]VerbsRow, error) {
+func VerbsSweep(cfg Config) ([]VerbsRow, error) {
+	sc := cfg.Scale
 	var jobs []runner.Job[verbsCell]
 	for _, size := range sc.VerbsSizes {
 		for _, os := range cluster.AllOSTypes {
 			size, os := size, os
 			id := fmt.Sprintf("verbs/%dB/%s", size, osName(os))
 			jobs = append(jobs, runner.Job[verbsCell]{ID: id, Fn: func() (verbsCell, error) {
-				return verbsCellRun(os, size, sc.VerbsReps, runner.DeriveSeed(sc.Seed, id))
+				return verbsCellRun(cfg, os, size, sc.VerbsReps, runner.DeriveSeed(sc.Seed, id))
 			}})
 		}
 	}
-	cells, err := runner.Run(p, jobs)
+	cells, err := runner.Run(cfg.pool(), jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -74,11 +74,12 @@ func VerbsSweep(p *runner.Pool, sc Scale) ([]VerbsRow, error) {
 }
 
 // verbsCellRun measures one (size, OS) cell on a two-node cluster:
-// node 0 initiates against a window on node 1.
-func verbsCellRun(os cluster.OSType, size uint64, reps int, seed int64) (verbsCell, error) {
-	cl, err := cluster.New(cluster.Config{
-		Nodes: 2, OS: os, Params: model.Default(), Seed: seed, Synthetic: true,
-	})
+// node 0 initiates against a window on node 1. The cell runs under
+// cfg.Faults like every other experiment — RDMA packets are exempt from
+// fabric fault injection (the HCA's hardware retransmission is below
+// the model), so the data-path numbers hold even on a lossy profile.
+func verbsCellRun(cfg Config, os cluster.OSType, size uint64, reps int, seed int64) (verbsCell, error) {
+	cl, err := cfg.cluster(2, os, seed, true)
 	if err != nil {
 		return verbsCell{}, err
 	}
@@ -214,6 +215,6 @@ func verbsCellBody(p *sim.Proc, cl *cluster.Cluster, size uint64, reps int) (ver
 // recorder attached: the verbs doorbell/dma/cqe spans land in the trace
 // next to the MPI and kernel layers. Same-seed calls produce
 // byte-identical Chrome output.
-func TracedVerbsRun(nodes, rpn int, os cluster.OSType, seed int64) (*trace.Recorder, *mpi.JobResult, error) {
-	return TracedRun("LAMMPS-RMA", nodes, rpn, os, seed)
+func TracedVerbsRun(cfg Config, nodes, rpn int, os cluster.OSType) (*trace.Recorder, *mpi.JobResult, error) {
+	return TracedRun(cfg, "LAMMPS-RMA", nodes, rpn, os)
 }

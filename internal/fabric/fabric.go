@@ -7,6 +7,7 @@ package fabric
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
 	"repro/internal/model"
@@ -39,6 +40,10 @@ type Header struct {
 	MsgLen  uint64
 	Offset  uint64 // payload offset within the message
 	Aux     uint64 // opcode-specific (e.g. TID count in a CTS)
+	// PSN is the reliability-protocol sequence number on the sender's
+	// flow to this destination; zero means the packet is not sequenced
+	// (loss-free mode, SDMA data, or ACK/NAK control traffic).
+	PSN uint32
 }
 
 // Packet is one wire transfer unit.
@@ -60,6 +65,9 @@ type Packet struct {
 	// Last marks the final packet of a message (triggers a completion
 	// header entry for expected receives).
 	Last bool
+	// Corrupt marks a packet damaged in flight (injected fault); the
+	// receiving NIC's CRC check discards it without touching a context.
+	Corrupt bool
 }
 
 // Port is one node's attachment to the fabric.
@@ -81,12 +89,38 @@ type Fabric struct {
 	e     *sim.Engine
 	pr    *model.Params
 	ports map[int]*Port
+
+	faults *FaultProfile
+	frng   *rand.Rand
+	fstats FaultStats
 }
 
 // New creates an empty fabric.
 func New(e *sim.Engine, pr *model.Params) *Fabric {
 	return &Fabric{e: e, pr: pr, ports: make(map[int]*Port)}
 }
+
+// SetFaults installs a fault profile. Call before traffic flows; a nil
+// profile (or an inactive one) restores loss-free behavior.
+func (f *Fabric) SetFaults(fp *FaultProfile) {
+	f.faults = fp
+	if fp.Active() {
+		seed := fp.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		f.frng = rand.New(rand.NewSource(seed))
+	}
+}
+
+// Faults returns the installed fault profile (nil if none).
+func (f *Fabric) Faults() *FaultProfile { return f.faults }
+
+// Lossy reports whether fault injection is active.
+func (f *Fabric) Lossy() bool { return f.faults.Active() }
+
+// FaultStats returns the injected-fault counters.
+func (f *Fabric) FaultStats() FaultStats { return f.fstats }
 
 // Attach registers a node's port. deliver is invoked (in event context,
 // zero duration) when a packet arrives; the NIC model queues it for its
@@ -149,9 +183,19 @@ func (f *Fabric) Send(proc *sim.Proc, pkt *Packet) error {
 		src.lastArrival[pkt.DstNode] = at
 		lat = at - f.e.Now()
 	}
+	if f.frng != nil && f.faults.Active() && pkt.Kind != KindRDMA {
+		f.sendFaulty(dst, pkt, begin, lat)
+		return nil
+	}
+	f.deliverAt(dst, pkt, begin, lat)
+	return nil
+}
+
+// deliverAt schedules delivery of pkt after lat and emits the flight
+// span. The span covers egress serialization plus link latency: begin
+// at Send entry, end at delivery.
+func (f *Fabric) deliverAt(dst *Port, pkt *Packet, begin time.Duration, lat time.Duration) {
 	f.e.After(lat, func() {
-		// The flight span covers egress serialization plus link latency:
-		// begin at Send entry, end at delivery.
 		if rec := f.e.Recorder(); rec != nil {
 			rec.SpanBytes(trace.CatFabric, kindName(pkt.Kind),
 				fmt.Sprintf("wire:%d->%d", pkt.SrcNode, pkt.DstNode),
@@ -159,5 +203,45 @@ func (f *Fabric) Send(proc *sim.Proc, pkt *Packet) error {
 		}
 		dst.deliver(pkt)
 	})
-	return nil
+}
+
+// sendFaulty applies the fault profile to one already-serialized packet.
+// The sender has paid egress either way — faults happen in flight, so
+// the sender never learns a packet was lost. Drop/corrupt/dup/reorder
+// decisions come from the dedicated fault RNG in a fixed order so that
+// the fault pattern replays exactly for a given seed.
+func (f *Fabric) sendFaulty(dst *Port, pkt *Packet, begin time.Duration, lat time.Duration) {
+	if f.faults.downAt(pkt.SrcNode, pkt.DstNode, f.e.Now()) {
+		f.fstats.DownDrops++
+		return
+	}
+	lf := f.faults.linkFor(pkt.SrcNode, pkt.DstNode)
+	if lf.Drop > 0 && f.frng.Float64() < lf.Drop {
+		f.fstats.Dropped++
+		return
+	}
+	copies := 1
+	if lf.Dup > 0 && f.frng.Float64() < lf.Dup {
+		f.fstats.Duplicated++
+		copies = 2
+	}
+	for i := 0; i < copies; i++ {
+		cp := *pkt
+		clat := lat
+		if i > 0 {
+			// The duplicate trails the original by one extra hop.
+			clat += f.pr.LinkLatency
+		}
+		if lf.Corrupt > 0 && f.frng.Float64() < lf.Corrupt {
+			f.fstats.Corrupted++
+			cp.Corrupt = true
+		}
+		if lf.Reorder > 0 && lf.ReorderDelay > 0 && f.frng.Float64() < lf.Reorder {
+			f.fstats.Reordered++
+			// Extra delay past the jitter FIFO clamp: packets sent later
+			// on this route may overtake this one.
+			clat += time.Duration(1 + f.frng.Int63n(int64(lf.ReorderDelay)))
+		}
+		f.deliverAt(dst, &cp, begin, clat)
+	}
 }

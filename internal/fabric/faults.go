@@ -1,0 +1,123 @@
+package fabric
+
+import "time"
+
+// LinkID names one directed link (the src→dst route between two nodes).
+type LinkID struct {
+	Src, Dst int
+}
+
+// LinkFaults are the fault rates applied to packets on one link. All
+// probabilities are per-packet and evaluated independently.
+type LinkFaults struct {
+	// Drop is the probability a packet silently disappears in flight.
+	Drop float64
+	// Corrupt is the probability a packet is delivered with a failing
+	// CRC: the receiving NIC counts and discards it (PSM never sees it),
+	// so a corruption behaves like a drop that the port can observe.
+	Corrupt float64
+	// Dup is the probability a packet is delivered twice; the duplicate
+	// lands one link latency after the original.
+	Dup float64
+	// Reorder is the probability a packet's delivery is delayed by up to
+	// ReorderDelay, allowing later packets on the route to overtake it.
+	Reorder float64
+	// ReorderDelay bounds the extra delay of reordered packets.
+	ReorderDelay time.Duration
+}
+
+func (lf LinkFaults) active() bool {
+	return lf.Drop > 0 || lf.Corrupt > 0 || lf.Dup > 0 || lf.Reorder > 0
+}
+
+// DownWindow is a transient link outage: every matching packet sent
+// within [From, Until) is dropped.
+type DownWindow struct {
+	// Src/Dst select the link; -1 matches any node.
+	Src, Dst int
+	From     time.Duration
+	Until    time.Duration
+}
+
+func (w DownWindow) matches(src, dst int, now time.Duration) bool {
+	if w.Src >= 0 && w.Src != src {
+		return false
+	}
+	if w.Dst >= 0 && w.Dst != dst {
+		return false
+	}
+	return now >= w.From && now < w.Until
+}
+
+// FaultProfile is the single configuration point for deterministic
+// fault injection on a fabric. The zero value is a loss-free fabric.
+//
+// The embedded LinkFaults apply to every link unless overridden in
+// PerLink. Fault decisions are drawn from a dedicated RNG seeded with
+// Seed, independent of the engine RNG, so the fault pattern for a given
+// seed is stable across model changes. RDMA packets (KindRDMA) are
+// exempt: the verbs RC transport models link-level retry in hardware,
+// so its fabric is treated as reliable (see internal/verbs).
+type FaultProfile struct {
+	LinkFaults
+
+	// PerLink overrides the default rates for specific directed links.
+	PerLink map[LinkID]LinkFaults
+	// Down lists transient link outages.
+	Down []DownWindow
+	// SDMAErr is the probability that an SDMA engine aborts a submitted
+	// transaction mid-transfer (a descriptor-ring stall). The driver
+	// retries the transaction and, past its retry budget, degrades the
+	// remainder to PIO chunks — unless SDMANoDegrade is set, in which
+	// case an error completion is posted to the context's send CQ.
+	SDMAErr float64
+	// SDMANoDegrade disables the driver's SDMA→PIO degradation path so
+	// that exhausted retries surface as CQ error completions.
+	SDMANoDegrade bool
+	// Seed seeds the fault RNG; cluster.New defaults it to the cluster
+	// seed when zero, so same-seed runs replay the same fault pattern.
+	Seed int64
+}
+
+// Active reports whether the profile injects any fault at all.
+func (fp *FaultProfile) Active() bool {
+	if fp == nil {
+		return false
+	}
+	if fp.LinkFaults.active() || fp.SDMAErr > 0 || len(fp.Down) > 0 {
+		return true
+	}
+	for _, lf := range fp.PerLink {
+		if lf.active() {
+			return true
+		}
+	}
+	return false
+}
+
+// linkFor returns the effective rates on src→dst.
+func (fp *FaultProfile) linkFor(src, dst int) LinkFaults {
+	if lf, ok := fp.PerLink[LinkID{Src: src, Dst: dst}]; ok {
+		return lf
+	}
+	return fp.LinkFaults
+}
+
+// downAt reports whether the link is inside an outage window.
+func (fp *FaultProfile) downAt(src, dst int, now time.Duration) bool {
+	for _, w := range fp.Down {
+		if w.matches(src, dst, now) {
+			return true
+		}
+	}
+	return false
+}
+
+// FaultStats counts the faults a fabric injected.
+type FaultStats struct {
+	Dropped    uint64
+	Corrupted  uint64
+	Duplicated uint64
+	Reordered  uint64
+	DownDrops  uint64
+}

@@ -135,6 +135,24 @@ type TIDPair struct {
 	Len uint64
 }
 
+// A TIDPair's Idx packs the RcvArray index in the low 32 bits and the
+// entry's generation in the high 32, mirroring the hardware's RcvArray
+// generation bits: an entry's generation advances every time it is
+// reprogrammed, so a stale packet (late duplicate on a lossy fabric)
+// aimed at a freed-and-reused entry carries the old generation and is
+// dropped by the NIC instead of landing in the new owner's buffer.
+const tidGenShift = 32
+
+// PackTID combines an RcvArray index with its generation.
+func PackTID(idx int, gen uint32) uint64 {
+	return uint64(uint32(idx)) | uint64(gen)<<tidGenShift
+}
+
+// UnpackTID splits a packed TID reference into index and generation.
+func UnpackTID(packed uint64) (idx int, gen uint32) {
+	return int(uint32(packed)), uint32(packed >> tidGenShift)
+}
+
 // TIDPairSize is the encoded size of one TIDPair.
 const TIDPairSize = 16
 
@@ -208,17 +226,27 @@ func WriteTIDCountBack(p *uproc.Process, va uproc.VirtAddr, count uint32) error 
 	return p.WriteAt(va+24, b[:])
 }
 
-// Receive header queue entry layout (64 bytes, written by the NIC into
+// Receive header queue entry layout (72 bytes, written by the NIC into
 // host memory, read by PSM through its mmap).
 const (
-	HdrqEntrySize = 64
+	HdrqEntrySize = 72
 
 	// HdrqTypeEager announces a filled eager slot.
 	HdrqTypeEager uint32 = 1
 	// HdrqTypeExpectedDone announces completion of an expected
 	// (TID-placed) message.
 	HdrqTypeExpectedDone uint32 = 2
+	// HdrqTypeExpectedData announces one TID-placed packet on a lossy
+	// fabric, where PSM tracks per-window coverage itself instead of
+	// trusting a single Last-packet completion (the Last packet may be
+	// the one that was dropped). Aux carries the window offset, Offset
+	// the packet's offset within the window.
+	HdrqTypeExpectedData uint32 = 3
 )
+
+// CQErrBit marks an errored send completion in the 64-bit CQ word: the
+// low 32 bits still carry the completion sequence number.
+const CQErrBit uint64 = 1 << 32
 
 // HdrqEntry is the decoded form of a receive header queue entry.
 type HdrqEntry struct {
@@ -232,6 +260,7 @@ type HdrqEntry struct {
 	EagerIdx uint32
 	Op       uint32
 	Bytes    uint64
+	PSN      uint32
 }
 
 // EncodeHdrqEntry serializes an entry.
@@ -248,6 +277,7 @@ func EncodeHdrqEntry(e *HdrqEntry) []byte {
 	le.PutUint32(b[48:], e.EagerIdx)
 	le.PutUint32(b[52:], e.Op)
 	le.PutUint64(b[56:], e.Bytes)
+	le.PutUint32(b[64:], e.PSN)
 	return b
 }
 
@@ -268,6 +298,7 @@ func DecodeHdrqEntry(b []byte) (*HdrqEntry, error) {
 		EagerIdx: le.Uint32(b[48:]),
 		Op:       le.Uint32(b[52:]),
 		Bytes:    le.Uint64(b[56:]),
+		PSN:      le.Uint32(b[64:]),
 	}, nil
 }
 

@@ -198,7 +198,21 @@ func NewLinuxDriver(k *linux.Kernel, nic *NIC, pr *model.Params, worlds []*kmem.
 			}(raised)
 			ctx.Spend(pr.IRQHandlerCost)
 			for _, txn := range batch {
-				ret, err := k.Space.Call(d.worlds, kmem.VirtAddr(txn.CallbackVA), ctx, txn.CallbackArg)
+				status := uint64(0)
+				if txn.Err != nil {
+					resubmitted, st, rerr := d.recoverSDMA(ctx, txn)
+					if rerr != nil {
+						nic.Fail(fmt.Errorf("hfi: node %d SDMA recovery: %w", nic.Node, rerr))
+						return
+					}
+					if resubmitted {
+						// The transaction is back on an engine; its
+						// completion (or next error) arrives later.
+						continue
+					}
+					status = st
+				}
+				ret, err := k.Space.Call(d.worlds, kmem.VirtAddr(txn.CallbackVA), ctx, txn.CallbackArg, status)
 				if err != nil {
 					// An unresolvable callback address is a wiring bug.
 					panic(fmt.Sprintf("hfi: completion callback: %v", err))
@@ -256,10 +270,48 @@ func (d *LinuxDriver) obj(name string, va kmem.VirtAddr) kstruct.Obj {
 	return kstruct.Obj{Space: d.K.Space, Addr: va, Layout: d.layout(name)}
 }
 
+// recoverSDMA handles a transaction the engine aborted mid-transfer:
+// resubmit the unsent remainder while the retry budget lasts, then
+// degrade it to PIO chunks — or, when degradation is disabled in the
+// fault profile, hand back an error status for the CQ completion.
+func (d *LinuxDriver) recoverSDMA(ctx *kernel.Ctx, txn *SDMATxn) (resubmitted bool, status uint64, err error) {
+	// Requests before FailedAt are already on the wire; only the
+	// remainder is retried or degraded.
+	txn.Requests = txn.Requests[txn.FailedAt:]
+	txn.FailedAt = 0
+	txn.Err = nil
+	txn.Attempts++
+	if txn.Attempts <= d.pr.SDMARetryBudget {
+		begin := ctx.Now()
+		if err := d.NIC.SubmitSDMA(ctx.P, txn); err != nil {
+			return false, 0, err
+		}
+		if rec := d.K.Engine().Recorder(); rec != nil {
+			rec.SpanBytes(trace.CatSDMA, "sdma-retry", ctx.P.Name(), begin, ctx.Now(), txn.Bytes())
+		}
+		return true, 0, nil
+	}
+	if fp := d.NIC.Faults(); fp != nil && fp.SDMANoDegrade {
+		return false, CQErrBit, nil
+	}
+	begin := ctx.Now()
+	for _, req := range txn.Requests {
+		if err := d.NIC.PIOChunk(ctx.P, txn, req); err != nil {
+			return false, 0, err
+		}
+	}
+	if rec := d.K.Engine().Recorder(); rec != nil {
+		rec.SpanBytes(trace.CatSDMA, "sdma-degrade", ctx.P.Name(), begin, ctx.Now(), txn.Bytes())
+	}
+	return false, 0, nil
+}
+
 // completionFn is the SDMA completion callback: append the completion
 // sequence to the context's send CQ and release the transfer metadata.
 // It runs on a Linux CPU in IRQ context; failures are returned as the
-// call's value and routed to the simulation by the IRQ handler.
+// call's value and routed to the simulation by the IRQ handler. An
+// optional third argument carries an error status (CQErrBit) that is
+// OR'd into the posted sequence word.
 func (d *LinuxDriver) completionFn(args ...any) any {
 	ctx := args[0].(*kernel.Ctx)
 	recVA := kmem.VirtAddr(args[1].(uint64))
@@ -269,6 +321,11 @@ func (d *LinuxDriver) completionFn(args ...any) any {
 		return fmt.Errorf("hfi: completion txreq read: %w", err)
 	}
 	seq, _ := rec.GetU("comp_seq")
+	if len(args) > 2 {
+		if st, ok := args[2].(uint64); ok {
+			seq |= st
+		}
+	}
 	if err := d.postCompletion(ctx, ctxtVA, seq); err != nil {
 		return err
 	}
@@ -727,9 +784,10 @@ func (d *LinuxDriver) tidFree(ctx *kernel.Ctx, f *linux.File, id int, arg uproc.
 		return 0, err
 	}
 	for _, tp := range pairs {
-		if ext, ok := d.tidPins[id][int(tp.Idx)]; ok {
+		idx, _ := UnpackTID(tp.Idx)
+		if ext, ok := d.tidPins[id][idx]; ok {
 			d.K.Space.Alloc.Phys().Unpin(ext)
-			delete(d.tidPins[id], int(tp.Idx))
+			delete(d.tidPins[id], idx)
 		}
 	}
 	return uint64(len(pairs)), nil

@@ -2,6 +2,7 @@ package hfi
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
 	"repro/internal/fabric"
@@ -29,6 +30,15 @@ type SDMATxn struct {
 	CallbackVA  uint64
 	CallbackArg uint64
 
+	// Err is set when the engine aborted the transaction mid-transfer
+	// (injected descriptor-ring stall); FailedAt is the index of the
+	// first request that was NOT sent. The driver's IRQ handler retries
+	// the remainder or degrades it to PIO.
+	Err      error
+	FailedAt int
+	// Attempts counts driver resubmissions of this transaction.
+	Attempts int
+
 	// submitAt stamps SubmitSDMA entry; the engine's retirement span
 	// (submit → last packet on the wire) starts here.
 	submitAt time.Duration
@@ -46,6 +56,10 @@ func (t *SDMATxn) Bytes() uint64 {
 type tidEntry struct {
 	valid bool
 	ext   mem.Extent
+	// gen advances on every (re)programming of this entry; expected
+	// packets carry the generation they were built against and mismatches
+	// are dropped (see PackTID).
+	gen uint32
 }
 
 // Context is one hardware receive context (one per opened device file,
@@ -103,6 +117,10 @@ type NIC struct {
 	pendingIRQ   []*SDMATxn
 	irqScheduled bool
 
+	// frng draws SDMA error injections (lazily created from the fault
+	// profile seed and node id, so the pattern replays per seed).
+	frng *rand.Rand
+
 	// Instrumentation.
 	RxPackets    uint64
 	SDMARequests uint64
@@ -111,6 +129,14 @@ type NIC struct {
 	// RxDropped counts packets that arrived for a context that no longer
 	// exists (racing a teardown); real hardware drops these too.
 	RxDropped uint64
+	// RxCorrupt counts packets discarded by the port CRC check.
+	RxCorrupt uint64
+	// RxStaleTID counts expected packets dropped because their TID
+	// reference was invalid or generation-stale (late duplicates on a
+	// lossy fabric racing a window teardown).
+	RxStaleTID uint64
+	// SDMAErrors counts injected mid-transfer SDMA aborts.
+	SDMAErrors uint64
 	// TIDProgramOps / TIDClearOps count RcvArray programming operations
 	// NIC-wide; a balanced teardown leaves them equal.
 	TIDProgramOps uint64
@@ -169,6 +195,30 @@ func (n *NIC) Fail(err error) { n.e.Fail(err) }
 // Engine returns instrumentation for engine i.
 func (n *NIC) Engine(i int) *SDMAEngine { return n.engines[i] }
 
+// Lossy reports whether the NIC's fabric injects faults; PSM enables
+// its reliability protocol exactly when this is true.
+func (n *NIC) Lossy() bool { return n.fab.Lossy() }
+
+// Faults returns the fabric's fault profile (nil when loss-free).
+func (n *NIC) Faults() *fabric.FaultProfile { return n.fab.Faults() }
+
+// sdmaErrAt draws the failure point for one transaction attempt: -1
+// means the attempt succeeds, otherwise the index of the first request
+// the engine fails before sending.
+func (n *NIC) sdmaErrAt(nreq int) int {
+	fp := n.fab.Faults()
+	if fp == nil || fp.SDMAErr <= 0 {
+		return -1
+	}
+	if n.frng == nil {
+		n.frng = rand.New(rand.NewSource(fp.Seed + int64(n.Node)*1000003 + 1))
+	}
+	if n.frng.Float64() >= fp.SDMAErr {
+		return -1
+	}
+	return int(n.frng.Int63n(int64(nreq)))
+}
+
 // AllocContext registers a receive context with its host-memory areas.
 func (n *NIC) AllocContext(id int, statusPA, hdrqPA, eagerPA, cqPA mem.PhysAddr,
 	hdrqEntries, eagerSlots, cqEntries, tidCount int) (*Context, error) {
@@ -195,25 +245,31 @@ func (n *NIC) Context(id int) (*Context, bool) {
 }
 
 // ProgramTID writes one RcvArray entry: expected-receive packets naming
-// this index land at ext.Addr + offset.
-func (n *NIC) ProgramTID(ctxID, idx int, ext mem.Extent) error {
+// this index land at ext.Addr + offset. It returns the entry's new
+// generation, which the driver packs into the TID list handed back to
+// user space (PackTID).
+func (n *NIC) ProgramTID(ctxID, idx int, ext mem.Extent) (uint32, error) {
 	ctx, ok := n.contexts[ctxID]
 	if !ok {
-		return fmt.Errorf("hfi: no context %d", ctxID)
+		return 0, fmt.Errorf("hfi: no context %d", ctxID)
 	}
 	if idx < 0 || idx >= len(ctx.tids) {
-		return fmt.Errorf("hfi: TID index %d out of range", idx)
+		return 0, fmt.Errorf("hfi: TID index %d out of range", idx)
 	}
 	if ctx.tids[idx].valid {
-		return fmt.Errorf("hfi: TID %d already programmed", idx)
+		return 0, fmt.Errorf("hfi: TID %d already programmed", idx)
 	}
-	ctx.tids[idx] = tidEntry{valid: true, ext: ext}
+	e := &ctx.tids[idx]
+	e.gen++
+	e.valid = true
+	e.ext = ext
 	ctx.TIDsProgrammed++
 	n.TIDProgramOps++
-	return nil
+	return e.gen, nil
 }
 
-// ClearTID invalidates an RcvArray entry.
+// ClearTID invalidates an RcvArray entry. The generation survives the
+// clear so stale packets never match a reused entry.
 func (n *NIC) ClearTID(ctxID, idx int) error {
 	ctx, ok := n.contexts[ctxID]
 	if !ok {
@@ -222,7 +278,8 @@ func (n *NIC) ClearTID(ctxID, idx int) error {
 	if idx < 0 || idx >= len(ctx.tids) || !ctx.tids[idx].valid {
 		return fmt.Errorf("hfi: clearing unprogrammed TID %d", idx)
 	}
-	ctx.tids[idx] = tidEntry{}
+	ctx.tids[idx].valid = false
+	ctx.tids[idx].ext = mem.Extent{}
 	n.TIDClearOps++
 	return nil
 }
@@ -306,7 +363,18 @@ func (n *NIC) runEngine(p *sim.Proc, eng *SDMAEngine) {
 		if txn == nil {
 			return
 		}
-		for _, req := range txn.Requests {
+		failAt := n.sdmaErrAt(len(txn.Requests))
+		for i, req := range txn.Requests {
+			if i == failAt {
+				// Mid-transfer abort: requests before i are on the wire,
+				// the rest are not. The error completion reaches the
+				// driver through the normal IRQ path.
+				n.SDMAErrors++
+				txn.Err = fmt.Errorf("hfi: engine %d descriptor stall at request %d/%d",
+					eng.Index, i, len(txn.Requests))
+				txn.FailedAt = i
+				break
+			}
 			p.Sleep(n.pr.SDMADescCost)
 			n.SDMARequests++
 			if req.Src.Len == n.pr.MaxSDMARequest {
@@ -342,6 +410,28 @@ func (n *NIC) runEngine(p *sim.Proc, eng *SDMAEngine) {
 	}
 }
 
+// PIOChunk transmits one SDMA request by programmed I/O, preserving the
+// transaction's packet kind and TID placement — the driver's degraded
+// slow path when an SDMA engine keeps failing a transaction. The caller
+// pays the PIO store cost per chunk.
+func (n *NIC) PIOChunk(p *sim.Proc, txn *SDMATxn, req SDMARequest) error {
+	var payload []byte
+	if !txn.Synthetic {
+		payload = make([]byte, req.Src.Len)
+		if err := n.phys.ReadAt(req.Src.Addr, payload); err != nil {
+			return fmt.Errorf("hfi: PIO chunk read: %w", err)
+		}
+	}
+	hdr := txn.Hdr
+	hdr.Offset = req.MsgOff
+	p.Sleep(n.pr.PIOTime(req.Src.Len))
+	return n.fab.Send(p, &fabric.Packet{
+		SrcNode: n.Node, DstNode: txn.DstNode, DstCtx: txn.DstCtx,
+		Kind: txn.Kind, Hdr: hdr, Payload: payload, Bytes: req.Src.Len,
+		TIDIdx: req.TIDIdx, TIDOff: req.TIDOff, Last: req.Last,
+	})
+}
+
 // complete queues a finished transaction for interrupt delivery,
 // coalescing completions that occur while an interrupt is pending.
 func (n *NIC) complete(txn *SDMATxn) {
@@ -367,6 +457,12 @@ func (n *NIC) runRx(p *sim.Proc) {
 		pkt := n.rxq.Pop(p)
 		p.Sleep(n.pr.RcvPacketCost)
 		n.RxPackets++
+		if pkt.Corrupt {
+			// Port CRC check: damaged packets are counted and discarded
+			// before any context processing.
+			n.RxCorrupt++
+			continue
+		}
 		ctx, ok := n.contexts[pkt.DstCtx]
 		if !ok {
 			// Packets racing a context teardown are dropped, like on
@@ -408,22 +504,42 @@ func (n *NIC) rxEager(ctx *Context, pkt *fabric.Packet) error {
 		Type: HdrqTypeEager, SrcRank: pkt.Hdr.SrcRank, Tag: pkt.Hdr.Tag,
 		MsgID: pkt.Hdr.MsgID, MsgLen: pkt.Hdr.MsgLen, Offset: pkt.Hdr.Offset,
 		Aux: pkt.Hdr.Aux, EagerIdx: uint32(slot), Op: pkt.Hdr.Op, Bytes: pkt.Bytes,
+		PSN: pkt.Hdr.PSN,
 	})
 }
 
 func (n *NIC) rxExpected(ctx *Context, pkt *fabric.Packet) error {
-	if pkt.TIDIdx < 0 || pkt.TIDIdx >= len(ctx.tids) || !ctx.tids[pkt.TIDIdx].valid {
-		return fmt.Errorf("hfi: expected packet for invalid TID %d", pkt.TIDIdx)
+	idx, gen := UnpackTID(uint64(pkt.TIDIdx))
+	if idx < 0 || idx >= len(ctx.tids) || !ctx.tids[idx].valid || ctx.tids[idx].gen != gen {
+		if n.fab.Lossy() {
+			// A late duplicate of a window that has since been freed (or
+			// freed and reprogrammed): the generation check catches it and
+			// the packet is dropped, like stale RcvArray hits on hardware.
+			n.RxStaleTID++
+			return nil
+		}
+		return fmt.Errorf("hfi: expected packet for invalid TID %d (gen %d)", idx, gen)
 	}
-	ent := ctx.tids[pkt.TIDIdx]
+	ent := ctx.tids[idx]
 	if pkt.TIDOff+pkt.Bytes > ent.ext.Len {
 		return fmt.Errorf("hfi: expected packet overruns TID %d (%d+%d > %d)",
-			pkt.TIDIdx, pkt.TIDOff, pkt.Bytes, ent.ext.Len)
+			idx, pkt.TIDOff, pkt.Bytes, ent.ext.Len)
 	}
 	if pkt.Payload != nil {
 		if err := n.phys.WriteAt(ent.ext.Addr+mem.PhysAddr(pkt.TIDOff), pkt.Payload); err != nil {
 			return fmt.Errorf("hfi: expected DMA write: %w", err)
 		}
+	}
+	if n.fab.Lossy() {
+		// On a lossy fabric a single Last-packet completion is not
+		// trustworthy (the Last packet may be the one that was dropped),
+		// so every TID-placed packet posts a header entry and PSM tracks
+		// window coverage itself.
+		return n.postHdrq(ctx, &HdrqEntry{
+			Type: HdrqTypeExpectedData, SrcRank: pkt.Hdr.SrcRank, Tag: pkt.Hdr.Tag,
+			MsgID: pkt.Hdr.MsgID, MsgLen: pkt.Hdr.MsgLen, Offset: pkt.Hdr.Offset,
+			Op: pkt.Hdr.Op, Aux: pkt.Hdr.Aux, Bytes: pkt.Bytes,
+		})
 	}
 	if pkt.Last {
 		return n.postHdrq(ctx, &HdrqEntry{

@@ -125,7 +125,8 @@ func TestNICExpectedDelivery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := r.nic[1].ProgramTID(0, 5, dst); err != nil {
+	gen, err := r.nic[1].ProgramTID(0, 5, dst)
+	if err != nil {
 		t.Fatal(err)
 	}
 	src, err := r.phys[0].AllocContig(64<<10, mem.DDROnly)
@@ -139,7 +140,7 @@ func TestNICExpectedDelivery(t *testing.T) {
 	reqs, err := BuildExpectedRequests(
 		[]mem.Extent{{Addr: src.Addr, Len: 20 << 10}},
 		r.pr.MaxSDMARequest,
-		[]TIDPair{{Idx: 5, Len: 64 << 10}})
+		[]TIDPair{{Idx: PackTID(5, gen), Len: 64 << 10}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,13 +224,14 @@ func TestNICPIOSizeLimit(t *testing.T) {
 func TestNICTIDManagement(t *testing.T) {
 	r := newNICRig(t)
 	ext := mem.Extent{Addr: 0x1000, Len: 4096}
-	if err := r.nic[0].ProgramTID(0, 5, ext); err != nil {
+	gen1, err := r.nic[0].ProgramTID(0, 5, ext)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := r.nic[0].ProgramTID(0, 5, ext); err == nil {
+	if _, err := r.nic[0].ProgramTID(0, 5, ext); err == nil {
 		t.Fatal("double programming accepted")
 	}
-	if err := r.nic[0].ProgramTID(0, 4096, ext); err == nil {
+	if _, err := r.nic[0].ProgramTID(0, 4096, ext); err == nil {
 		t.Fatal("out-of-range index accepted")
 	}
 	if err := r.nic[0].ClearTID(0, 5); err != nil {
@@ -238,8 +240,20 @@ func TestNICTIDManagement(t *testing.T) {
 	if err := r.nic[0].ClearTID(0, 5); err == nil {
 		t.Fatal("double clear accepted")
 	}
-	if err := r.nic[0].ProgramTID(9, 0, ext); err == nil {
+	if _, err := r.nic[0].ProgramTID(9, 0, ext); err == nil {
 		t.Fatal("unknown context accepted")
+	}
+	// Reprogramming a cleared entry advances its generation, so stale
+	// packed references can never match the new owner.
+	gen2, err := r.nic[0].ProgramTID(0, 5, ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen2 <= gen1 {
+		t.Fatalf("generation did not advance: %d -> %d", gen1, gen2)
+	}
+	if idx, g := UnpackTID(PackTID(5, gen2)); idx != 5 || g != gen2 {
+		t.Fatalf("pack/unpack mismatch: %d/%d", idx, g)
 	}
 }
 

@@ -61,12 +61,13 @@ func AllocAndProgramTIDs(ctx *kernel.Ctx, space *kmem.Space, reg *kstruct.Regist
 			return nil, nil, fmt.Errorf("hfi: RcvArray exhausted on context %d", ctxtID)
 		}
 		setBit(bitmap, idx)
-		if err := nic.ProgramTID(ctxtID, idx, seg); err != nil {
+		gen, err := nic.ProgramTID(ctxtID, idx, seg)
+		if err != nil {
 			rollback()
 			return nil, nil, err
 		}
 		ctx.Spend(pr.TIDProgramCost)
-		pairs = append(pairs, TIDPair{Idx: uint64(idx), Len: seg.Len})
+		pairs = append(pairs, TIDPair{Idx: PackTID(idx, gen), Len: seg.Len})
 		idxExts[idx] = seg
 	}
 	if err := cctx.SetBytes("tid_map", bitmap); err != nil {
@@ -106,7 +107,7 @@ func FreeTIDs(ctx *kernel.Ctx, space *kmem.Space, reg *kstruct.Registry, nic *NI
 		return err
 	}
 	for _, tp := range pairs {
-		idx := int(tp.Idx)
+		idx, _ := UnpackTID(tp.Idx)
 		if !testBit(bitmap, idx) {
 			return fmt.Errorf("hfi: freeing unallocated TID %d on context %d", idx, ctxtID)
 		}

@@ -95,6 +95,23 @@ type Params struct {
 	// application buffer.
 	MemcpyBandwidth float64
 
+	// ---- PSM reliability (active only on a lossy fabric) ----
+
+	// PSMRtoBase is the initial retransmission timeout of a PSM flow.
+	// One-way latency is ~1µs and a full rendezvous window serializes
+	// in ~41µs, so 100µs clears any in-flight burst comfortably.
+	PSMRtoBase time.Duration
+	// PSMRtoMax caps the exponential backoff of the retransmit timer.
+	PSMRtoMax time.Duration
+	// PSMMaxRetries is the retry budget per flow (and per in-flight
+	// message completion timer); exhaustion surfaces a typed error on
+	// the affected requests.
+	PSMMaxRetries int
+	// SDMARetryBudget is how many times the HFI driver resubmits an
+	// SDMA transaction that errored mid-transfer before degrading the
+	// remainder to PIO chunks.
+	SDMARetryBudget int
+
 	// ---- TID / expected receive ----
 
 	// TIDMaxEntryBytes is the maximum contiguous bytes one RcvArray
@@ -226,6 +243,11 @@ func Default() Params {
 		RendezvousWindow:    512 << 10,
 		EagerChunk:          8 << 10,
 		MemcpyBandwidth:     6.0e9,
+
+		PSMRtoBase:      100 * time.Microsecond,
+		PSMRtoMax:       2 * time.Millisecond,
+		PSMMaxRetries:   10,
+		SDMARetryBudget: 2,
 
 		TIDMaxEntryBytes: 256 << 10,
 		TIDProgramCost:   20 * time.Nanosecond,

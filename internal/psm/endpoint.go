@@ -61,6 +61,18 @@ type Endpoint struct {
 
 	// MaxActiveRdv bounds concurrently TID-registered receives.
 	MaxActiveRdv int
+
+	// Reliability state, populated only when the fabric is lossy
+	// (reliable == nic.Lossy()); see reliability.go.
+	reliable      bool
+	txFlows       map[int]*txFlow
+	rxFlows       map[int]*rxFlow
+	msgTimers     map[mtKey]*msgTimer
+	ackOwed       map[int]bool
+	rtCond        *sim.Cond
+	closed        bool
+	completedMsgs map[msgKey]bool
+	completedFIFO []msgKey
 }
 
 type msgKey struct {
@@ -87,6 +99,9 @@ type inbound struct {
 	bound *recvReq
 	// heap buffers chunks of an unexpected message (real mode only).
 	heap []byte
+	// ivs deduplicates byte coverage on a lossy fabric, where an SDMA
+	// original and its PIO replay can overlap.
+	ivs ivSet
 }
 
 type rtsInfo struct {
@@ -99,6 +114,7 @@ type rtsInfo struct {
 type sendReq struct {
 	req       *Request
 	dst       Addr
+	peer      int // destination rank
 	tag       uint64
 	msgid     uint64
 	buf       uproc.VirtAddr
@@ -108,6 +124,11 @@ type sendReq struct {
 	ctsDone   bool
 	// op names the transfer mode for the completion span.
 	op string
+	// needFin gates completion on the receiver's FIN (lossy SDMA
+	// transfers); ctsSeen deduplicates re-CTSed windows.
+	needFin bool
+	finDone bool
+	ctsSeen map[uint64]bool
 }
 
 type sendWindow struct {
@@ -120,6 +141,11 @@ type rdvWindow struct {
 	len  uint64
 	tids []hfi.TIDPair
 	slot int // scratch TID-list slot while registered
+	// Lossy-fabric coverage tracking (per-packet completions) and the
+	// encoded CTS payload retained for re-CTS.
+	ivs        ivSet
+	covered    uint64
+	ctsPayload []byte
 }
 
 type rdvRecv struct {
@@ -197,11 +223,30 @@ func NewEndpoint(p *sim.Proc, os OSOps, rank int, book AddressBook, synthetic bo
 	ep.notify = hwctx.Notify
 	ep.hdrqEntries = uint64(hwctx.HdrqEntries)
 	ep.cqEntries = uint64(hwctx.CQEntries)
+	// On a lossy fabric, enable the reliability protocol and start the
+	// retransmission timer daemon.
+	ep.reliable = ep.nic.Lossy()
+	if ep.reliable {
+		ep.txFlows = make(map[int]*txFlow)
+		ep.rxFlows = make(map[int]*rxFlow)
+		ep.msgTimers = make(map[mtKey]*msgTimer)
+		ep.ackOwed = make(map[int]bool)
+		ep.completedMsgs = make(map[msgKey]bool)
+		ep.rtCond = sim.NewCond(ep.eng)
+		ep.eng.GoDaemon(fmt.Sprintf("psm-rt-rank%d", rank), func(dp *sim.Proc) {
+			ep.runRetransmit(dp)
+		})
+	}
 	return ep, nil
 }
 
-// Close releases the endpoint.
+// Close releases the endpoint. On a lossy fabric the caller should
+// Quiesce first so no retransmission state is abandoned mid-recovery.
 func (ep *Endpoint) Close(p *sim.Proc) error {
+	ep.closed = true
+	if ep.rtCond != nil {
+		ep.rtCond.Broadcast()
+	}
 	if err := ep.OS.Munmap(p, ep.scratchVA); err != nil {
 		return err
 	}

@@ -1,0 +1,46 @@
+package psm
+
+import "testing"
+
+// TestIvSetAdd covers duplicate, partial-overlap, adjacency and
+// empty-interval handling of the coverage tracker.
+func TestIvSetAdd(t *testing.T) {
+	var s ivSet
+	if got := s.add(0, 10); got != 10 {
+		t.Fatalf("first add covered %d, want 10", got)
+	}
+	if got := s.add(0, 10); got != 0 {
+		t.Fatalf("exact duplicate covered %d, want 0", got)
+	}
+	if got := s.add(5, 15); got != 5 {
+		t.Fatalf("partial overlap covered %d, want 5", got)
+	}
+	if got := s.add(20, 30); got != 10 {
+		t.Fatalf("disjoint add covered %d, want 10", got)
+	}
+	if got := s.add(15, 20); got != 5 {
+		t.Fatalf("gap fill covered %d, want 5", got)
+	}
+	if len(s.ivs) != 1 || s.ivs[0] != (iv{lo: 0, hi: 30}) {
+		t.Fatalf("intervals not merged: %+v", s.ivs)
+	}
+	if got := s.add(3, 3); got != 0 {
+		t.Fatalf("empty interval covered %d, want 0", got)
+	}
+}
+
+// TestIvSetOutOfOrder replays a shuffled, overlapping packet arrival and
+// checks the total newly-covered count equals the union size.
+func TestIvSetOutOfOrder(t *testing.T) {
+	var s ivSet
+	total := uint64(0)
+	for _, span := range [][2]uint64{{16, 24}, {0, 8}, {8, 16}, {4, 20}} {
+		total += s.add(span[0], span[1])
+	}
+	if total != 24 {
+		t.Fatalf("total covered %d, want 24", total)
+	}
+	if len(s.ivs) != 1 || s.ivs[0] != (iv{lo: 0, hi: 24}) {
+		t.Fatalf("intervals not merged: %+v", s.ivs)
+	}
+}

@@ -2,6 +2,7 @@ package psm
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/hfi"
 	"repro/internal/sim"
@@ -43,6 +44,23 @@ func (ep *Endpoint) Progress(p *sim.Proc) (bool, error) {
 		}
 		made = true
 	}
+	// Coalesced cumulative ACKs: one per peer that delivered in-order
+	// data during this drain.
+	if ep.reliable && len(ep.ackOwed) > 0 {
+		peers := make([]int, 0, len(ep.ackOwed))
+		for peer := range ep.ackOwed {
+			peers = append(peers, peer)
+		}
+		sort.Ints(peers)
+		for _, peer := range peers {
+			delete(ep.ackOwed, peer)
+			rf := ep.rxFlows[peer]
+			ep.Stats.AcksSent++
+			if err := ep.sendCtl(p, peer, OpAck, uint64(rf.expected-1)); err != nil {
+				return made, err
+			}
+		}
+	}
 	for {
 		head, err := ep.readStatus(hfi.StatusCQHead)
 		if err != nil {
@@ -60,7 +78,7 @@ func (ep *Endpoint) Progress(p *sim.Proc) (bool, error) {
 		if err := ep.writeStatus(hfi.StatusCQTail, ep.cqTail); err != nil {
 			return made, err
 		}
-		if err := ep.onSendComplete(uint32(seq)); err != nil {
+		if err := ep.onSendComplete(seq); err != nil {
 			return made, err
 		}
 		made = true
@@ -80,11 +98,38 @@ func (ep *Endpoint) handleEntry(p *sim.Proc, e *hfi.HdrqEntry) error {
 		return err
 	case hfi.HdrqTypeExpectedDone:
 		return ep.onWindowDone(p, e)
+	case hfi.HdrqTypeExpectedData:
+		return ep.onExpectedData(p, e)
 	}
 	return fmt.Errorf("psm: unknown hdrq entry type %d", e.Type)
 }
 
 func (ep *Endpoint) handleEagerEntry(p *sim.Proc, e *hfi.HdrqEntry) error {
+	// Flow sequencing: accept strictly in order, NAK gaps, re-ACK
+	// duplicates (the retransmit may have raced a lost ACK). ACK/NAK
+	// themselves are unsequenced (PSN 0) and bypass this filter.
+	if ep.reliable && e.PSN != 0 {
+		src := int(e.SrcRank)
+		rf := ep.rxFlowFor(src)
+		switch {
+		case e.PSN == rf.expected:
+			rf.expected++
+			rf.nakSentFor = 0
+			ep.ackOwed[src] = true
+		case e.PSN < rf.expected:
+			ep.ackOwed[src] = true
+			return nil
+		default:
+			if rf.nakSentFor != rf.expected {
+				rf.nakSentFor = rf.expected
+				ep.Stats.NaksSent++
+				if err := ep.sendCtl(p, src, OpNak, uint64(rf.expected)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
 	switch e.Op {
 	case hfi.OpEager:
 		return ep.onEagerChunk(p, e)
@@ -92,6 +137,13 @@ func (ep *Endpoint) handleEagerEntry(p *sim.Proc, e *hfi.HdrqEntry) error {
 		return ep.onRTS(p, e)
 	case OpCTS:
 		return ep.onCTS(p, e)
+	case OpAck:
+		ep.onAck(&ackEntry{peer: int(e.SrcRank), cum: uint32(e.Aux)})
+		return nil
+	case OpNak:
+		return ep.onNak(p, &ackEntry{peer: int(e.SrcRank), cum: uint32(e.Aux)})
+	case OpEagerFin, OpRdvFin:
+		return ep.onFin(e)
 	}
 	return fmt.Errorf("psm: unknown eager opcode %d", e.Op)
 }
@@ -114,6 +166,11 @@ func (ep *Endpoint) slotPayload(e *hfi.HdrqEntry) ([]byte, error) {
 // the copy cost; real PSM does exactly this double-copy dance).
 func (ep *Endpoint) onEagerChunk(p *sim.Proc, e *hfi.HdrqEntry) error {
 	key := msgKey{src: e.SrcRank, msgid: e.MsgID}
+	if ep.reliable && ep.completedMsgs[key] {
+		// Stale chunk of an already-assembled message (a late SDMA
+		// packet racing its own PIO replay).
+		return nil
+	}
 	inb := ep.inflight[key]
 	if inb == nil {
 		inb = &inbound{src: e.SrcRank, tag: e.Tag, msgid: e.MsgID, msglen: e.MsgLen}
@@ -132,6 +189,18 @@ func (ep *Endpoint) onEagerChunk(p *sim.Proc, e *hfi.HdrqEntry) error {
 		}
 		ep.inflight[key] = inb
 	}
+	if ep.reliable {
+		// Byte-interval dedup: an SDMA original and its PIO replay can
+		// overlap; only newly covered bytes count toward assembly (the
+		// writes themselves are idempotent).
+		n := inb.ivs.add(e.Offset, e.Offset+e.Bytes)
+		if n == 0 {
+			return nil
+		}
+		inb.got += n
+	} else {
+		inb.got += e.Bytes
+	}
 	p.Sleep(ep.nic.Params().MemcpyTime(e.Bytes))
 	if !ep.Synthetic && e.Bytes > 0 {
 		payload, err := ep.slotPayload(e)
@@ -146,9 +215,14 @@ func (ep *Endpoint) onEagerChunk(p *sim.Proc, e *hfi.HdrqEntry) error {
 			copy(inb.heap[e.Offset:], payload)
 		}
 	}
-	inb.got += e.Bytes
 	if inb.got >= inb.msglen {
 		delete(ep.inflight, key)
+		if ep.reliable {
+			ep.rememberCompleted(key)
+			if err := ep.maybeSendEagerFin(p, inb); err != nil {
+				return err
+			}
+		}
 		if inb.bound != nil {
 			ep.completeRecv(inb.bound, inb.msglen)
 		} else {
@@ -157,6 +231,24 @@ func (ep *Endpoint) onEagerChunk(p *sim.Proc, e *hfi.HdrqEntry) error {
 		}
 	}
 	return nil
+}
+
+// maybeSendEagerFin acknowledges full assembly of an SDMA-borne eager
+// message back to a remote sender (PIO-only messages are covered by
+// flow ACKs, local ones never touch the fabric).
+func (ep *Endpoint) maybeSendEagerFin(p *sim.Proc, inb *inbound) error {
+	if inb.msglen <= ep.nic.Params().PIOMaxSize {
+		return nil
+	}
+	addr, err := ep.addrOf(int(inb.src))
+	if err != nil {
+		return err
+	}
+	if addr.Node == ep.OS.NodeID() {
+		return nil
+	}
+	fin := ep.header(OpEagerFin, inb.tag, inb.msgid, 0, 0, 0)
+	return ep.sendFlowPkt(p, int(inb.src), addr, fin, nil, ackWireBytes, nil)
 }
 
 // onRTS matches a rendezvous announcement against posted receives.
@@ -175,6 +267,11 @@ func (ep *Endpoint) onRTS(p *sim.Proc, e *hfi.HdrqEntry) error {
 func (ep *Endpoint) onCTS(p *sim.Proc, e *hfi.HdrqEntry) error {
 	sr, ok := ep.sends[e.MsgID]
 	if !ok {
+		if ep.reliable {
+			// A recovery re-CTS can trail a send that already failed
+			// terminally (retry budget); tolerate it.
+			return nil
+		}
 		return fmt.Errorf("psm: CTS for unknown message %#x", e.MsgID)
 	}
 	payload, err := ep.slotPayload(e)
@@ -204,12 +301,25 @@ func (ep *Endpoint) onCTS(p *sim.Proc, e *hfi.HdrqEntry) error {
 	}
 	ep.bySeq[cs] = &sendWindow{send: sr}
 	sr.windows++
+	// A re-CTSed window (receiver-side recovery) submits again but only
+	// counts toward remaining once.
+	if ep.reliable {
+		if sr.ctsSeen == nil {
+			sr.ctsSeen = make(map[uint64]bool)
+		}
+		if sr.ctsSeen[windowOff] {
+			return nil
+		}
+		sr.ctsSeen[windowOff] = true
+	}
 	sr.remaining -= winLen
 	return nil
 }
 
-// onSendComplete retires one CQ completion.
-func (ep *Endpoint) onSendComplete(seq uint32) error {
+// onSendComplete retires one CQ completion. The raw CQ word carries the
+// sequence number in the low half and the error bit above it.
+func (ep *Endpoint) onSendComplete(seqRaw uint64) error {
+	seq := uint32(seqRaw)
 	w, ok := ep.bySeq[seq]
 	if !ok {
 		return fmt.Errorf("psm: rank %d completion for unknown seq %d", ep.Rank, seq)
@@ -217,11 +327,58 @@ func (ep *Endpoint) onSendComplete(seq uint32) error {
 	delete(ep.bySeq, seq)
 	sr := w.send
 	sr.windows--
-	if sr.remaining == 0 && sr.windows == 0 {
-		sr.req.Done = true
+	if seqRaw&hfi.CQErrBit != 0 {
+		// Terminal SDMA failure (driver retry budget exhausted with
+		// degradation disabled): surface a typed error.
+		if !sr.req.Done {
+			sr.req.Err = &SDMAError{Rank: ep.Rank, Seq: seq}
+			sr.req.Done = true
+		}
 		delete(ep.sends, sr.msgid)
-		ep.span(sr.op, sr.req.begin, sr.length)
+		if ep.reliable {
+			ep.cancelMsgTimer(mtKey{msgid: sr.msgid, kind: mtEagerFin})
+		}
+		return nil
 	}
+	ep.maybeCompleteSend(sr)
+	return nil
+}
+
+// onExpectedData processes one TID-placed packet on a lossy fabric:
+// PSM tracks window coverage itself because a single Last-packet
+// completion is not trustworthy when packets can be lost.
+func (ep *Endpoint) onExpectedData(p *sim.Proc, e *hfi.HdrqEntry) error {
+	rdv, ok := ep.rdvRecvs[e.MsgID]
+	if !ok {
+		return nil // stale data for a finished message
+	}
+	w, ok := rdv.windows[e.Aux]
+	if !ok {
+		return nil // stale data for a finished window
+	}
+	n := w.ivs.add(e.Offset, e.Offset+e.Bytes)
+	if n == 0 {
+		return nil
+	}
+	w.covered += n
+	key := mtKey{msgid: e.MsgID, win: e.Aux, kind: mtRdvWindow}
+	ep.touchMsgTimer(key)
+	if w.covered < w.len {
+		return nil
+	}
+	ep.cancelMsgTimer(key)
+	return ep.finishWindow(p, rdv, w)
+}
+
+// onFin completes the lossy-fabric handshake of an SDMA-borne send.
+func (ep *Endpoint) onFin(e *hfi.HdrqEntry) error {
+	sr, ok := ep.sends[e.MsgID]
+	if !ok {
+		return nil // duplicate FIN after completion
+	}
+	sr.finDone = true
+	ep.cancelMsgTimer(mtKey{msgid: e.MsgID, kind: mtEagerFin})
+	ep.maybeCompleteSend(sr)
 	return nil
 }
 

@@ -33,19 +33,17 @@ func (ep *Endpoint) Isend(p *sim.Proc, dst int, tag uint64, buf uproc.VirtAddr, 
 		req.Done = true
 		ep.span("send:local", req.begin, length)
 	case length <= ep.nic.Params().PIOMaxSize:
-		if err := ep.sendPIO(p, a, tag, msgid, buf, length); err != nil {
+		if err := ep.sendPIO(p, dst, a, tag, msgid, buf, length, req); err != nil {
 			return nil, err
 		}
 		ep.Stats.SendsPIO++
-		req.Done = true
-		ep.span("send:pio", req.begin, length)
 	case length <= ep.nic.Params().SDMAThreshold:
-		if err := ep.sendEagerSDMA(p, a, tag, msgid, buf, length, req); err != nil {
+		if err := ep.sendEagerSDMA(p, dst, a, tag, msgid, buf, length, req); err != nil {
 			return nil, err
 		}
 		ep.Stats.SendsEagerSDMA++
 	default:
-		if err := ep.sendRendezvous(p, a, tag, msgid, buf, length, req); err != nil {
+		if err := ep.sendRendezvous(p, dst, a, tag, msgid, buf, length, req); err != nil {
 			return nil, err
 		}
 		ep.Stats.SendsRdv++
@@ -87,8 +85,10 @@ func (ep *Endpoint) sendLocal(p *sim.Proc, a Addr, tag, msgid uint64, buf uproc.
 }
 
 // sendPIO pushes a small message through programmed I/O: user-space
-// stores, no kernel involvement at all.
-func (ep *Endpoint) sendPIO(p *sim.Proc, a Addr, tag, msgid uint64, buf uproc.VirtAddr, length uint64) error {
+// stores, no kernel involvement at all. The request completes when the
+// last chunk is acknowledged — immediately on a loss-free fabric,
+// on cumulative ACK otherwise.
+func (ep *Endpoint) sendPIO(p *sim.Proc, dst int, a Addr, tag, msgid uint64, buf uproc.VirtAddr, length uint64, req *Request) error {
 	chunk := ep.nic.Params().EagerChunk
 	off := uint64(0)
 	for {
@@ -101,7 +101,20 @@ func (ep *Endpoint) sendPIO(p *sim.Proc, a Addr, tag, msgid uint64, buf uproc.Vi
 			return err
 		}
 		hdr := ep.header(hfi.OpEager, tag, msgid, length, off, 0)
-		if err := ep.nic.PIOSend(p, a.Node, a.Ctx, hdr, payload, n); err != nil {
+		var onAcked func(error)
+		if off+n >= length {
+			onAcked = func(err error) {
+				if req.Done {
+					return
+				}
+				req.Err = err
+				req.Done = true
+				if err == nil {
+					ep.span("send:pio", req.begin, length)
+				}
+			}
+		}
+		if err := ep.sendFlowPkt(p, dst, a, hdr, payload, n, onAcked); err != nil {
 			return err
 		}
 		off += n
@@ -125,8 +138,10 @@ func (ep *Endpoint) readPayload(va uproc.VirtAddr, n uint64) ([]byte, error) {
 }
 
 // sendEagerSDMA submits a medium message with a single writev; the
-// payload lands in the receiver's eager ring.
-func (ep *Endpoint) sendEagerSDMA(p *sim.Proc, a Addr, tag, msgid uint64, buf uproc.VirtAddr, length uint64, req *Request) error {
+// payload lands in the receiver's eager ring. On a lossy fabric the
+// send additionally awaits the receiver's FIN, with a recovery timer
+// that replays the message as sequenced PIO chunks.
+func (ep *Endpoint) sendEagerSDMA(p *sim.Proc, dst int, a Addr, tag, msgid uint64, buf uproc.VirtAddr, length uint64, req *Request) error {
 	ep.nextCompSeq++
 	cs := ep.nextCompSeq
 	hdr := &hfi.SDMAHeader{
@@ -137,20 +152,36 @@ func (ep *Endpoint) sendEagerSDMA(p *sim.Proc, a Addr, tag, msgid uint64, buf up
 	if err := ep.writevSDMA(p, hdr, buf, length); err != nil {
 		return err
 	}
-	sr := &sendReq{req: req, dst: a, tag: tag, msgid: msgid, buf: buf,
+	sr := &sendReq{req: req, dst: a, peer: dst, tag: tag, msgid: msgid, buf: buf,
 		length: length, remaining: 0, windows: 1, ctsDone: true,
 		op: "send:eager-sdma"}
 	ep.bySeq[cs] = &sendWindow{send: sr}
+	if ep.reliable {
+		sr.needFin = true
+		ep.sends[msgid] = sr
+		ep.armMsgTimer(mtKey{msgid: msgid, kind: mtEagerFin}, dst,
+			func(tp *sim.Proc) error {
+				ep.Stats.MsgResends++
+				return ep.resendEagerPIO(tp, sr)
+			},
+			func(err error) {
+				if !sr.req.Done {
+					sr.req.Err = err
+					sr.req.Done = true
+				}
+				delete(ep.sends, msgid)
+			})
+	}
 	return nil
 }
 
 // sendRendezvous issues the RTS; the CTS handler drives the SDMA windows.
-func (ep *Endpoint) sendRendezvous(p *sim.Proc, a Addr, tag, msgid uint64, buf uproc.VirtAddr, length uint64, req *Request) error {
-	sr := &sendReq{req: req, dst: a, tag: tag, msgid: msgid, buf: buf,
-		length: length, remaining: length, op: "send:rdv"}
+func (ep *Endpoint) sendRendezvous(p *sim.Proc, dst int, a Addr, tag, msgid uint64, buf uproc.VirtAddr, length uint64, req *Request) error {
+	sr := &sendReq{req: req, dst: a, peer: dst, tag: tag, msgid: msgid, buf: buf,
+		length: length, remaining: length, op: "send:rdv", needFin: ep.reliable}
 	ep.sends[msgid] = sr
 	hdr := ep.header(OpRTS, tag, msgid, length, 0, 0)
-	return ep.nic.PIOSend(p, a.Node, a.Ctx, hdr, nil, 16)
+	return ep.sendFlowPkt(p, dst, a, hdr, nil, 16, nil)
 }
 
 // writevSDMA encodes the header into scratch and performs the writev
@@ -201,7 +232,13 @@ func (ep *Endpoint) Irecv(p *sim.Proc, src int, tag uint64, buf uproc.VirtAddr, 
 			// Copy what already landed in the bounce heap.
 			p.Sleep(ep.nic.Params().MemcpyTime(inb.got))
 			if !ep.Synthetic && inb.got > 0 {
-				if err := ep.proc().WriteAt(rr.buf, inb.heap[:inb.got]); err != nil {
+				landed := inb.heap[:inb.got]
+				if ep.reliable {
+					// Coverage may be non-contiguous on a lossy fabric;
+					// copy the whole heap (gaps are rewritten on arrival).
+					landed = inb.heap
+				}
+				if err := ep.proc().WriteAt(rr.buf, landed); err != nil {
 					return nil, err
 				}
 			}
@@ -352,7 +389,26 @@ func (ep *Endpoint) registerWindow(p *sim.Proc, rdv *rdvRecv) error {
 		return err
 	}
 	hdr := ep.header(OpCTS, rdv.rr.tag, rdv.msgid, winLen, 0, winOff)
-	return ep.nic.PIOSend(p, addr.Node, addr.Ctx, hdr, encodeTIDPairs(pairs), 0)
+	payload := encodeTIDPairs(pairs)
+	if ep.reliable {
+		// Retain the CTS and arm the window's recovery timer: if the
+		// expected data stalls (SDMA packets lost on the wire), the
+		// re-fired CTS makes the sender re-submit this window.
+		w.ctsPayload = payload
+		key := mtKey{msgid: rdv.msgid, win: winOff, kind: mtRdvWindow}
+		ep.armMsgTimer(key, int(rdv.src),
+			func(tp *sim.Proc) error {
+				ep.Stats.MsgResends++
+				return ep.sendFlowPkt(tp, int(rdv.src), addr, hdr, w.ctsPayload, 0, nil)
+			},
+			func(err error) {
+				if !rdv.rr.req.Done {
+					rdv.rr.req.Err = err
+					rdv.rr.req.Done = true
+				}
+			})
+	}
+	return ep.sendFlowPkt(p, int(rdv.src), addr, hdr, payload, 0, nil)
 }
 
 // finishWindow frees a completed window's TIDs, pipelines the next
@@ -386,6 +442,18 @@ func (ep *Endpoint) finishWindow(p *sim.Proc, rdv *rdvRecv, w *rdvWindow) error 
 	delete(ep.rdvRecvs, rdv.msgid)
 	ep.activeRdvs--
 	ep.completeRecv(rdv.rr, rdv.msglen)
+	if ep.reliable {
+		// Sequenced receipt: the sender's request completes only when
+		// this FIN lands (its CQ completions can predate wire delivery).
+		addr, err := ep.addrOf(int(rdv.src))
+		if err != nil {
+			return err
+		}
+		fin := ep.header(OpRdvFin, rdv.rr.tag, rdv.msgid, 0, 0, 0)
+		if err := ep.sendFlowPkt(p, int(rdv.src), addr, fin, nil, ackWireBytes, nil); err != nil {
+			return err
+		}
+	}
 	// Admit a backlogged rendezvous, if any.
 	if len(ep.rdvBacklog) > 0 {
 		rts := ep.rdvBacklog[0]

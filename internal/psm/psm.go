@@ -21,6 +21,7 @@
 package psm
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/hfi"
@@ -33,6 +34,15 @@ import (
 const (
 	OpRTS uint32 = 3 // rendezvous request-to-send
 	OpCTS uint32 = 4 // clear-to-send, payload = TID list for one window
+
+	// Reliability-protocol opcodes, used only on a lossy fabric. ACK and
+	// NAK are unsequenced (PSN 0) so they never recurse into the
+	// reliability machinery; the FINs are sequenced end-of-message
+	// receipts for transfers whose data bypasses flow sequencing (SDMA).
+	OpAck      uint32 = 10 // Aux = cumulative PSN received in order
+	OpNak      uint32 = 11 // Aux = next expected PSN (go-back-N point)
+	OpEagerFin uint32 = 12 // eager-SDMA message fully assembled
+	OpRdvFin   uint32 = 13 // rendezvous message fully placed
 )
 
 // Handle is an opaque open-device handle as returned by the OS
@@ -115,6 +125,42 @@ type Stats struct {
 	Unexpected     uint64
 	Writevs        uint64
 	TIDIoctls      uint64
+
+	// Reliability-protocol counters (all zero on a loss-free fabric).
+	Retransmits uint64 // packets resent by go-back-N
+	Timeouts    uint64 // retransmit-timer expirations
+	AcksSent    uint64
+	NaksSent    uint64
+	MsgResends  uint64 // message-level recoveries (eager replay, re-CTS)
+}
+
+// RetryBudgetError is the typed terminal error surfaced when a flow or
+// message-level retransmit timer exhausts its retry budget
+// (model.Params.PSMMaxRetries): the peer is presumed unreachable.
+type RetryBudgetError struct {
+	Rank    int
+	Peer    int
+	Retries int
+	// What names the abandoned state machine: "flow", "eager-fin" or
+	// "rdv-window".
+	What string
+}
+
+func (e *RetryBudgetError) Error() string {
+	return fmt.Sprintf("psm: rank %d: %s to rank %d dead after %d retries",
+		e.Rank, e.What, e.Peer, e.Retries)
+}
+
+// SDMAError is surfaced on a send request whose SDMA transaction failed
+// terminally in the driver (retry budget exhausted with PIO degradation
+// disabled).
+type SDMAError struct {
+	Rank int
+	Seq  uint32
+}
+
+func (e *SDMAError) Error() string {
+	return fmt.Sprintf("psm: rank %d: SDMA transaction %d failed in hardware", e.Rank, e.Seq)
 }
 
 // RdvWindowDepth is the number of TID windows a rendezvous receive keeps

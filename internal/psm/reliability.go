@@ -1,0 +1,549 @@
+package psm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/hfi"
+	"repro/internal/sim"
+	"repro/internal/uproc"
+)
+
+// This file implements PSM's reliability layer, active only when the
+// fabric injects faults (Endpoint.reliable). It has two tiers:
+//
+//   - Flow sequencing: every PIO-sent protocol packet (eager data
+//     chunks, RTS, CTS, FINs) carries a per-peer sequence number. The
+//     receiver accepts strictly in order, NAKs gaps, and the sender
+//     retransmits go-back-N under an exponentially backed-off timer
+//     with a retry budget (surfaced as RetryBudgetError).
+//   - Message-level recovery for transfers whose data bypasses flow
+//     sequencing because the SDMA engine emits it: an eager-SDMA sender
+//     replays the message as sequenced PIO chunks until the receiver's
+//     FIN arrives; a rendezvous receiver re-CTSes a window whose
+//     expected data stalls (the sender then re-submits that window).
+//
+// On a loss-free fabric none of this state exists and sendFlowPkt
+// degenerates to a plain PIO send, byte-identical to the pre-
+// reliability protocol.
+
+// ackWireBytes is the modeled wire size of ACK/NAK/FIN control packets.
+const ackWireBytes = 8
+
+// completedCap bounds the completed-message dedup set (stale duplicate
+// suppression); a FIFO evicts the oldest entries.
+const completedCap = 1024
+
+// txPkt is one unacknowledged sequenced packet retained for go-back-N
+// retransmission.
+type txPkt struct {
+	psn     uint32
+	hdr     fabric.Header
+	payload []byte
+	bytes   uint64
+}
+
+// txWaiter delivers the acknowledgment (or the flow's terminal error)
+// for the packet with sequence number psn.
+type txWaiter struct {
+	psn uint32
+	fn  func(error)
+}
+
+// txFlow is the go-back-N sender state toward one peer.
+type txFlow struct {
+	peer     int
+	addr     Addr
+	nextPSN  uint32
+	unacked  []txPkt
+	waiters  []txWaiter
+	deadline time.Duration // 0 = timer unarmed
+	rto      time.Duration
+	retries  int
+	failed   error
+	// lastGBN rate-limits NAK-triggered resends: a burst of NAKs from
+	// one loss event triggers one go-back-N round.
+	lastGBN time.Duration
+}
+
+// rxFlow is the receiver-side cumulative sequence state from one peer.
+type rxFlow struct {
+	expected   uint32 // next in-order PSN
+	nakSentFor uint32 // last PSN a NAK was sent for (one NAK per gap)
+}
+
+// mtKind distinguishes message-level recovery timers.
+type mtKind uint8
+
+const (
+	mtEagerFin mtKind = iota
+	mtRdvWindow
+)
+
+type mtKey struct {
+	msgid uint64
+	win   uint64
+	kind  mtKind
+}
+
+// msgTimer is one armed message-level recovery timer.
+type msgTimer struct {
+	key      mtKey
+	deadline time.Duration
+	rto      time.Duration
+	retries  int
+	peer     int
+	fire     func(p *sim.Proc) error
+	fail     func(err error)
+}
+
+// ivSet is a set of disjoint byte intervals [lo, hi), tracking coverage
+// of a buffer when packets may duplicate or arrive out of order.
+type ivSet struct{ ivs []iv }
+
+type iv struct{ lo, hi uint64 }
+
+// add inserts [lo, hi) and returns the number of newly covered bytes.
+func (s *ivSet) add(lo, hi uint64) uint64 {
+	if hi <= lo {
+		return 0
+	}
+	added := hi - lo
+	nlo, nhi := lo, hi
+	keep := s.ivs[:0]
+	for _, v := range s.ivs {
+		if v.hi < lo || v.lo > hi {
+			keep = append(keep, v)
+			continue
+		}
+		// Overlapping or adjacent: absorb into the merged interval and
+		// discount the overlap from the newly covered count.
+		if olo, ohi := maxU64(v.lo, lo), minU64(v.hi, hi); ohi > olo {
+			added -= ohi - olo
+		}
+		if v.lo < nlo {
+			nlo = v.lo
+		}
+		if v.hi > nhi {
+			nhi = v.hi
+		}
+	}
+	keep = append(keep, iv{lo: nlo, hi: nhi})
+	sort.Slice(keep, func(i, j int) bool { return keep[i].lo < keep[j].lo })
+	s.ivs = keep
+	return added
+}
+
+func minU64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// txFlowFor returns (creating on first use) the send flow toward peer.
+func (ep *Endpoint) txFlowFor(peer int, a Addr) *txFlow {
+	fl, ok := ep.txFlows[peer]
+	if !ok {
+		fl = &txFlow{peer: peer, addr: a, rto: ep.nic.Params().PSMRtoBase}
+		ep.txFlows[peer] = fl
+	}
+	return fl
+}
+
+func (ep *Endpoint) rxFlowFor(peer int) *rxFlow {
+	rf, ok := ep.rxFlows[peer]
+	if !ok {
+		rf = &rxFlow{expected: 1}
+		ep.rxFlows[peer] = rf
+	}
+	return rf
+}
+
+// sendFlowPkt transmits one PSM protocol packet toward peer. On a
+// loss-free fabric it is a plain PIO send and onAcked (if any) fires
+// immediately; on a lossy fabric the packet is sequenced, retained for
+// go-back-N retransmission, and onAcked fires when the cumulative ACK
+// covers it — or with the flow's terminal error.
+func (ep *Endpoint) sendFlowPkt(p *sim.Proc, peer int, a Addr, hdr fabric.Header,
+	payload []byte, bytes uint64, onAcked func(error)) error {
+
+	if !ep.reliable {
+		if err := ep.nic.PIOSend(p, a.Node, a.Ctx, hdr, payload, bytes); err != nil {
+			return err
+		}
+		if onAcked != nil {
+			onAcked(nil)
+		}
+		return nil
+	}
+	fl := ep.txFlowFor(peer, a)
+	if fl.failed != nil {
+		return fl.failed
+	}
+	fl.nextPSN++
+	hdr.PSN = fl.nextPSN
+	fl.unacked = append(fl.unacked, txPkt{psn: hdr.PSN, hdr: hdr, payload: payload, bytes: bytes})
+	if onAcked != nil {
+		fl.waiters = append(fl.waiters, txWaiter{psn: hdr.PSN, fn: onAcked})
+	}
+	if fl.deadline == 0 {
+		fl.rto = ep.nic.Params().PSMRtoBase
+		fl.deadline = ep.eng.Now() + fl.rto
+		ep.rtCond.Broadcast()
+	}
+	return ep.nic.PIOSend(p, a.Node, a.Ctx, hdr, payload, bytes)
+}
+
+// sendCtl emits an unsequenced control packet (ACK/NAK) to peer.
+func (ep *Endpoint) sendCtl(p *sim.Proc, peer int, op uint32, aux uint64) error {
+	a, err := ep.addrOf(peer)
+	if err != nil {
+		return err
+	}
+	hdr := ep.header(op, 0, 0, 0, 0, aux)
+	return ep.nic.PIOSend(p, a.Node, a.Ctx, hdr, nil, ackWireBytes)
+}
+
+// onAck retires packets covered by a cumulative acknowledgment.
+func (ep *Endpoint) onAck(e *ackEntry) {
+	fl, ok := ep.txFlows[e.peer]
+	if !ok {
+		return
+	}
+	ep.ackUpTo(fl, e.cum)
+}
+
+// ackEntry is the decoded form of an ACK/NAK header entry.
+type ackEntry struct {
+	peer int
+	cum  uint32
+}
+
+// ackUpTo pops acknowledged packets, fires their waiters and re-arms
+// (or disarms) the flow's retransmit timer.
+func (ep *Endpoint) ackUpTo(fl *txFlow, cum uint32) {
+	n := 0
+	for n < len(fl.unacked) && fl.unacked[n].psn <= cum {
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	fl.unacked = append(fl.unacked[:0:0], fl.unacked[n:]...)
+	w := 0
+	for w < len(fl.waiters) && fl.waiters[w].psn <= cum {
+		fl.waiters[w].fn(nil)
+		w++
+	}
+	fl.waiters = append(fl.waiters[:0:0], fl.waiters[w:]...)
+	// Forward progress: reset the backoff schedule.
+	fl.retries = 0
+	fl.rto = ep.nic.Params().PSMRtoBase
+	if len(fl.unacked) == 0 {
+		fl.deadline = 0
+	} else {
+		fl.deadline = ep.eng.Now() + fl.rto
+	}
+}
+
+// onNak treats the NAK's go-back-N point as a cumulative ack and
+// resends everything outstanding.
+func (ep *Endpoint) onNak(p *sim.Proc, e *ackEntry) error {
+	fl, ok := ep.txFlows[e.peer]
+	if !ok {
+		return nil
+	}
+	if e.cum > 0 {
+		ep.ackUpTo(fl, e.cum-1)
+	}
+	return ep.goBackN(p, fl)
+}
+
+// goBackN resends every unacknowledged packet on the flow, rate-limited
+// so a burst of NAKs from one loss event triggers a single round.
+func (ep *Endpoint) goBackN(p *sim.Proc, fl *txFlow) error {
+	if len(fl.unacked) == 0 || fl.failed != nil {
+		return nil
+	}
+	now := ep.eng.Now()
+	if fl.lastGBN != 0 && now-fl.lastGBN < fl.rto/2 {
+		return nil
+	}
+	fl.lastGBN = now
+	var resent uint64
+	for _, tp := range fl.unacked {
+		ep.Stats.Retransmits++
+		if tp.payload != nil {
+			resent += uint64(len(tp.payload))
+		} else {
+			resent += tp.bytes
+		}
+		if err := ep.nic.PIOSend(p, fl.addr.Node, fl.addr.Ctx, tp.hdr, tp.payload, tp.bytes); err != nil {
+			return err
+		}
+	}
+	ep.span("retransmit", now, resent)
+	fl.deadline = ep.eng.Now() + fl.rto
+	return nil
+}
+
+// armMsgTimer starts a message-level recovery timer.
+func (ep *Endpoint) armMsgTimer(key mtKey, peer int, fire func(*sim.Proc) error, fail func(error)) {
+	mt := &msgTimer{key: key, peer: peer, rto: ep.nic.Params().PSMRtoBase, fire: fire, fail: fail}
+	mt.deadline = ep.eng.Now() + mt.rto
+	ep.msgTimers[key] = mt
+	ep.rtCond.Broadcast()
+}
+
+// touchMsgTimer records forward progress: the backoff schedule restarts.
+func (ep *Endpoint) touchMsgTimer(key mtKey) {
+	if mt, ok := ep.msgTimers[key]; ok {
+		mt.retries = 0
+		mt.rto = ep.nic.Params().PSMRtoBase
+		mt.deadline = ep.eng.Now() + mt.rto
+	}
+}
+
+func (ep *Endpoint) cancelMsgTimer(key mtKey) { delete(ep.msgTimers, key) }
+
+// nextDeadline returns the earliest armed deadline across flows and
+// message timers.
+func (ep *Endpoint) nextDeadline() (time.Duration, bool) {
+	var next time.Duration
+	any := false
+	consider := func(d time.Duration) {
+		if d == 0 {
+			return
+		}
+		if !any || d < next {
+			next = d
+			any = true
+		}
+	}
+	for _, fl := range ep.txFlows {
+		consider(fl.deadline)
+	}
+	for _, mt := range ep.msgTimers {
+		consider(mt.deadline)
+	}
+	return next, any
+}
+
+// runRetransmit is the endpoint's retransmission driver: one daemon
+// that parks until the earliest armed deadline and fires expired timers
+// (go-back-N with exponential backoff for flows, replay/re-CTS for
+// message timers). It blocks on rtCond while nothing is armed, so an
+// idle simulation drains.
+func (ep *Endpoint) runRetransmit(p *sim.Proc) {
+	for {
+		if ep.closed {
+			return
+		}
+		if err := ep.fireTimers(p); err != nil {
+			ep.eng.Fail(fmt.Errorf("psm: rank %d retransmit: %w", ep.Rank, err))
+			return
+		}
+		ep.notify.Broadcast()
+		if ep.closed {
+			return
+		}
+		if next, any := ep.nextDeadline(); any {
+			now := p.Now()
+			if next <= now {
+				continue
+			}
+			// Alarm: wake this daemon exactly at the deadline. Stale
+			// alarms (for timers since retired) wake it spuriously and
+			// it just re-parks.
+			ep.eng.After(next-now, func() { ep.rtCond.Broadcast() })
+		}
+		ep.rtCond.Wait(p)
+	}
+}
+
+// fireTimers fires every expired flow and message timer, in
+// deterministic order.
+func (ep *Endpoint) fireTimers(p *sim.Proc) error {
+	now := p.Now()
+	pr := ep.nic.Params()
+
+	var peers []int
+	for peer, fl := range ep.txFlows {
+		if fl.deadline != 0 && fl.deadline <= now {
+			peers = append(peers, peer)
+		}
+	}
+	sort.Ints(peers)
+	for _, peer := range peers {
+		fl := ep.txFlows[peer]
+		if fl.deadline == 0 || fl.deadline > now {
+			continue
+		}
+		if len(fl.unacked) == 0 {
+			fl.deadline = 0
+			continue
+		}
+		fl.retries++
+		ep.Stats.Timeouts++
+		if fl.retries > pr.PSMMaxRetries {
+			err := &RetryBudgetError{Rank: ep.Rank, Peer: peer, Retries: fl.retries - 1, What: "flow"}
+			fl.failed = err
+			fl.deadline = 0
+			for _, w := range fl.waiters {
+				w.fn(err)
+			}
+			fl.waiters = nil
+			fl.unacked = nil
+			continue
+		}
+		// The backoff span covers the silent wait that just ended.
+		ep.span("backoff", now-fl.rto, 0)
+		fl.lastGBN = 0 // timer-driven rounds are never rate-limited
+		if err := ep.goBackN(p, fl); err != nil {
+			return err
+		}
+		fl.rto *= 2
+		if fl.rto > pr.PSMRtoMax {
+			fl.rto = pr.PSMRtoMax
+		}
+		fl.deadline = p.Now() + fl.rto
+	}
+
+	var keys []mtKey
+	for k, mt := range ep.msgTimers {
+		if mt.deadline <= now {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].msgid != keys[j].msgid {
+			return keys[i].msgid < keys[j].msgid
+		}
+		if keys[i].win != keys[j].win {
+			return keys[i].win < keys[j].win
+		}
+		return keys[i].kind < keys[j].kind
+	})
+	for _, k := range keys {
+		mt, ok := ep.msgTimers[k]
+		if !ok || mt.deadline > now {
+			continue
+		}
+		mt.retries++
+		ep.Stats.Timeouts++
+		if mt.retries > pr.PSMMaxRetries {
+			delete(ep.msgTimers, k)
+			what := "eager-fin"
+			if k.kind == mtRdvWindow {
+				what = "rdv-window"
+			}
+			mt.fail(&RetryBudgetError{Rank: ep.Rank, Peer: mt.peer, Retries: mt.retries - 1, What: what})
+			continue
+		}
+		ep.span("backoff", now-mt.rto, 0)
+		if err := mt.fire(p); err != nil {
+			// A recovery action against an already-dead flow fails the
+			// request, not the simulation.
+			var rbe *RetryBudgetError
+			if errors.As(err, &rbe) {
+				delete(ep.msgTimers, k)
+				mt.fail(err)
+				continue
+			}
+			return err
+		}
+		mt.rto *= 2
+		if mt.rto > pr.PSMRtoMax {
+			mt.rto = pr.PSMRtoMax
+		}
+		mt.deadline = p.Now() + mt.rto
+	}
+	return nil
+}
+
+// maybeCompleteSend finishes a send request once every completion
+// condition holds: all windows CTS'd and retired, and — on a lossy
+// fabric — the receiver's FIN received for SDMA-borne transfers.
+func (ep *Endpoint) maybeCompleteSend(sr *sendReq) {
+	if sr.req.Done {
+		return
+	}
+	if sr.remaining != 0 || sr.windows != 0 {
+		return
+	}
+	if sr.needFin && !sr.finDone {
+		return
+	}
+	sr.req.Done = true
+	delete(ep.sends, sr.msgid)
+	ep.span(sr.op, sr.req.begin, sr.length)
+}
+
+// resendEagerPIO replays a whole eager-SDMA message as sequenced PIO
+// chunks: the SDMA original may have lost packets on the wire, and the
+// flow-level go-back-N then guarantees the replay end to end.
+func (ep *Endpoint) resendEagerPIO(p *sim.Proc, sr *sendReq) error {
+	chunk := ep.nic.Params().EagerChunk
+	for off := uint64(0); off < sr.length; off += chunk {
+		n := sr.length - off
+		if n > chunk {
+			n = chunk
+		}
+		payload, err := ep.readPayload(sr.buf+uproc.VirtAddr(off), n)
+		if err != nil {
+			return err
+		}
+		hdr := ep.header(hfi.OpEager, sr.tag, sr.msgid, sr.length, off, 0)
+		if err := ep.sendFlowPkt(p, sr.peer, sr.dst, hdr, payload, n, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rememberCompleted records a finished eager message so stale duplicate
+// chunks (late SDMA packets racing the FIN) are discarded.
+func (ep *Endpoint) rememberCompleted(key msgKey) {
+	if ep.completedMsgs[key] {
+		return
+	}
+	ep.completedMsgs[key] = true
+	ep.completedFIFO = append(ep.completedFIFO, key)
+	if len(ep.completedFIFO) > completedCap {
+		old := ep.completedFIFO[0]
+		ep.completedFIFO = ep.completedFIFO[1:]
+		delete(ep.completedMsgs, old)
+	}
+}
+
+// FlowsIdle reports whether the endpoint has no unacknowledged
+// sequenced packets and no armed message timers.
+func (ep *Endpoint) FlowsIdle() bool {
+	for _, fl := range ep.txFlows {
+		if len(fl.unacked) > 0 {
+			return false
+		}
+	}
+	return len(ep.msgTimers) == 0
+}
+
+// Quiesce drives progress until this endpoint's flows are idle. Every
+// peer must keep progressing concurrently (acknowledgments only flow
+// while the peer polls), so this is a cooperative drain, not a barrier.
+func (ep *Endpoint) Quiesce(p *sim.Proc) error {
+	if !ep.reliable {
+		return nil
+	}
+	return ep.WaitFor(p, func() bool { return ep.FlowsIdle() })
+}

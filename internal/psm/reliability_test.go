@@ -1,0 +1,319 @@
+package psm_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/fabric"
+	"repro/internal/model"
+	"repro/internal/psm"
+	"repro/internal/sim"
+)
+
+// lossyPair boots a 2-node cluster with the given fault profile and runs
+// body on both ranks.
+func lossyPair(t *testing.T, fp fabric.FaultProfile, body func(p *sim.Proc, rank int, ep *psm.Endpoint)) (*cluster.Cluster, []*psm.Endpoint) {
+	t.Helper()
+	cl, err := cluster.New(cluster.Config{
+		Nodes: 2, OS: cluster.OSLinux, Params: model.Default(), Seed: 21, Faults: fp,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := make([]*psm.Endpoint, 2)
+	book := psm.MapBook{}
+	ready := sim.NewWaitGroup(cl.E)
+	ready.Add(2)
+	for r := 0; r < 2; r++ {
+		r := r
+		osops := cl.Nodes[r].NewRankOS(r)
+		cl.E.Go(fmt.Sprintf("r%d", r), func(p *sim.Proc) {
+			ep, err := psm.NewEndpoint(p, osops, r, book, false)
+			if err != nil {
+				t.Error(err)
+				ready.Done()
+				return
+			}
+			eps[r] = ep
+			book[r] = psm.Addr{Node: osops.NodeID(), Ctx: ep.CtxID}
+			ready.Done()
+			ready.Wait(p)
+			body(p, r, ep)
+		})
+	}
+	if err := cl.E.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	return cl, eps
+}
+
+// pattern generates the deterministic payload for one message.
+func pattern(tag, size uint64) []byte {
+	b := make([]byte, size)
+	for k := range b {
+		b[k] = byte(uint64(k)*2654435761 + tag*97)
+	}
+	return b
+}
+
+type lossyResult struct {
+	stats  [2]psm.Stats
+	fstats fabric.FaultStats
+	now    time.Duration
+}
+
+// runLossyTransfers pushes iters rounds of every size from rank 0 to
+// rank 1 under the profile, verifying each delivered payload against the
+// generator, then drains both endpoints.
+func runLossyTransfers(t *testing.T, fp fabric.FaultProfile, sizes []uint64, iters int) lossyResult {
+	t.Helper()
+	var max uint64
+	for _, s := range sizes {
+		if s > max {
+			max = s
+		}
+	}
+	cl, eps := lossyPair(t, fp, func(p *sim.Proc, rank int, ep *psm.Endpoint) {
+		proc := ep.OS.Proc()
+		buf, err := ep.OS.MmapAnon(p, max)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for it := 0; it < iters; it++ {
+			for si, size := range sizes {
+				tag := uint64(1000 + it*100 + si)
+				if rank == 0 {
+					if err := proc.WriteAt(buf, pattern(tag, size)); err != nil {
+						t.Error(err)
+						return
+					}
+					if err := ep.Send(p, 1, tag, buf, size); err != nil {
+						t.Errorf("send tag %d size %d: %v", tag, size, err)
+						return
+					}
+				} else {
+					if err := ep.Recv(p, 0, tag, buf, size); err != nil {
+						t.Errorf("recv tag %d size %d: %v", tag, size, err)
+						return
+					}
+					got := make([]byte, size)
+					if err := proc.ReadAt(buf, got); err != nil {
+						t.Error(err)
+						return
+					}
+					if !bytes.Equal(got, pattern(tag, size)) {
+						t.Errorf("payload mismatch: tag %d size %d", tag, size)
+						return
+					}
+				}
+			}
+		}
+		// Closing pong keeps both ranks progressing while the final
+		// ACK/FIN exchange drains.
+		if rank == 0 {
+			if err := ep.Recv(p, 1, 9999, buf, 16); err != nil {
+				t.Error(err)
+			}
+		} else {
+			if err := ep.Send(p, 0, 9999, buf, 16); err != nil {
+				t.Error(err)
+			}
+		}
+		if err := ep.Quiesce(p); err != nil {
+			t.Error(err)
+		}
+	})
+	res := lossyResult{fstats: cl.Fab.FaultStats(), now: cl.E.Now()}
+	for i, ep := range eps {
+		if ep != nil {
+			res.stats[i] = ep.Stats
+		}
+	}
+	return res
+}
+
+// TestLossyByteIdentity drives every transfer mode (single-chunk PIO,
+// multi-chunk PIO, eager SDMA, rendezvous) over a fabric that drops,
+// duplicates and reorders, and requires byte-identical delivery.
+func TestLossyByteIdentity(t *testing.T) {
+	fp := fabric.FaultProfile{
+		LinkFaults: fabric.LinkFaults{
+			Drop: 0.05, Dup: 0.02, Reorder: 0.1, ReorderDelay: 2 * time.Microsecond,
+		},
+		Seed: 77,
+	}
+	sizes := []uint64{2 << 10, 12 << 10, 32 << 10, 200 << 10}
+	res := runLossyTransfers(t, fp, sizes, 3)
+	recovered := res.stats[0].Retransmits + res.stats[0].Timeouts + res.stats[0].MsgResends +
+		res.stats[1].Retransmits + res.stats[1].Timeouts + res.stats[1].MsgResends +
+		res.stats[1].NaksSent
+	if res.fstats.Dropped == 0 {
+		t.Fatalf("fabric injected no drops: %+v", res.fstats)
+	}
+	if recovered == 0 {
+		t.Fatalf("no recovery activity despite loss: %+v", res.stats)
+	}
+	if res.stats[1].AcksSent == 0 {
+		t.Fatal("receiver sent no ACKs")
+	}
+}
+
+// TestLossyDeterminism: the same seed must replay the identical fault
+// pattern, recovery schedule and final virtual time.
+func TestLossyDeterminism(t *testing.T) {
+	fp := fabric.FaultProfile{
+		LinkFaults: fabric.LinkFaults{Drop: 0.03, Dup: 0.03, Reorder: 0.05, ReorderDelay: time.Microsecond},
+		Seed:       123,
+	}
+	sizes := []uint64{4 << 10, 32 << 10, 150 << 10}
+	a := runLossyTransfers(t, fp, sizes, 2)
+	b := runLossyTransfers(t, fp, sizes, 2)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same-seed reruns diverged:\n  a = %+v\n  b = %+v", a, b)
+	}
+}
+
+// TestDupHeavyNoDuplicateDelivery floods the link with duplicates and
+// reordering: every message must still be delivered exactly once.
+func TestDupHeavyNoDuplicateDelivery(t *testing.T) {
+	fp := fabric.FaultProfile{
+		LinkFaults: fabric.LinkFaults{
+			Drop: 0.1, Dup: 0.5, Reorder: 0.2, ReorderDelay: 2 * time.Microsecond,
+		},
+		Seed: 31,
+	}
+	sizes := []uint64{1 << 10, 1 << 10, 1 << 10, 32 << 10, 200 << 10}
+	res := runLossyTransfers(t, fp, sizes, 2)
+	wantRecvs := uint64(len(sizes)*2) + 0 // 2 iters of each size
+	if res.stats[1].Recvs != wantRecvs {
+		t.Fatalf("receiver completed %d receives, want %d", res.stats[1].Recvs, wantRecvs)
+	}
+	if res.fstats.Duplicated == 0 {
+		t.Fatalf("fabric injected no duplicates: %+v", res.fstats)
+	}
+}
+
+// TestRetransmitBackoffSchedule black-holes every packet and checks the
+// exact exponential-backoff schedule against the virtual clock: the flow
+// must fail after PSMMaxRetries go-back-N rounds, with the waits
+// doubling from PSMRtoBase and capping at PSMRtoMax.
+func TestRetransmitBackoffSchedule(t *testing.T) {
+	fp := fabric.FaultProfile{LinkFaults: fabric.LinkFaults{Drop: 1}, Seed: 5}
+	pr := model.Default()
+	// Expected silent waits: one per expiration, the last of which
+	// exhausts the budget.
+	want := time.Duration(0)
+	rto := pr.PSMRtoBase
+	for i := 0; i <= pr.PSMMaxRetries; i++ {
+		want += rto
+		rto *= 2
+		if rto > pr.PSMRtoMax {
+			rto = pr.PSMRtoMax
+		}
+	}
+	_, eps := lossyPair(t, fp, func(p *sim.Proc, rank int, ep *psm.Endpoint) {
+		if rank != 0 {
+			return
+		}
+		buf, err := ep.OS.MmapAnon(p, 4096)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		t0 := p.Now()
+		err = ep.Send(p, 1, 1, buf, 1024)
+		var rbe *psm.RetryBudgetError
+		if !errors.As(err, &rbe) {
+			t.Errorf("send error = %v, want *RetryBudgetError", err)
+			return
+		}
+		if rbe.What != "flow" || rbe.Peer != 1 || rbe.Retries != pr.PSMMaxRetries {
+			t.Errorf("error detail = %+v", rbe)
+		}
+		elapsed := p.Now() - t0
+		if elapsed < want || elapsed > want+500*time.Microsecond {
+			t.Errorf("flow died after %v, want backoff schedule sum %v", elapsed, want)
+		}
+		// A dead flow rejects immediately, without a fresh budget.
+		t1 := p.Now()
+		if err := ep.Send(p, 1, 2, buf, 1024); !errors.As(err, &rbe) {
+			t.Errorf("second send error = %v, want *RetryBudgetError", err)
+		}
+		if d := p.Now() - t1; d > 50*time.Microsecond {
+			t.Errorf("second send blocked %v on a dead flow", d)
+		}
+	})
+	s := eps[0].Stats
+	if s.Timeouts != uint64(pr.PSMMaxRetries)+1 {
+		t.Errorf("timeouts = %d, want %d", s.Timeouts, pr.PSMMaxRetries+1)
+	}
+	if s.Retransmits != uint64(pr.PSMMaxRetries) {
+		t.Errorf("retransmits = %d, want %d", s.Retransmits, pr.PSMMaxRetries)
+	}
+}
+
+// TestEagerSDMABlackholeFails: an eager-SDMA send toward a one-way
+// black hole (data and PIO replays all lost, reverse path fine) must
+// surface a typed retry-budget error rather than hang or kill the sim.
+func TestEagerSDMABlackholeFails(t *testing.T) {
+	fp := fabric.FaultProfile{
+		PerLink: map[fabric.LinkID]fabric.LinkFaults{
+			{Src: 0, Dst: 1}: {Drop: 1},
+		},
+		Seed: 11,
+	}
+	lossyPair(t, fp, func(p *sim.Proc, rank int, ep *psm.Endpoint) {
+		if rank != 0 {
+			return
+		}
+		buf, err := ep.OS.MmapAnon(p, 32<<10)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		err = ep.Send(p, 1, 7, buf, 32<<10)
+		var rbe *psm.RetryBudgetError
+		if !errors.As(err, &rbe) {
+			t.Errorf("send error = %v, want *RetryBudgetError", err)
+		}
+	})
+}
+
+// TestSDMAErrorSurfaced: with degradation disabled, an SDMA transaction
+// that exhausts the driver's retry budget surfaces as a typed SDMAError
+// on the send request via the CQ error completion.
+func TestSDMAErrorSurfaced(t *testing.T) {
+	fp := fabric.FaultProfile{SDMAErr: 1, SDMANoDegrade: true, Seed: 3}
+	lossyPair(t, fp, func(p *sim.Proc, rank int, ep *psm.Endpoint) {
+		if rank != 0 {
+			return
+		}
+		buf, err := ep.OS.MmapAnon(p, 32<<10)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		err = ep.Send(p, 1, 4, buf, 32<<10)
+		var se *psm.SDMAError
+		if !errors.As(err, &se) {
+			t.Errorf("send error = %v, want *SDMAError", err)
+		}
+	})
+}
+
+// TestSDMADegradeDelivers: with degradation enabled, aborted SDMA
+// transactions fall back to driver PIO chunks and the payload still
+// arrives byte-identical, for both eager SDMA and rendezvous.
+func TestSDMADegradeDelivers(t *testing.T) {
+	fp := fabric.FaultProfile{SDMAErr: 0.6, Seed: 9}
+	res := runLossyTransfers(t, fp, []uint64{32 << 10, 200 << 10}, 2)
+	if res.stats[0].SendsEagerSDMA != 2 || res.stats[0].SendsRdv != 2 {
+		t.Fatalf("unexpected send mix: %+v", res.stats[0])
+	}
+}

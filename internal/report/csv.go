@@ -81,6 +81,28 @@ func VerbsCSV(rows []experiments.VerbsRow) string {
 	return b.String()
 }
 
+// ReliabilityCSV renders the lossy-fabric sweep as one row per (loss
+// rate, size) with per-OS goodput, latency percentiles (microseconds)
+// and retransmit counts.
+func ReliabilityCSV(rows []experiments.ReliabilityRow) string {
+	var b strings.Builder
+	b.WriteString("loss,bytes,reps,linux_mbps,mckernel_mbps,mckernel_hfi_mbps," +
+		"linux_p50_us,linux_p99_us,mckernel_p50_us,mckernel_p99_us," +
+		"mckernel_hfi_p50_us,mckernel_hfi_p99_us," +
+		"linux_retransmits,mckernel_retransmits,mckernel_hfi_retransmits\n")
+	us := func(d time.Duration) float64 { return float64(d) / 1e3 }
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%g,%d,%d,%.1f,%.1f,%.1f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%d,%d,%d\n",
+			r.Loss, r.Size, r.Reps,
+			r.Goodput["Linux"], r.Goodput["McKernel"], r.Goodput["McKernel+HFI1"],
+			us(r.OneWayP50["Linux"]), us(r.OneWayP99["Linux"]),
+			us(r.OneWayP50["McKernel"]), us(r.OneWayP99["McKernel"]),
+			us(r.OneWayP50["McKernel+HFI1"]), us(r.OneWayP99["McKernel+HFI1"]),
+			r.Retransmits["Linux"], r.Retransmits["McKernel"], r.Retransmits["McKernel+HFI1"])
+	}
+	return b.String()
+}
+
 // BreakdownCSV renders a syscall-share pair.
 func BreakdownCSV(orig, pico experiments.Breakdown) string {
 	var b strings.Builder

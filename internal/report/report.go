@@ -144,6 +144,37 @@ func VerbsTable(rows []experiments.VerbsRow) string {
 	return b.String()
 }
 
+// ReliabilityTable renders the lossy-fabric sweep: per (loss rate,
+// size), the goodput and one-way latency percentiles under each OS
+// configuration, with the recovery (retransmission) counts that bought
+// the byte-identical delivery.
+func ReliabilityTable(rows []experiments.ReliabilityRow) string {
+	var b strings.Builder
+	b.WriteString("Reliability: goodput (MB/s), one-way p50/p99 (µs) and retransmits vs loss rate\n")
+	fmt.Fprintf(&b, "%-7s %-8s %5s %9s %9s %9s %15s %15s %15s %7s %7s %7s\n",
+		"loss", "size", "reps", "Lin MB/s", "McK MB/s", "HFI MB/s",
+		"Lin p50/p99", "McK p50/p99", "HFI p50/p99",
+		"Lin rt", "McK rt", "HFI rt")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-7s %-8s %5d %9.1f %9.1f %9.1f %15s %15s %15s %7d %7d %7d\n",
+			lossLabel(r.Loss), sizeLabel(r.Size), r.Reps,
+			r.Goodput["Linux"], r.Goodput["McKernel"], r.Goodput["McKernel+HFI1"],
+			pctPair(r.OneWayP50["Linux"], r.OneWayP99["Linux"]),
+			pctPair(r.OneWayP50["McKernel"], r.OneWayP99["McKernel"]),
+			pctPair(r.OneWayP50["McKernel+HFI1"], r.OneWayP99["McKernel+HFI1"]),
+			r.Retransmits["Linux"], r.Retransmits["McKernel"], r.Retransmits["McKernel+HFI1"])
+	}
+	return b.String()
+}
+
+// lossLabel renders a drop probability as a percentage.
+func lossLabel(loss float64) string {
+	if loss == 0 {
+		return "0%"
+	}
+	return fmt.Sprintf("%.2g%%", 100*loss)
+}
+
 // BreakdownTable renders a Figures 8/9 pair: the per-syscall kernel-time
 // shares under the original McKernel and under McKernel+HFI, plus the
 // headline ratio of total kernel time.

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/fabric"
 	"repro/internal/mlx"
 	"repro/internal/psm"
 	"repro/internal/sim"
@@ -26,6 +27,9 @@ type Report struct {
 	// Spans is the number of trace spans the run's recorder captured;
 	// the serialized trace is folded into Digest.
 	Spans int
+	// Faults counts the faults the fabric injected during the run (all
+	// zero unless the workload's FaultPlan carries a profile).
+	Faults fabric.FaultStats
 }
 
 // Repro is the single-seed repro command printed with every failure.
@@ -93,6 +97,7 @@ func run(w Workload, splitAt time.Duration) (*Report, error) {
 		Params:         w.params(),
 		Seed:           w.Seed,
 		LinuxHugePages: w.LargePages,
+		Faults:         w.Faults.Profile,
 	})
 	if err != nil {
 		return nil, err
@@ -116,6 +121,7 @@ func run(w Workload, splitAt time.Duration) (*Report, error) {
 	done := sim.NewWaitGroup(cl.E)
 	done.Add(ranks)
 	descs := make([]rmaDesc, ranks)
+	idle := new(int)
 	for r := 0; r < ranks; r++ {
 		r := r
 		node := cl.Nodes[r/w.RanksPerNode]
@@ -123,7 +129,7 @@ func run(w Workload, splitAt time.Duration) (*Report, error) {
 			if w.RMA {
 				rankErr[r] = runRankRMA(p, w, node, r, descs, ready, done, sums)
 			} else {
-				rankErr[r] = runRank(p, w, node, r, book, eps, ready, done, sums)
+				rankErr[r] = runRank(p, w, node, r, book, eps, ready, done, idle, sums)
 			}
 		})
 	}
@@ -192,6 +198,7 @@ func run(w Workload, splitAt time.Duration) (*Report, error) {
 		VirtualTime: cl.E.Now(),
 		Messages:    len(w.Msgs),
 		Spans:       len(rec.Spans()),
+		Faults:      cl.Fab.FaultStats(),
 	}, nil
 }
 
@@ -203,10 +210,12 @@ func run(w Workload, splitAt time.Duration) (*Report, error) {
 func traceDigest(cl *cluster.Cluster, eps []*psm.Endpoint, sums [][]byte, rec *trace.Recorder) string {
 	h := sha256.New()
 	fmt.Fprintf(h, "vt=%d\n", cl.E.Now())
+	fmt.Fprintf(h, "faults %+v\n", cl.Fab.FaultStats())
 	for _, n := range cl.Nodes {
-		fmt.Fprintf(h, "node%d rx=%d sdma=%d full=%d irq=%d tx=%d tidp=%d tidc=%d\n",
+		fmt.Fprintf(h, "node%d rx=%d sdma=%d full=%d irq=%d tx=%d tidp=%d tidc=%d crc=%d stale=%d sdmaerr=%d\n",
 			n.ID, n.NIC.RxPackets, n.NIC.SDMARequests, n.NIC.SDMAFullSize,
-			n.NIC.IRQsRaised, n.NIC.TxBytes(), n.NIC.TIDProgramOps, n.NIC.TIDClearOps)
+			n.NIC.IRQsRaised, n.NIC.TxBytes(), n.NIC.TIDProgramOps, n.NIC.TIDClearOps,
+			n.NIC.RxCorrupt, n.NIC.RxStaleTID, n.NIC.SDMAErrors)
 		fmt.Fprintf(h, "node%d rnic db=%d wqe=%d dma=%d cqe=%d err=%d rx=%d\n",
 			n.ID, n.RNIC.Doorbells, n.RNIC.WQEs, n.RNIC.DMAChunks,
 			n.RNIC.CQEs, n.RNIC.ErrCQEs, n.RNIC.RxPackets)
@@ -228,7 +237,7 @@ func traceDigest(cl *cluster.Cluster, eps []*psm.Endpoint, sums [][]byte, rec *t
 // the cell's order mode, verify every received payload byte-for-byte,
 // then tear everything down.
 func runRank(p *sim.Proc, w Workload, node *cluster.Node, r int,
-	book psm.MapBook, eps []*psm.Endpoint, ready, done *sim.WaitGroup, sums [][]byte) error {
+	book psm.MapBook, eps []*psm.Endpoint, ready, done *sim.WaitGroup, idle *int, sums [][]byte) error {
 	last := p.Now()
 	mono := func(stage string) error {
 		now := p.Now()
@@ -367,6 +376,35 @@ func runRank(p *sim.Proc, w Workload, node *cluster.Node, r int,
 	}
 	done.Done()
 	done.Wait(p)
+
+	// Lossy-fabric drain: each rank first quiesces its own flows (every
+	// sequenced packet acknowledged, no armed recovery timers), then
+	// keeps polling until every rank is idle — acknowledgments only flow
+	// while the peer progresses — and finally progresses through a grace
+	// window sized to the worst-case in-flight delay, so stray duplicates
+	// and reordered packets land while the context is still alive (the
+	// harness asserts RxDropped == 0 even on a lossy fabric).
+	if err := ep.Quiesce(p); err != nil {
+		return err
+	}
+	*idle++
+	for *idle < w.Nodes*w.RanksPerNode {
+		if _, err := ep.Progress(p); err != nil {
+			return err
+		}
+		p.Sleep(time.Microsecond)
+	}
+	if w.Faults.Profile.Active() {
+		pr := node.NIC.Params()
+		grace := 4 * (pr.LinkLatency + pr.LinkJitter + w.Faults.maxReorderDelay() + 10*time.Microsecond)
+		deadline := p.Now() + grace
+		for p.Now() < deadline {
+			if _, err := ep.Progress(p); err != nil {
+				return err
+			}
+			p.Sleep(time.Microsecond)
+		}
+	}
 
 	for _, i := range sends {
 		if err := osops.Munmap(p, bufs[i]); err != nil {

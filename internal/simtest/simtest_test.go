@@ -44,6 +44,16 @@ func TestSimHarness(t *testing.T) {
 				runCell(t, cell)
 			})
 		}
+		// Lossy cells: the same battery over a fabric that drops,
+		// corrupts, duplicates and reorders packets; the reliability
+		// layer must still deliver byte-identical payloads.
+		for i := 0; i < (*cellsFlag+2)/3; i++ {
+			cell := fmt.Sprintf("%s/lossy/%d", osType, i)
+			t.Run(cell, func(t *testing.T) {
+				t.Parallel()
+				runCell(t, cell)
+			})
+		}
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/fabric"
 	"repro/internal/model"
 	"repro/internal/runner"
 )
@@ -82,18 +83,48 @@ type Workload struct {
 	// always contiguous).
 	LargePages bool
 
-	// Model perturbations (zero = model default).
+	// RendezvousWindow overrides the PSM TID window size (zero = model
+	// default).
 	RendezvousWindow uint64
-	LinkJitter       time.Duration
-	SDMAQueueDepth   int
 
-	// Ring/TID scarcity injection (zero = hardware default geometry).
+	// Faults gathers every fault-injection knob of the workload.
+	Faults FaultPlan
+
+	Msgs []Msg
+}
+
+// FaultPlan is the single fault-injection configuration of a workload:
+// hardware scarcity (ring geometry, RcvArray size, SDMA backpressure),
+// deterministic fabric jitter, and the fabric fault profile (loss,
+// duplication, reordering, outages, SDMA aborts). The zero value
+// injects nothing.
+type FaultPlan struct {
+	// Ring/TID scarcity (zero = hardware default geometry).
 	EagerSlots  int
 	HdrqEntries int
 	CQEntries   int
 	TIDs        int
+	// SDMAQueueDepth bounds each SDMA engine's pending-transaction
+	// queue, forcing descriptor-ring backpressure.
+	SDMAQueueDepth int
+	// LinkJitter adds a deterministic pseudo-random delivery delay in
+	// [0, LinkJitter) to every fabric packet.
+	LinkJitter time.Duration
+	// Profile configures lossy-fabric injection; a non-zero profile
+	// activates PSM's reliability protocol.
+	Profile fabric.FaultProfile
+}
 
-	Msgs []Msg
+// maxReorderDelay returns the largest reorder delay any link of the
+// profile can add (the harness sizes its drain grace window from it).
+func (fp FaultPlan) maxReorderDelay() time.Duration {
+	d := fp.Profile.ReorderDelay
+	for _, lf := range fp.Profile.PerLink {
+		if lf.ReorderDelay > d {
+			d = lf.ReorderDelay
+		}
+	}
+	return d
 }
 
 // sizeClasses straddle every protocol threshold: the PIO limit (16K),
@@ -156,6 +187,9 @@ func Generate(base int64, cell string) (Workload, error) {
 	if strings.Contains(cell, "/rma/") {
 		return generateRMA(w), nil
 	}
+	if strings.Contains(cell, "/lossy/") {
+		return generateLossy(w), nil
+	}
 	rng := rand.New(rand.NewSource(w.Seed))
 	w.Nodes = 1 + rng.Intn(3)
 	w.RanksPerNode = 1 + rng.Intn(3)
@@ -168,10 +202,10 @@ func Generate(base int64, cell string) (Workload, error) {
 		w.RendezvousWindow = 128 << 10
 	}
 	if rng.Intn(3) == 0 {
-		w.LinkJitter = time.Duration(1+rng.Intn(2000)) * time.Nanosecond
+		w.Faults.LinkJitter = time.Duration(1+rng.Intn(2000)) * time.Nanosecond
 	}
 	if rng.Intn(3) == 0 {
-		w.SDMAQueueDepth = 1 + rng.Intn(4)
+		w.Faults.SDMAQueueDepth = 1 + rng.Intn(4)
 	}
 
 	ranks := w.Nodes * w.RanksPerNode
@@ -216,7 +250,7 @@ func generateRMA(w Workload) Workload {
 	w.RanksPerNode = 1 + rng.Intn(2)
 	w.LargePages = rng.Intn(2) == 0
 	if rng.Intn(3) == 0 {
-		w.LinkJitter = time.Duration(1+rng.Intn(2000)) * time.Nanosecond
+		w.Faults.LinkJitter = time.Duration(1+rng.Intn(2000)) * time.Nanosecond
 	}
 	ranks := w.Nodes * w.RanksPerNode
 	nmsg := 3 + rng.Intn(6)
@@ -235,6 +269,51 @@ func generateRMA(w Workload) Workload {
 	return w
 }
 
+// generateLossy builds a lossy-fabric cell: the same randomized
+// point-to-point traffic as a plain cell, but over a fabric that drops,
+// corrupts, duplicates and reorders packets (and sometimes aborts SDMA
+// transactions), so PSM's reliability protocol carries the workload.
+// Ring tightening is skipped: a lossy rendezvous posts one header-queue
+// entry per expected packet instead of one per window, so the plain
+// cells' occupancy bound does not apply.
+func generateLossy(w Workload) Workload {
+	rng := rand.New(rand.NewSource(w.Seed))
+	w.Nodes = 2 + rng.Intn(2)
+	w.RanksPerNode = 1 + rng.Intn(2)
+	w.Order = OrderMode(rng.Intn(int(orderModes)))
+	w.LargePages = rng.Intn(2) == 0
+	if rng.Intn(2) == 0 {
+		w.RendezvousWindow = 128 << 10
+	}
+	w.Faults.Profile = fabric.FaultProfile{
+		LinkFaults: fabric.LinkFaults{
+			Drop:         0.005 + 0.045*rng.Float64(),
+			Corrupt:      0.02 * rng.Float64(),
+			Dup:          0.05 * rng.Float64(),
+			Reorder:      0.1 * rng.Float64(),
+			ReorderDelay: time.Duration(1+rng.Intn(3000)) * time.Nanosecond,
+		},
+	}
+	if rng.Intn(3) == 0 {
+		w.Faults.Profile.SDMAErr = 0.3 * rng.Float64()
+	}
+	ranks := w.Nodes * w.RanksPerNode
+	nmsg := 4 + rng.Intn(7)
+	for i := 0; i < nmsg; i++ {
+		src := rng.Intn(ranks)
+		dst := rng.Intn(ranks - 1)
+		if dst >= src {
+			dst++
+		}
+		w.Msgs = append(w.Msgs, Msg{
+			Src: src, Dst: dst,
+			Tag:  uint64(100 + i),
+			Size: sizeClasses[rng.Intn(len(sizeClasses))],
+		})
+	}
+	return w
+}
+
 // generateTIDFault builds the deliberate RcvArray-exhaustion scenario:
 // two nodes, one rank each, a rendezvous-sized message, and a context
 // limited to 8 TIDs. On Linux (scattered 4K frames) a 300K window
@@ -243,7 +322,7 @@ func generateRMA(w Workload) Workload {
 func generateTIDFault(w Workload) Workload {
 	w.Nodes, w.RanksPerNode = 2, 1
 	w.Order = OrderInOrder
-	w.TIDs = 8
+	w.Faults.TIDs = 8
 	w.Msgs = []Msg{
 		{Src: 0, Dst: 1, Tag: 100, Size: 4096},
 		{Src: 0, Dst: 1, Tag: 101, Size: 300 << 10},
@@ -299,9 +378,9 @@ func (w *Workload) tightenRings() {
 		}
 		return m
 	}
-	w.EagerSlots = maxOf(eager, 8) + 8
-	w.HdrqEntries = maxOf(hdrq, 16) + 16
-	w.CQEntries = maxOf(cq, 4) + 4
+	w.Faults.EagerSlots = maxOf(eager, 8) + 8
+	w.Faults.HdrqEntries = maxOf(hdrq, 16) + 16
+	w.Faults.CQEntries = maxOf(cq, 4) + 4
 }
 
 // params renders the workload's perturbations onto the model defaults.
@@ -310,12 +389,12 @@ func (w Workload) params() model.Params {
 	if w.RendezvousWindow > 0 {
 		pr.RendezvousWindow = w.RendezvousWindow
 	}
-	pr.LinkJitter = w.LinkJitter
-	pr.SDMAQueueDepth = w.SDMAQueueDepth
-	pr.EagerSlots = w.EagerSlots
-	pr.HdrqEntries = w.HdrqEntries
-	pr.CQEntries = w.CQEntries
-	pr.TIDsPerContext = w.TIDs
+	pr.LinkJitter = w.Faults.LinkJitter
+	pr.SDMAQueueDepth = w.Faults.SDMAQueueDepth
+	pr.EagerSlots = w.Faults.EagerSlots
+	pr.HdrqEntries = w.Faults.HdrqEntries
+	pr.CQEntries = w.Faults.CQEntries
+	pr.TIDsPerContext = w.Faults.TIDs
 	return pr
 }
 
@@ -325,6 +404,11 @@ func (w Workload) Summary() string {
 	for _, m := range w.Msgs {
 		bytes += m.Size
 	}
-	return fmt.Sprintf("cell=%s seed=%d os=%s nodes=%d ranks/node=%d order=%s msgs=%d bytes=%d",
+	s := fmt.Sprintf("cell=%s seed=%d os=%s nodes=%d ranks/node=%d order=%s msgs=%d bytes=%d",
 		w.Cell, w.Base, w.OS, w.Nodes, w.RanksPerNode, w.Order, len(w.Msgs), bytes)
+	if w.Faults.Profile.Active() {
+		s += fmt.Sprintf(" lossy(drop=%.3f dup=%.3f reorder=%.3f sdmaerr=%.3f)",
+			w.Faults.Profile.Drop, w.Faults.Profile.Dup, w.Faults.Profile.Reorder, w.Faults.Profile.SDMAErr)
+	}
+	return s
 }

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 	"time"
 )
@@ -90,17 +91,23 @@ func (h *Histogram) Min() time.Duration { return h.min }
 // Max returns the largest sample (zero when empty).
 func (h *Histogram) Max() time.Duration { return h.max }
 
-// Quantile returns the q-quantile (0 < q <= 1) as the upper bound of
-// the bucket holding the rank-ceil(q*n) sample, clamped to Max. Zero
-// when empty.
+// Quantile returns the q-quantile as the upper bound of the bucket
+// holding the rank-ceil(q*n) sample, clamped to Max. Zero when empty;
+// q <= 0 yields Min and q >= 1 yields Max.
 func (h *Histogram) Quantile(q float64) time.Duration {
 	if h.n == 0 {
 		return 0
 	}
-	rank := uint64(q * float64(h.n))
-	if float64(rank) < q*float64(h.n) {
-		rank++
+	if q <= 0 {
+		return h.min
 	}
+	if q >= 1 {
+		return h.max
+	}
+	// rank = ceil(q*n), with an epsilon so float rounding in the product
+	// cannot push the rank across an integer boundary (0.55*100 is
+	// 55.00000000000001 and must select rank 55, not 56).
+	rank := uint64(math.Ceil(q*float64(h.n) - 1e-9))
 	if rank < 1 {
 		rank = 1
 	}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/fabric"
 	"repro/internal/mlx"
 	"repro/internal/model"
 	"repro/internal/sim"
@@ -472,5 +473,49 @@ func TestReleaseTeardown(t *testing.T) {
 	}
 	if n.RNIC.KeysLive() != 0 {
 		t.Errorf("KeysLive = %d after close", n.RNIC.KeysLive())
+	}
+}
+
+// TestRDMAImmuneToFabricFaults pins the fault model's RDMA exemption:
+// verbs traffic models a hardware-reliable HCA whose link-level retry
+// sits below the simulation, so even a heavily lossy fault profile
+// applied to the InfiniBand fabric must inject nothing into KindRDMA
+// packets. The WRITE/READ data path must complete with StatusOK CQEs
+// and byte-exact payloads, and the fabric's fault counters must stay
+// zero — no drop, corruption, duplication or reordering ever reaches
+// the CQ, which is exactly the retry semantics the CQ contract assumes.
+func TestRDMAImmuneToFabricFaults(t *testing.T) {
+	fp := fabric.FaultProfile{
+		LinkFaults: fabric.LinkFaults{
+			Drop: 0.5, Corrupt: 0.3, Dup: 0.5, Reorder: 0.5,
+			ReorderDelay: time.Microsecond,
+		},
+		Seed: 17,
+	}
+	cl, err := cluster.New(cluster.Config{
+		Nodes: 2, OS: cluster.OSMcKernelHFI, Params: model.Default(), Seed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cluster only arms its OmniPath fabric; arm the InfiniBand
+	// fabric too so the KindRDMA exemption (not fabric separation) is
+	// what keeps the data path clean.
+	cl.IBFab.SetFaults(&fp)
+	done := false
+	cl.E.Go("test", func(p *sim.Proc) {
+		if err := writeReadBody(p, cl, 12345); err != nil {
+			t.Error(err)
+		}
+		done = true
+	})
+	if err := cl.E.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("test body did not complete")
+	}
+	if fs := cl.IBFab.FaultStats(); fs != (fabric.FaultStats{}) {
+		t.Fatalf("fault injection touched RDMA traffic: %+v", fs)
 	}
 }
