@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet check bench simtest trace-smoke verbs-trace-smoke reliability-smoke artifacts artifacts-paper examples clean
+.PHONY: all build test vet check bench bench-gate simtest trace-smoke verbs-trace-smoke reliability-smoke artifacts artifacts-paper examples clean
 
 all: build test
 
@@ -66,10 +66,17 @@ reliability-smoke:
 	rm -f /tmp/picodriver-rel-a.json /tmp/picodriver-rel-b.json /tmp/picodriver-rel-a.txt /tmp/picodriver-rel-b.txt
 
 # One testing.B benchmark per paper table/figure, plus ablations.
-# Writes BENCH_seed.json so later changes have a perf trajectory
-# baseline.
+# Writes BENCH_pr6.json; BENCH_seed.json is the frozen pre-pooling
+# baseline and must not be regenerated. -benchtime 3x keeps allocs/op
+# stable for the sub-second benches (allocs are averaged per op).
 bench:
-	$(GO) test -bench . -benchtime 1x -benchmem . | $(GO) run ./cmd/benchjson -out BENCH_seed.json
+	$(GO) test -bench . -benchtime 3x -benchmem . | $(GO) run ./cmd/benchjson -out BENCH_pr6.json
+
+# Allocation regression gate: same run as `bench`, but fails when any
+# benchmark's allocs/op exceeds its checked-in ceiling in
+# bench_budget.json.
+bench-gate:
+	$(GO) test -bench . -benchtime 3x -benchmem . | $(GO) run ./cmd/benchjson -out BENCH_pr6.json -budget bench_budget.json
 
 # Regenerate every table/figure (text + CSV) at the default scale.
 artifacts:

@@ -1,12 +1,16 @@
 // Command benchjson converts `go test -bench` output on stdin into a
 // JSON perf record, echoing the raw output to stdout so it still shows
-// in the terminal. `make bench` uses it to write BENCH_seed.json, the
-// baseline for tracking the repository's performance trajectory across
-// changes.
+// in the terminal. `make bench` uses it to write BENCH_pr6.json;
+// BENCH_seed.json is the frozen baseline the perf trajectory is
+// measured against.
+//
+// With -budget, it additionally enforces the checked-in allocs/op
+// ceilings in bench_budget.json and exits non-zero when any benchmark
+// regresses past its budget (`make bench-gate`).
 //
 // Usage:
 //
-//	go test -bench . -benchtime 1x . | benchjson -out BENCH_seed.json
+//	go test -bench . -benchtime 3x -benchmem . | benchjson -out BENCH_pr6.json -budget bench_budget.json
 package main
 
 import (
@@ -42,8 +46,17 @@ type Record struct {
 // benchLine matches e.g. "BenchmarkFig4PingPong-8  2  551146348 ns/op  11124 hfi-MB/s".
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
 
+// Budget is the checked-in per-benchmark resource ceiling file. Only
+// allocs/op is gated: it is iteration-exact and machine-independent,
+// unlike ns/op.
+type Budget struct {
+	Comment     string             `json:"comment,omitempty"`
+	AllocsPerOp map[string]float64 `json:"allocs_per_op"`
+}
+
 func main() {
-	outFlag := flag.String("out", "BENCH_seed.json", "JSON output path")
+	outFlag := flag.String("out", "BENCH_pr6.json", "JSON output path")
+	budgetFlag := flag.String("budget", "", "budget JSON; fail when any benchmark's allocs/op exceeds its ceiling")
 	flag.Parse()
 
 	rec := Record{
@@ -93,6 +106,57 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmark(s) to %s\n", len(rec.Benchmarks), *outFlag)
+
+	if *budgetFlag != "" {
+		if err := checkBudget(*budgetFlag, rec.Benchmarks); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// checkBudget enforces the allocs/op ceilings. Every budgeted benchmark
+// must be present in the run and under its ceiling; benchmarks without
+// a budget entry are reported so new ones get budgeted.
+func checkBudget(path string, benches []Benchmark) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var budget Budget
+	if err := json.Unmarshal(data, &budget); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	byName := map[string]Benchmark{}
+	for _, b := range benches {
+		byName[b.Name] = b
+	}
+	var failures []string
+	for name, limit := range budget.AllocsPerOp {
+		b, ok := byName[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: budgeted but not run", name))
+			continue
+		}
+		got, ok := b.Metrics["allocs/op"]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: no allocs/op metric (run with -benchmem)", name))
+			continue
+		}
+		if got > limit {
+			failures = append(failures, fmt.Sprintf("%s: %.0f allocs/op exceeds budget %.0f", name, got, limit))
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %s %.0f allocs/op within budget %.0f\n", name, got, limit)
+	}
+	for _, b := range benches {
+		if _, ok := budget.AllocsPerOp[b.Name]; !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: note: %s has no allocs/op budget in %s\n", b.Name, path)
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("budget violations:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
 }
 
 func fatal(err error) {

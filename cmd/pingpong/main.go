@@ -85,6 +85,6 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("trace: 64KB McKernel+HFI1 ping-pong, %d spans -> %s\n",
-			len(rec.Spans()), *traceFlag)
+			rec.SpanCount(), *traceFlag)
 	}
 }

@@ -6,12 +6,20 @@
 //
 //	profile [-nodes 8] [-rpn 16] [-what table1,fig8,fig9] [-j N]
 //	        [-trace out.json] [-trace-app UMT2013] [-trace-os mckernel+hfi]
+//	        [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// The -cpuprofile/-memprofile flags wrap the whole run in runtime/pprof
+// collection so simulator hot paths can be inspected with standard
+// tooling (`go tool pprof`); see EXPERIMENTS.md "Profiling the
+// simulator itself".
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/cluster"
@@ -27,7 +35,37 @@ func main() {
 	traceFlag := flag.String("trace", "", "write a Chrome trace-event JSON of one run to this file")
 	traceAppFlag := flag.String("trace-app", "UMT2013", "mini-app for the traced run")
 	traceOSFlag := flag.String("trace-os", "mckernel+hfi", "OS for the traced run: linux, mckernel, mckernel+hfi")
+	cpuProfileFlag := flag.String("cpuprofile", "", "write a runtime/pprof CPU profile of the run to this file")
+	memProfileFlag := flag.String("memprofile", "", "write a runtime/pprof heap (allocs) profile at exit to this file")
 	flag.Parse()
+
+	if *cpuProfileFlag != "" {
+		f, err := os.Create(*cpuProfileFlag)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfileFlag != "" {
+		defer func() {
+			f, err := os.Create(*memProfileFlag)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // settle live heap so the snapshot reflects retained memory
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	sc := experiments.SmallScale()
 	sc.ProfileNodes = *nodesFlag
@@ -78,7 +116,7 @@ func main() {
 		}
 		fmt.Printf("trace: %s %s nodes=%d rpn=%d elapsed=%v spans=%d -> %s\n",
 			*traceAppFlag, *traceOSFlag, *nodesFlag, *rpnFlag,
-			res.Elapsed, len(rec.Spans()), *traceFlag)
+			res.Elapsed, rec.SpanCount(), *traceFlag)
 		fmt.Println(report.LatencyTable(rec))
 	}
 }

@@ -129,6 +129,9 @@ type DIE struct {
 	// offset is the DIE's position in the encoded info section. It is
 	// populated by Encode and Decode.
 	offset uint32
+	// abbr caches the abbreviation assigned by Encode's collection pass
+	// so the later passes skip the key computation.
+	abbr *abbrev
 }
 
 // Attr returns the value of the given attribute, if present.

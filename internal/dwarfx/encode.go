@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"sort"
+	"strconv"
 )
 
 // Binary layout of an encoded module-info blob:
@@ -34,13 +35,23 @@ type abbrev struct {
 	forms       []Form
 }
 
-func abbrevKey(d *DIE) string {
-	var b bytes.Buffer
-	fmt.Fprintf(&b, "%d/%t", d.Tag, len(d.Children) > 0)
-	for _, v := range d.Values {
-		fmt.Fprintf(&b, ":%d.%d", v.Attr, v.Form)
+// appendAbbrevKey renders the abbreviation identity of d into dst.
+// Byte-slice append plus map[string(key)] lookups keep the collection
+// pass allocation-free except for one string per unique abbreviation.
+func appendAbbrevKey(dst []byte, d *DIE) []byte {
+	dst = strconv.AppendUint(dst, uint64(d.Tag), 10)
+	if len(d.Children) > 0 {
+		dst = append(dst, "/t"...)
+	} else {
+		dst = append(dst, "/f"...)
 	}
-	return b.String()
+	for _, v := range d.Values {
+		dst = append(dst, ':')
+		dst = strconv.AppendUint(dst, uint64(v.Attr), 10)
+		dst = append(dst, '.')
+		dst = strconv.AppendUint(dst, uint64(v.Form), 10)
+	}
+	return dst
 }
 
 func putULEB(buf *bytes.Buffer, v uint64) {
@@ -87,13 +98,16 @@ func getULEB(data []byte, pos int) (uint64, int, error) {
 
 // Encode serializes the DIE tree rooted at root.
 func Encode(root *DIE) ([]byte, error) {
-	// Collect abbreviations.
+	// Collect abbreviations, caching each DIE's abbrev for the later
+	// passes.
 	table := make(map[string]*abbrev)
 	var order []*abbrev
+	var key []byte
 	root.Walk(func(d *DIE) bool {
-		key := abbrevKey(d)
-		if _, ok := table[key]; !ok {
-			a := &abbrev{
+		key = appendAbbrevKey(key[:0], d)
+		a, ok := table[string(key)]
+		if !ok {
+			a = &abbrev{
 				code:        uint64(len(order) + 1),
 				tag:         d.Tag,
 				hasChildren: len(d.Children) > 0,
@@ -102,9 +116,10 @@ func Encode(root *DIE) ([]byte, error) {
 				a.attrs = append(a.attrs, v.Attr)
 				a.forms = append(a.forms, v.Form)
 			}
-			table[key] = a
+			table[string(key)] = a
 			order = append(order, a)
 		}
+		d.abbr = a
 		return true
 	})
 
@@ -112,7 +127,7 @@ func Encode(root *DIE) ([]byte, error) {
 	var assign func(d *DIE, off uint32) (uint32, error)
 	assign = func(d *DIE, off uint32) (uint32, error) {
 		d.offset = off
-		a := table[abbrevKey(d)]
+		a := d.abbr
 		off += uint32(ulebLen(a.code))
 		for _, v := range d.Values {
 			switch v.Form {
@@ -166,7 +181,7 @@ func Encode(root *DIE) ([]byte, error) {
 
 	var emit func(d *DIE) error
 	emit = func(d *DIE) error {
-		a := table[abbrevKey(d)]
+		a := d.abbr
 		putULEB(&out, a.code)
 		for _, v := range d.Values {
 			switch v.Form {

@@ -68,6 +68,13 @@ type Packet struct {
 	// Corrupt marks a packet damaged in flight (injected fault); the
 	// receiving NIC's CRC check discards it without touching a context.
 	Corrupt bool
+	// Pooled marks a Packet obtained from the fabric's packet pool: the
+	// receiving NIC hands it back via Release after rx processing.
+	Pooled bool
+	// PooledPayload marks Payload as pool-owned: Release zeroes it and
+	// returns it to the buffer pool. Never set on payloads the sender
+	// retains (reliability-mode retransmit buffers).
+	PooledPayload bool
 }
 
 // Port is one node's attachment to the fabric.
@@ -82,6 +89,23 @@ type Port struct {
 	// delivery time, so that jittered latencies never reorder packets
 	// on a src→dst route.
 	lastArrival map[int]time.Duration
+	// routes caches the per-destination flight-span track name so the
+	// hot path never rebuilds the "wire:src->dst" string.
+	routes map[int]string
+}
+
+// routeTo returns the cached flight-span track name for this port's
+// route to dst.
+func (p *Port) routeTo(dst int) string {
+	s, ok := p.routes[dst]
+	if !ok {
+		if p.routes == nil {
+			p.routes = make(map[int]string)
+		}
+		s = fmt.Sprintf("wire:%d->%d", p.Node, dst)
+		p.routes[dst] = s
+	}
+	return s
 }
 
 // Fabric connects node ports.
@@ -93,6 +117,13 @@ type Fabric struct {
 	faults *FaultProfile
 	frng   *rand.Rand
 	fstats FaultStats
+
+	// Hot-path freelists (see pool.go) and the pooled delivery records
+	// that replace a per-packet closure in deliverAt.
+	bufs   map[int][][]byte
+	pkts   []*Packet
+	dels   []*delivery
+	pstats PoolStats
 }
 
 // New creates an empty fabric.
@@ -191,18 +222,49 @@ func (f *Fabric) Send(proc *sim.Proc, pkt *Packet) error {
 	return nil
 }
 
+// delivery is the pooled argument record of one scheduled packet
+// delivery: deliverAt fills one and hands it to sim.Engine.AfterArg, so
+// the per-packet path allocates neither a closure nor captured state.
+type delivery struct {
+	f     *Fabric
+	dst   *Port
+	pkt   *Packet
+	begin time.Duration
+	route string
+}
+
+// runDelivery fires one scheduled delivery. It is a package function
+// (not a closure) so AfterArg can reuse the same func value for every
+// packet.
+func runDelivery(a any) {
+	d := a.(*delivery)
+	f, dst, pkt, begin, route := d.f, d.dst, d.pkt, d.begin, d.route
+	// Recycle the record before delivering: deliver can synchronously
+	// trigger further sends that need fresh records.
+	*d = delivery{}
+	f.dels = append(f.dels, d)
+	if rec := f.e.Recorder(); rec != nil {
+		rec.SpanBytes(trace.CatFabric, kindName(pkt.Kind), route,
+			begin, f.e.Now(), pkt.Bytes)
+	}
+	dst.deliver(pkt)
+}
+
 // deliverAt schedules delivery of pkt after lat and emits the flight
 // span. The span covers egress serialization plus link latency: begin
 // at Send entry, end at delivery.
 func (f *Fabric) deliverAt(dst *Port, pkt *Packet, begin time.Duration, lat time.Duration) {
-	f.e.After(lat, func() {
-		if rec := f.e.Recorder(); rec != nil {
-			rec.SpanBytes(trace.CatFabric, kindName(pkt.Kind),
-				fmt.Sprintf("wire:%d->%d", pkt.SrcNode, pkt.DstNode),
-				begin, f.e.Now(), pkt.Bytes)
-		}
-		dst.deliver(pkt)
-	})
+	var d *delivery
+	if n := len(f.dels); n > 0 {
+		d = f.dels[n-1]
+		f.dels[n-1] = nil
+		f.dels = f.dels[:n-1]
+	} else {
+		d = &delivery{}
+	}
+	src := f.ports[pkt.SrcNode]
+	*d = delivery{f: f, dst: dst, pkt: pkt, begin: begin, route: src.routeTo(pkt.DstNode)}
+	f.e.AfterArg(lat, runDelivery, d)
 }
 
 // sendFaulty applies the fault profile to one already-serialized packet.
@@ -213,17 +275,24 @@ func (f *Fabric) deliverAt(dst *Port, pkt *Packet, begin time.Duration, lat time
 func (f *Fabric) sendFaulty(dst *Port, pkt *Packet, begin time.Duration, lat time.Duration) {
 	if f.faults.downAt(pkt.SrcNode, pkt.DstNode, f.e.Now()) {
 		f.fstats.DownDrops++
+		f.Release(pkt)
 		return
 	}
 	lf := f.faults.linkFor(pkt.SrcNode, pkt.DstNode)
 	if lf.Drop > 0 && f.frng.Float64() < lf.Drop {
 		f.fstats.Dropped++
+		f.Release(pkt)
 		return
 	}
 	copies := 1
 	if lf.Dup > 0 && f.frng.Float64() < lf.Dup {
 		f.fstats.Duplicated++
 		copies = 2
+		// Both in-flight copies alias the same payload, so neither may
+		// recycle it: take the packet out of the pooled regime and let
+		// the garbage collector reclaim both (duplication is rare).
+		pkt.Pooled = false
+		pkt.PooledPayload = false
 	}
 	for i := 0; i < copies; i++ {
 		cp := *pkt
@@ -241,6 +310,12 @@ func (f *Fabric) sendFaulty(dst *Port, pkt *Packet, begin time.Duration, lat tim
 			// Extra delay past the jitter FIFO clamp: packets sent later
 			// on this route may overtake this one.
 			clat += time.Duration(1 + f.frng.Int63n(int64(lf.ReorderDelay)))
+		}
+		if copies == 1 && pkt.Pooled {
+			// Single pooled copy: fly the original packet itself.
+			pkt.Corrupt = cp.Corrupt
+			f.deliverAt(dst, pkt, begin, clat)
+			continue
 		}
 		f.deliverAt(dst, &cp, begin, clat)
 	}

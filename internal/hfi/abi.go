@@ -156,28 +156,61 @@ func UnpackTID(packed uint64) (idx int, gen uint32) {
 // TIDPairSize is the encoded size of one TIDPair.
 const TIDPairSize = 16
 
+// AppendTIDList appends the wire encoding of pairs to dst and returns
+// the extended slice; with sufficient capacity it allocates nothing.
+func AppendTIDList(dst []byte, pairs []TIDPair) []byte {
+	for _, tp := range pairs {
+		dst = binary.LittleEndian.AppendUint64(dst, tp.Idx)
+		dst = binary.LittleEndian.AppendUint64(dst, tp.Len)
+	}
+	return dst
+}
+
+// AppendTIDPairs appends the pairs decoded from buf to dst and returns
+// the extended slice; with sufficient capacity it allocates nothing.
+func AppendTIDPairs(dst []TIDPair, buf []byte) []TIDPair {
+	n := len(buf) / TIDPairSize
+	for i := 0; i < n; i++ {
+		dst = append(dst, TIDPair{
+			Idx: binary.LittleEndian.Uint64(buf[i*TIDPairSize:]),
+			Len: binary.LittleEndian.Uint64(buf[i*TIDPairSize+8:]),
+		})
+	}
+	return dst
+}
+
 // WriteTIDList stores pairs at va in user memory.
 func WriteTIDList(p *uproc.Process, va uproc.VirtAddr, pairs []TIDPair) error {
-	buf := make([]byte, len(pairs)*TIDPairSize)
-	for i, tp := range pairs {
-		binary.LittleEndian.PutUint64(buf[i*TIDPairSize:], tp.Idx)
-		binary.LittleEndian.PutUint64(buf[i*TIDPairSize+8:], tp.Len)
-	}
-	return p.WriteAt(va, buf)
+	_, err := WriteTIDListScratch(p, va, pairs, nil)
+	return err
+}
+
+// WriteTIDListScratch stores pairs at va, encoding through scratch
+// (reused when large enough); it returns the possibly grown scratch.
+func WriteTIDListScratch(p *uproc.Process, va uproc.VirtAddr, pairs []TIDPair, scratch []byte) ([]byte, error) {
+	buf := AppendTIDList(scratch[:0], pairs)
+	return buf, p.WriteAt(va, buf)
 }
 
 // ReadTIDList loads count pairs from va.
 func ReadTIDList(p *uproc.Process, va uproc.VirtAddr, count int) ([]TIDPair, error) {
-	buf := make([]byte, count*TIDPairSize)
+	pairs, _, err := ReadTIDListScratch(p, va, count, nil, nil)
+	return pairs, err
+}
+
+// ReadTIDListScratch loads count pairs from va, decoding into dst
+// through scratch; it returns the filled dst and the grown scratch so
+// both can be reused. The returned pairs alias dst's backing array.
+func ReadTIDListScratch(p *uproc.Process, va uproc.VirtAddr, count int, dst []TIDPair, scratch []byte) ([]TIDPair, []byte, error) {
+	need := count * TIDPairSize
+	if cap(scratch) < need {
+		scratch = make([]byte, need)
+	}
+	buf := scratch[:need]
 	if err := p.ReadAt(va, buf); err != nil {
-		return nil, err
+		return nil, buf, err
 	}
-	pairs := make([]TIDPair, count)
-	for i := range pairs {
-		pairs[i].Idx = binary.LittleEndian.Uint64(buf[i*TIDPairSize:])
-		pairs[i].Len = binary.LittleEndian.Uint64(buf[i*TIDPairSize+8:])
-	}
-	return pairs, nil
+	return AppendTIDPairs(dst[:0], buf), buf, nil
 }
 
 // TIDInfoSize is the encoded size of a TIDInfo ioctl argument.
@@ -263,9 +296,17 @@ type HdrqEntry struct {
 	PSN      uint32
 }
 
-// EncodeHdrqEntry serializes an entry.
+// EncodeHdrqEntry serializes an entry into a fresh buffer. Hot paths
+// use EncodeHdrqEntryInto with a reused buffer instead.
 func EncodeHdrqEntry(e *HdrqEntry) []byte {
 	b := make([]byte, HdrqEntrySize)
+	EncodeHdrqEntryInto(b, e)
+	return b
+}
+
+// EncodeHdrqEntryInto serializes an entry into b, which must be at
+// least HdrqEntrySize long. It allocates nothing.
+func EncodeHdrqEntryInto(b []byte, e *HdrqEntry) {
 	le := binary.LittleEndian
 	le.PutUint32(b[0:], e.Type)
 	le.PutUint32(b[4:], e.SrcRank)
@@ -278,16 +319,25 @@ func EncodeHdrqEntry(e *HdrqEntry) []byte {
 	le.PutUint32(b[52:], e.Op)
 	le.PutUint64(b[56:], e.Bytes)
 	le.PutUint32(b[64:], e.PSN)
-	return b
 }
 
 // DecodeHdrqEntry parses an entry.
 func DecodeHdrqEntry(b []byte) (*HdrqEntry, error) {
+	e := &HdrqEntry{}
+	if err := DecodeHdrqEntryInto(e, b); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// DecodeHdrqEntryInto parses an entry into a caller-owned HdrqEntry,
+// allocating nothing.
+func DecodeHdrqEntryInto(e *HdrqEntry, b []byte) error {
 	if len(b) < HdrqEntrySize {
-		return nil, fmt.Errorf("hfi: short hdrq entry (%d bytes)", len(b))
+		return fmt.Errorf("hfi: short hdrq entry (%d bytes)", len(b))
 	}
 	le := binary.LittleEndian
-	return &HdrqEntry{
+	*e = HdrqEntry{
 		Type:     le.Uint32(b[0:]),
 		SrcRank:  le.Uint32(b[4:]),
 		Tag:      le.Uint64(b[8:]),
@@ -299,7 +349,8 @@ func DecodeHdrqEntry(b []byte) (*HdrqEntry, error) {
 		Op:       le.Uint32(b[52:]),
 		Bytes:    le.Uint64(b[56:]),
 		PSN:      le.Uint32(b[64:]),
-	}, nil
+	}
+	return nil
 }
 
 // Status page offsets (one 64-byte page per context, shared between NIC,

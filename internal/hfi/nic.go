@@ -141,6 +141,13 @@ type NIC struct {
 	// NIC-wide; a balanced teardown leaves them equal.
 	TIDProgramOps uint64
 	TIDClearOps   uint64
+
+	// hdrqScratch and hdrqEnt are reused by the rx pipeline: one encode
+	// buffer and one decoded-entry record per NIC, instead of one of
+	// each per received packet. The rx pipeline is single-threaded (one
+	// runRx daemon per NIC), so no packet's entry outlives its handler.
+	hdrqScratch [HdrqEntrySize]byte
+	hdrqEnt     HdrqEntry
 }
 
 // NewNIC creates the NIC, attaches it to the fabric and starts its SDMA
@@ -318,6 +325,17 @@ func (n *NIC) SubmitSDMA(p *sim.Proc, txn *SDMATxn) error {
 // process pays the store cost and the wire serialization; no SDMA engine
 // and no system call are involved.
 func (n *NIC) PIOSend(p *sim.Proc, dstNode, dstCtx int, hdr fabric.Header, payload []byte, bytes uint64) error {
+	return n.pioSend(p, dstNode, dstCtx, hdr, payload, bytes, false)
+}
+
+// PIOSendPooled is PIOSend for a payload obtained from AllocPayload:
+// ownership transfers to the fabric and the receiving NIC recycles the
+// buffer after delivery. The caller must not touch payload again.
+func (n *NIC) PIOSendPooled(p *sim.Proc, dstNode, dstCtx int, hdr fabric.Header, payload []byte) error {
+	return n.pioSend(p, dstNode, dstCtx, hdr, payload, uint64(len(payload)), true)
+}
+
+func (n *NIC) pioSend(p *sim.Proc, dstNode, dstCtx int, hdr fabric.Header, payload []byte, bytes uint64, pooled bool) error {
 	if payload != nil {
 		bytes = uint64(len(payload))
 	}
@@ -325,11 +343,22 @@ func (n *NIC) PIOSend(p *sim.Proc, dstNode, dstCtx int, hdr fabric.Header, paylo
 		return fmt.Errorf("hfi: PIO send of %d bytes exceeds PIO limit", bytes)
 	}
 	p.Sleep(n.pr.PIOTime(bytes))
-	return n.fab.Send(p, &fabric.Packet{
+	pkt := n.fab.GetPacket()
+	*pkt = fabric.Packet{
 		SrcNode: n.Node, DstNode: dstNode, DstCtx: dstCtx,
 		Kind: fabric.KindEager, Hdr: hdr, Payload: payload, Bytes: bytes,
-	})
+		Pooled: true, PooledPayload: pooled && payload != nil,
+	}
+	return n.fab.Send(p, pkt)
 }
+
+// AllocPayload returns a zeroed buffer from the fabric's payload pool
+// for use with PIOSendPooled; senders that keep payloads past the send
+// (reliability-mode retransmit queues) must not use it.
+func (n *NIC) AllocPayload(size int) []byte { return n.fab.GetBuf(size) }
+
+// RecyclePayload returns an unsent AllocPayload buffer to the pool.
+func (n *NIC) RecyclePayload(b []byte) { n.fab.PutBuf(b) }
 
 // LocalDeliver models PSM's shared-memory transport for ranks on the
 // same node: the sender pays the intra-node copy cost and the chunk is
@@ -347,10 +376,17 @@ func (n *NIC) LocalDeliver(p *sim.Proc, dstCtx int, hdr fabric.Header, payload [
 		return fmt.Errorf("hfi: local delivery to unknown context %d", dstCtx)
 	}
 	p.Sleep(n.pr.LocalCopyTime(bytes))
-	if err := n.rxEager(ctx, &fabric.Packet{
+	// The rx handler consumes the payload synchronously, so the packet
+	// can go straight back to the pool; the payload stays caller-owned.
+	pkt := n.fab.GetPacket()
+	*pkt = fabric.Packet{
 		SrcNode: n.Node, DstNode: n.Node, DstCtx: dstCtx,
 		Kind: fabric.KindEager, Hdr: hdr, Payload: payload, Bytes: bytes,
-	}); err != nil {
+		Pooled: true,
+	}
+	err := n.rxEager(ctx, pkt)
+	n.fab.Release(pkt)
+	if err != nil {
 		return err
 	}
 	ctx.Notify.Broadcast()
@@ -382,7 +418,7 @@ func (n *NIC) runEngine(p *sim.Proc, eng *SDMAEngine) {
 			}
 			var payload []byte
 			if !txn.Synthetic {
-				payload = make([]byte, req.Src.Len)
+				payload = n.fab.GetBuf(int(req.Src.Len))
 				if err := n.phys.ReadAt(req.Src.Addr, payload); err != nil {
 					n.e.Fail(fmt.Errorf("hfi: node %d engine %d DMA read: %w", n.Node, eng.Index, err))
 					return
@@ -390,11 +426,13 @@ func (n *NIC) runEngine(p *sim.Proc, eng *SDMAEngine) {
 			}
 			hdr := txn.Hdr
 			hdr.Offset = req.MsgOff
-			pkt := &fabric.Packet{
+			pkt := n.fab.GetPacket()
+			*pkt = fabric.Packet{
 				SrcNode: n.Node, DstNode: txn.DstNode, DstCtx: txn.DstCtx,
 				Kind: txn.Kind, Hdr: hdr,
 				Payload: payload, Bytes: req.Src.Len,
 				TIDIdx: req.TIDIdx, TIDOff: req.TIDOff, Last: req.Last,
+				Pooled: true, PooledPayload: payload != nil,
 			}
 			if err := n.fab.Send(p, pkt); err != nil {
 				n.e.Fail(fmt.Errorf("hfi: node %d send: %w", n.Node, err))
@@ -417,19 +455,23 @@ func (n *NIC) runEngine(p *sim.Proc, eng *SDMAEngine) {
 func (n *NIC) PIOChunk(p *sim.Proc, txn *SDMATxn, req SDMARequest) error {
 	var payload []byte
 	if !txn.Synthetic {
-		payload = make([]byte, req.Src.Len)
+		payload = n.fab.GetBuf(int(req.Src.Len))
 		if err := n.phys.ReadAt(req.Src.Addr, payload); err != nil {
+			n.fab.PutBuf(payload)
 			return fmt.Errorf("hfi: PIO chunk read: %w", err)
 		}
 	}
 	hdr := txn.Hdr
 	hdr.Offset = req.MsgOff
 	p.Sleep(n.pr.PIOTime(req.Src.Len))
-	return n.fab.Send(p, &fabric.Packet{
+	pkt := n.fab.GetPacket()
+	*pkt = fabric.Packet{
 		SrcNode: n.Node, DstNode: txn.DstNode, DstCtx: txn.DstCtx,
 		Kind: txn.Kind, Hdr: hdr, Payload: payload, Bytes: req.Src.Len,
 		TIDIdx: req.TIDIdx, TIDOff: req.TIDOff, Last: req.Last,
-	})
+		Pooled: true, PooledPayload: payload != nil,
+	}
+	return n.fab.Send(p, pkt)
 }
 
 // complete queues a finished transaction for interrupt delivery,
@@ -461,6 +503,7 @@ func (n *NIC) runRx(p *sim.Proc) {
 			// Port CRC check: damaged packets are counted and discarded
 			// before any context processing.
 			n.RxCorrupt++
+			n.fab.Release(pkt)
 			continue
 		}
 		ctx, ok := n.contexts[pkt.DstCtx]
@@ -468,6 +511,7 @@ func (n *NIC) runRx(p *sim.Proc) {
 			// Packets racing a context teardown are dropped, like on
 			// real hardware.
 			n.RxDropped++
+			n.fab.Release(pkt)
 			continue
 		}
 		var err error
@@ -477,6 +521,9 @@ func (n *NIC) runRx(p *sim.Proc) {
 		case fabric.KindExpected:
 			err = n.rxExpected(ctx, pkt)
 		}
+		// The rx handlers copy the payload into simulated host memory
+		// synchronously; the packet and its pooled payload recycle here.
+		n.fab.Release(pkt)
 		if err != nil {
 			n.e.Fail(fmt.Errorf("hfi: node %d ctx %d rx: %w", n.Node, ctx.ID, err))
 			return
@@ -500,12 +547,14 @@ func (n *NIC) rxEager(ctx *Context, pkt *fabric.Packet) error {
 		}
 	}
 	n.writeStatus(ctx, StatusEagerHead, head+1)
-	return n.postHdrq(ctx, &HdrqEntry{
+	e := &n.hdrqEnt
+	*e = HdrqEntry{
 		Type: HdrqTypeEager, SrcRank: pkt.Hdr.SrcRank, Tag: pkt.Hdr.Tag,
 		MsgID: pkt.Hdr.MsgID, MsgLen: pkt.Hdr.MsgLen, Offset: pkt.Hdr.Offset,
 		Aux: pkt.Hdr.Aux, EagerIdx: uint32(slot), Op: pkt.Hdr.Op, Bytes: pkt.Bytes,
 		PSN: pkt.Hdr.PSN,
-	})
+	}
+	return n.postHdrq(ctx, e)
 }
 
 func (n *NIC) rxExpected(ctx *Context, pkt *fabric.Packet) error {
@@ -535,18 +584,22 @@ func (n *NIC) rxExpected(ctx *Context, pkt *fabric.Packet) error {
 		// trustworthy (the Last packet may be the one that was dropped),
 		// so every TID-placed packet posts a header entry and PSM tracks
 		// window coverage itself.
-		return n.postHdrq(ctx, &HdrqEntry{
+		e := &n.hdrqEnt
+		*e = HdrqEntry{
 			Type: HdrqTypeExpectedData, SrcRank: pkt.Hdr.SrcRank, Tag: pkt.Hdr.Tag,
 			MsgID: pkt.Hdr.MsgID, MsgLen: pkt.Hdr.MsgLen, Offset: pkt.Hdr.Offset,
 			Op: pkt.Hdr.Op, Aux: pkt.Hdr.Aux, Bytes: pkt.Bytes,
-		})
+		}
+		return n.postHdrq(ctx, e)
 	}
 	if pkt.Last {
-		return n.postHdrq(ctx, &HdrqEntry{
+		e := &n.hdrqEnt
+		*e = HdrqEntry{
 			Type: HdrqTypeExpectedDone, SrcRank: pkt.Hdr.SrcRank, Tag: pkt.Hdr.Tag,
 			MsgID: pkt.Hdr.MsgID, MsgLen: pkt.Hdr.MsgLen, Op: pkt.Hdr.Op,
 			Aux: pkt.Hdr.Aux, Bytes: pkt.Bytes,
-		})
+		}
+		return n.postHdrq(ctx, e)
 	}
 	return nil
 }
@@ -560,7 +613,8 @@ func (n *NIC) postHdrq(ctx *Context, e *HdrqEntry) error {
 	}
 	slot := head % uint64(ctx.HdrqEntries)
 	pa := ctx.HdrqPA + mem.PhysAddr(slot*HdrqEntrySize)
-	if err := n.phys.WriteAt(pa, EncodeHdrqEntry(e)); err != nil {
+	EncodeHdrqEntryInto(n.hdrqScratch[:], e)
+	if err := n.phys.WriteAt(pa, n.hdrqScratch[:]); err != nil {
 		return fmt.Errorf("hfi: hdrq DMA write: %w", err)
 	}
 	n.writeStatus(ctx, StatusHdrqHead, head+1)

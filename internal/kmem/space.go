@@ -52,6 +52,9 @@ type Space struct {
 	// ForeignFreeCount counts frees handled through the foreign-CPU
 	// path, for tests and profiling.
 	ForeignFreeCount int
+
+	// extScratch backs the page-table walk in access (reused per call).
+	extScratch []mem.Extent
 }
 
 type allocRec struct {
@@ -283,7 +286,8 @@ func (s *Space) WriteAt(va VirtAddr, buf []byte) error {
 }
 
 func (s *Space) access(va VirtAddr, buf []byte, write bool) error {
-	exts, err := s.PT.WalkExtents(va, uint64(len(buf)))
+	exts, err := s.PT.WalkExtentsInto(s.extScratch[:0], va, uint64(len(buf)))
+	s.extScratch = exts
 	if err != nil {
 		return fmt.Errorf("kmem: %s: fault accessing %#x: %w", s.Name, va, err)
 	}

@@ -83,6 +83,9 @@ type PhysMem struct {
 	regions []*regionState
 	frames  map[PhysAddr]*[PageSize4K]byte // keyed by 4K-aligned address
 	pins    map[PhysAddr]int               // pin count per 4K frame
+	// regScratch backs regionsFor: allocation paths call it once per
+	// page, so the candidate list must not allocate each time.
+	regScratch []*regionState
 }
 
 type regionState struct {
@@ -172,23 +175,23 @@ func (p AllocPolicy) admits(k Kind) bool {
 }
 
 // regionsFor yields candidate regions for a policy, MCDRAM first. When
-// owner is non-empty only regions with that owner are considered.
+// owner is non-empty only regions with that owner are considered. The
+// returned slice is a scratch buffer owned by the PhysMem, valid until
+// the next call.
 func (pm *PhysMem) regionsFor(policy AllocPolicy, owner string) []*regionState {
-	var mc, dd []*regionState
+	out := pm.regScratch[:0]
 	for _, rs := range pm.regions {
-		if !policy.admits(rs.Kind) {
-			continue
-		}
-		if owner != "" && rs.Owner != owner {
-			continue
-		}
-		if rs.Kind == MCDRAM {
-			mc = append(mc, rs)
-		} else {
-			dd = append(dd, rs)
+		if rs.Kind == MCDRAM && policy.admits(MCDRAM) && (owner == "" || rs.Owner == owner) {
+			out = append(out, rs)
 		}
 	}
-	return append(mc, dd...)
+	for _, rs := range pm.regions {
+		if rs.Kind != MCDRAM && policy.admits(rs.Kind) && (owner == "" || rs.Owner == owner) {
+			out = append(out, rs)
+		}
+	}
+	pm.regScratch = out
+	return out
 }
 
 // Allocator is a view of a PhysMem restricted to the regions owned by one

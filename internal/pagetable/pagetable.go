@@ -101,16 +101,13 @@ func (t *Table) Map(va VirtAddr, pa mem.PhysAddr, length uint64, flags Flags) er
 	if !va.Canonical() || !(va + VirtAddr(length-1)).Canonical() {
 		return fmt.Errorf("pagetable: non-canonical range at %#x", va)
 	}
-	// Reject overlap first so failed maps leave no partial state.
-	for off := uint64(0); off < length; {
-		_, sz, ok := t.lookup(va + VirtAddr(off))
-		if ok {
-			return fmt.Errorf("pagetable: overlap at %#x", va+VirtAddr(off))
-		}
-		// Skip at least a 4K page; alignment of probing is fine since
-		// existing leaves are at least 4K aligned.
-		_ = sz
-		off += Size4K
+	// Reject overlap first so failed maps leave no partial state. The
+	// walk skips empty subtrees whole (512 GiB / 1 GiB / 2 MiB at a
+	// step) instead of probing every 4 KiB, so mapping into untouched
+	// address space costs a handful of slot reads however large the
+	// range is.
+	if hit, addr := t.firstMapped(va, length); hit {
+		return fmt.Errorf("pagetable: overlap at %#x", addr)
 	}
 	for length > 0 {
 		var pgsz uint64
@@ -170,6 +167,54 @@ func (t *Table) mapOne(va VirtAddr, pa mem.PhysAddr, pgsz uint64, flags Flags) {
 	l1 := &l2.next.slots[idx(va, l1Shift)]
 	*l1 = entry{leaf: true, pa: pa, flags: flags}
 	t.mapped[Size4K] += Size4K
+}
+
+// firstMapped returns the lowest mapped address in [va, va+length), if
+// any. It descends only into subtrees that exist: a nil interior entry
+// proves its whole span is unmapped, so the scan jumps to the next
+// boundary of that level in one step.
+func (t *Table) firstMapped(va VirtAddr, length uint64) (bool, VirtAddr) {
+	end := uint64(va) + length
+	for cur := uint64(va); cur < end; {
+		v := VirtAddr(cur)
+		l4 := t.root.slots[idx(v, l4Shift)]
+		if l4.next == nil {
+			cur = nextBoundary(cur, l4Shift, end)
+			continue
+		}
+		l3 := l4.next.slots[idx(v, l3Shift)]
+		if l3.leaf {
+			return true, v
+		}
+		if l3.next == nil {
+			cur = nextBoundary(cur, l3Shift, end)
+			continue
+		}
+		l2 := l3.next.slots[idx(v, l2Shift)]
+		if l2.leaf {
+			return true, v
+		}
+		if l2.next == nil {
+			cur = nextBoundary(cur, l2Shift, end)
+			continue
+		}
+		if l2.next.slots[idx(v, l1Shift)].leaf {
+			return true, v
+		}
+		cur += Size4K
+	}
+	return false, 0
+}
+
+// nextBoundary advances cur to the next 1<<shift boundary, clamped to
+// end (and guarding against wraparound at the top of the address
+// space).
+func nextBoundary(cur uint64, shift uint, end uint64) uint64 {
+	b := (cur | (1<<shift - 1)) + 1
+	if b == 0 || b > end {
+		return end
+	}
+	return b
 }
 
 // lookup finds the leaf covering va. It returns the leaf entry, the page
@@ -275,16 +320,27 @@ func (t *Table) clearOne(va VirtAddr) uint64 {
 // PicoDriver fast-path primitive: page tables are iterated directly,
 // so large pages and contiguous runs surface naturally.
 func (t *Table) WalkExtents(va VirtAddr, length uint64) ([]mem.Extent, error) {
+	return t.WalkExtentsInto(nil, va, length)
+}
+
+// WalkExtentsInto is WalkExtents appending into dst (reusing its
+// capacity): hot callers that translate a range per memory access keep
+// a scratch slice and pay no allocation once it has grown.
+func (t *Table) WalkExtentsInto(dst []mem.Extent, va VirtAddr, length uint64) ([]mem.Extent, error) {
 	if length == 0 {
-		return nil, nil
+		return dst, nil
 	}
-	var out []mem.Extent
+	out := dst
+	// Merge only within this walk: extents already in dst belong to a
+	// different virtual range and must keep their own boundaries even
+	// when physically adjacent.
+	base := len(dst)
 	remaining := length
 	cur := va
 	for remaining > 0 {
 		e, pgsz, ok := t.lookup(cur)
 		if !ok {
-			return nil, fmt.Errorf("pagetable: fault at %#x", cur)
+			return out, fmt.Errorf("pagetable: fault at %#x", cur)
 		}
 		off := uint64(cur) & (pgsz - 1)
 		n := pgsz - off
@@ -292,7 +348,7 @@ func (t *Table) WalkExtents(va VirtAddr, length uint64) ([]mem.Extent, error) {
 			n = remaining
 		}
 		pa := e.pa + mem.PhysAddr(off)
-		if len(out) > 0 && out[len(out)-1].End() == pa {
+		if len(out) > base && out[len(out)-1].End() == pa {
 			out[len(out)-1].Len += n
 		} else {
 			out = append(out, mem.Extent{Addr: pa, Len: n})
@@ -308,16 +364,21 @@ func (t *Table) WalkExtents(va VirtAddr, length uint64) ([]mem.Extent, error) {
 // most one page long. The first and last entries may be partial when va
 // or the length are unaligned.
 func (t *Table) Pages(va VirtAddr, length uint64) ([]mem.Extent, error) {
+	return t.PagesInto(nil, va, length)
+}
+
+// PagesInto is Pages appending into dst, reusing its capacity.
+func (t *Table) PagesInto(dst []mem.Extent, va VirtAddr, length uint64) ([]mem.Extent, error) {
+	out := dst
 	if length == 0 {
-		return nil, nil
+		return out, nil
 	}
-	var out []mem.Extent
 	remaining := length
 	cur := va
 	for remaining > 0 {
 		pa, _, ok := t.Translate(cur)
 		if !ok {
-			return nil, fmt.Errorf("pagetable: fault at %#x", cur)
+			return out, fmt.Errorf("pagetable: fault at %#x", cur)
 		}
 		inPage := uint64(cur) & offMask4K
 		n := uint64(Size4K) - inPage

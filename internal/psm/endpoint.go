@@ -73,6 +73,15 @@ type Endpoint struct {
 	closed        bool
 	completedMsgs map[msgKey]bool
 	completedFIFO []msgKey
+
+	// Per-endpoint scratch, safe because each endpoint is driven by its
+	// rank's process one hdrq entry / one chunk at a time.
+	hdrqRaw   [hfi.HdrqEntrySize]byte
+	hdrqEnt   hfi.HdrqEntry
+	slotBuf   []byte // eager-slot reads consumed before the next entry
+	localBuf  []byte // shared-memory chunk staging (consumed synchronously)
+	tidBuf    []byte // TID-list wire staging
+	trackName string // cached "rank<N>" span track
 }
 
 type msgKey struct {
@@ -170,6 +179,7 @@ const DevicePath = "/dev/hfi1"
 func NewEndpoint(p *sim.Proc, os OSOps, rank int, book AddressBook, synthetic bool) (*Endpoint, error) {
 	ep := &Endpoint{
 		OS: os, Rank: rank, Book: book, Synthetic: synthetic,
+		trackName:    fmt.Sprintf("rank%d", rank),
 		inflight:     make(map[msgKey]*inbound),
 		bySeq:        make(map[uint32]*sendWindow),
 		sends:        make(map[uint64]*sendReq),
@@ -261,7 +271,7 @@ func (ep *Endpoint) span(name string, begin time.Duration, bytes uint64) {
 		return
 	}
 	if rec := ep.eng.Recorder(); rec != nil {
-		rec.SpanBytes(trace.CatPSM, name, fmt.Sprintf("rank%d", ep.Rank), begin, ep.eng.Now(), bytes)
+		rec.SpanBytes(trace.CatPSM, name, ep.trackName, begin, ep.eng.Now(), bytes)
 	}
 }
 
@@ -344,16 +354,6 @@ func encodeTIDPairs(pairs []hfi.TIDPair) []byte {
 		binary.LittleEndian.PutUint64(buf[i*hfi.TIDPairSize+8:], tp.Len)
 	}
 	return buf
-}
-
-func decodeTIDPairs(buf []byte) []hfi.TIDPair {
-	n := len(buf) / hfi.TIDPairSize
-	pairs := make([]hfi.TIDPair, n)
-	for i := range pairs {
-		pairs[i].Idx = binary.LittleEndian.Uint64(buf[i*hfi.TIDPairSize:])
-		pairs[i].Len = binary.LittleEndian.Uint64(buf[i*hfi.TIDPairSize+8:])
-	}
-	return pairs
 }
 
 // Compute forwards to the OS personality (noise model included).

@@ -26,12 +26,14 @@ func (ep *Endpoint) Progress(p *sim.Proc) (bool, error) {
 			break
 		}
 		slot := ep.hdrqTail % ep.hdrqEntries
-		raw := make([]byte, hfi.HdrqEntrySize)
+		raw := ep.hdrqRaw[:]
 		if err := ep.proc().ReadAt(ep.hdrqVA+uproc.VirtAddr(slot*hfi.HdrqEntrySize), raw); err != nil {
 			return made, fmt.Errorf("psm: rank %d hdrq read: %w", ep.Rank, err)
 		}
-		entry, err := hfi.DecodeHdrqEntry(raw)
-		if err != nil {
+		// Decode into the endpoint's scratch entry: handleEntry consumes
+		// it before the loop reads the next slot.
+		entry := &ep.hdrqEnt
+		if err := hfi.DecodeHdrqEntryInto(entry, raw); err != nil {
 			return made, fmt.Errorf("psm: rank %d: %w", ep.Rank, err)
 		}
 		ep.hdrqTail++
@@ -148,12 +150,17 @@ func (ep *Endpoint) handleEagerEntry(p *sim.Proc, e *hfi.HdrqEntry) error {
 	return fmt.Errorf("psm: unknown eager opcode %d", e.Op)
 }
 
-// slotPayload reads the eager slot bytes for an entry (real mode).
+// slotPayload reads the eager slot bytes for an entry (real mode). The
+// returned slice is endpoint scratch, valid until the next slotPayload
+// call; every consumer copies it out before then.
 func (ep *Endpoint) slotPayload(e *hfi.HdrqEntry) ([]byte, error) {
 	if e.Bytes == 0 {
 		return nil, nil
 	}
-	buf := make([]byte, e.Bytes)
+	if uint64(cap(ep.slotBuf)) < e.Bytes {
+		ep.slotBuf = make([]byte, e.Bytes)
+	}
+	buf := ep.slotBuf[:e.Bytes]
 	off := uint64(e.EagerIdx) * ep.nic.Params().EagerChunk
 	if err := ep.proc().ReadAt(ep.eagerVA+uproc.VirtAddr(off), buf); err != nil {
 		return nil, err
@@ -278,14 +285,16 @@ func (ep *Endpoint) onCTS(p *sim.Proc, e *hfi.HdrqEntry) error {
 	if err != nil {
 		return err
 	}
-	pairs := decodeTIDPairs(payload)
-	if len(pairs) == 0 {
+	// The CTS payload is already the TID list's wire encoding; stage it
+	// into send scratch as-is instead of decoding and re-encoding.
+	nPairs := len(payload) / hfi.TIDPairSize
+	if nPairs == 0 {
 		return fmt.Errorf("psm: CTS without TIDs for message %#x", e.MsgID)
 	}
 	windowOff := e.Aux
 	winLen := e.MsgLen
 	tidsVA := ep.scratchVA + scratchSendTIDs
-	if err := hfi.WriteTIDList(ep.proc(), tidsVA, pairs); err != nil {
+	if err := ep.proc().WriteAt(tidsVA, payload); err != nil {
 		return err
 	}
 	ep.nextCompSeq++
@@ -293,7 +302,7 @@ func (ep *Endpoint) onCTS(p *sim.Proc, e *hfi.HdrqEntry) error {
 	hdr := &hfi.SDMAHeader{
 		Op: hfi.OpExpected, DstNode: uint32(sr.dst.Node), DstCtx: uint32(sr.dst.Ctx),
 		SrcRank: uint32(ep.Rank), Tag: sr.tag, MsgID: sr.msgid, MsgLen: winLen,
-		TIDListVA: tidsVA, TIDCount: uint32(len(pairs)),
+		TIDListVA: tidsVA, TIDCount: uint32(nPairs),
 		CompSeq: cs, Flags: ep.flags(), Aux: windowOff,
 	}
 	if err := ep.writevSDMA(p, hdr, sr.buf+uproc.VirtAddr(windowOff), winLen); err != nil {

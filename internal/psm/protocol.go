@@ -69,11 +69,13 @@ func (ep *Endpoint) sendLocal(p *sim.Proc, a Addr, tag, msgid uint64, buf uproc.
 		if n > chunk {
 			n = chunk
 		}
-		payload, err := ep.readPayload(buf+uproc.VirtAddr(off), n)
+		payload, err := ep.readPayloadScratch(buf+uproc.VirtAddr(off), n)
 		if err != nil {
 			return err
 		}
 		hdr := ep.header(hfi.OpEager, tag, msgid, length, off, 0)
+		// LocalDeliver consumes the payload synchronously, so the scratch
+		// chunk can be reused for the next iteration.
 		if err := ep.nic.LocalDeliver(p, a.Ctx, hdr, payload, n); err != nil {
 			return err
 		}
@@ -96,10 +98,6 @@ func (ep *Endpoint) sendPIO(p *sim.Proc, dst int, a Addr, tag, msgid uint64, buf
 		if n > chunk {
 			n = chunk
 		}
-		payload, err := ep.readPayload(buf+uproc.VirtAddr(off), n)
-		if err != nil {
-			return err
-		}
 		hdr := ep.header(hfi.OpEager, tag, msgid, length, off, 0)
 		var onAcked func(error)
 		if off+n >= length {
@@ -114,8 +112,29 @@ func (ep *Endpoint) sendPIO(p *sim.Proc, dst int, a Addr, tag, msgid uint64, buf
 				}
 			}
 		}
-		if err := ep.sendFlowPkt(p, dst, a, hdr, payload, n, onAcked); err != nil {
-			return err
+		if !ep.reliable && !ep.Synthetic {
+			// Loss-free fabric: nothing retains the chunk after delivery,
+			// so it can ride a pooled buffer that the receiving NIC
+			// recycles.
+			payload := ep.nic.AllocPayload(int(n))
+			if err := ep.proc().ReadAt(buf+uproc.VirtAddr(off), payload); err != nil {
+				ep.nic.RecyclePayload(payload)
+				return fmt.Errorf("psm: rank %d payload read: %w", ep.Rank, err)
+			}
+			if err := ep.nic.PIOSendPooled(p, a.Node, a.Ctx, hdr, payload); err != nil {
+				return err
+			}
+			if onAcked != nil {
+				onAcked(nil)
+			}
+		} else {
+			payload, err := ep.readPayload(buf+uproc.VirtAddr(off), n)
+			if err != nil {
+				return err
+			}
+			if err := ep.sendFlowPkt(p, dst, a, hdr, payload, n, onAcked); err != nil {
+				return err
+			}
 		}
 		off += n
 		if off >= length {
@@ -125,12 +144,29 @@ func (ep *Endpoint) sendPIO(p *sim.Proc, dst int, a Addr, tag, msgid uint64, buf
 }
 
 // readPayload loads message bytes from user memory (nil in synthetic
-// mode — lengths still flow through the whole stack).
+// mode — lengths still flow through the whole stack). The buffer is
+// freshly allocated: reliability-mode callers retain it for retransmit.
 func (ep *Endpoint) readPayload(va uproc.VirtAddr, n uint64) ([]byte, error) {
 	if ep.Synthetic {
 		return nil, nil
 	}
 	buf := make([]byte, n)
+	if err := ep.proc().ReadAt(va, buf); err != nil {
+		return nil, fmt.Errorf("psm: rank %d payload read: %w", ep.Rank, err)
+	}
+	return buf, nil
+}
+
+// readPayloadScratch is readPayload into the endpoint's reusable chunk
+// buffer, for consumers that copy the bytes out synchronously.
+func (ep *Endpoint) readPayloadScratch(va uproc.VirtAddr, n uint64) ([]byte, error) {
+	if ep.Synthetic {
+		return nil, nil
+	}
+	if uint64(cap(ep.localBuf)) < n {
+		ep.localBuf = make([]byte, n)
+	}
+	buf := ep.localBuf[:n]
 	if err := ep.proc().ReadAt(va, buf); err != nil {
 		return nil, fmt.Errorf("psm: rank %d payload read: %w", ep.Rank, err)
 	}
@@ -376,7 +412,10 @@ func (ep *Endpoint) registerWindow(p *sim.Proc, rdv *rdvRecv) error {
 	if err != nil {
 		return fmt.Errorf("psm: TID update: %w", err)
 	}
-	pairs, err := hfi.ReadTIDList(ep.proc(), listVA, int(n))
+	// The pairs are retained on the window until it completes, so they
+	// get an owned slice; the byte staging buffer is endpoint scratch.
+	pairs, buf, err := hfi.ReadTIDListScratch(ep.proc(), listVA, int(n), nil, ep.tidBuf)
+	ep.tidBuf = buf
 	if err != nil {
 		return err
 	}
@@ -389,11 +428,11 @@ func (ep *Endpoint) registerWindow(p *sim.Proc, rdv *rdvRecv) error {
 		return err
 	}
 	hdr := ep.header(OpCTS, rdv.rr.tag, rdv.msgid, winLen, 0, winOff)
-	payload := encodeTIDPairs(pairs)
 	if ep.reliable {
 		// Retain the CTS and arm the window's recovery timer: if the
 		// expected data stalls (SDMA packets lost on the wire), the
 		// re-fired CTS makes the sender re-submit this window.
+		payload := encodeTIDPairs(pairs)
 		w.ctsPayload = payload
 		key := mtKey{msgid: rdv.msgid, win: winOff, kind: mtRdvWindow}
 		ep.armMsgTimer(key, int(rdv.src),
@@ -407,15 +446,22 @@ func (ep *Endpoint) registerWindow(p *sim.Proc, rdv *rdvRecv) error {
 					rdv.rr.req.Done = true
 				}
 			})
+		return ep.sendFlowPkt(p, int(rdv.src), addr, hdr, payload, 0, nil)
 	}
-	return ep.sendFlowPkt(p, int(rdv.src), addr, hdr, payload, 0, nil)
+	// Loss-free fabric: the CTS payload is consumed on delivery, so it
+	// rides a pooled buffer.
+	payload := ep.nic.AllocPayload(len(pairs) * hfi.TIDPairSize)
+	hfi.AppendTIDList(payload[:0], pairs)
+	return ep.nic.PIOSendPooled(p, addr.Node, addr.Ctx, hdr, payload)
 }
 
 // finishWindow frees a completed window's TIDs, pipelines the next
 // registration and completes the rendezvous when all bytes are in.
 func (ep *Endpoint) finishWindow(p *sim.Proc, rdv *rdvRecv, w *rdvWindow) error {
 	listVA := ep.slotVA(w.slot)
-	if err := hfi.WriteTIDList(ep.proc(), listVA, w.tids); err != nil {
+	buf, err := hfi.WriteTIDListScratch(ep.proc(), listVA, w.tids, ep.tidBuf)
+	ep.tidBuf = buf
+	if err != nil {
 		return err
 	}
 	argVA := ep.scratchVA + scratchTIDArg

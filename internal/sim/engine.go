@@ -38,10 +38,27 @@ type Engine struct {
 	rec    *trace.Recorder
 }
 
+// eventKind selects how a popped event is dispatched. The dominant
+// event types — process resumptions from Sleep, wake and spawn — carry
+// the *Proc directly (evProc) so scheduling them allocates nothing; the
+// general evFn path keeps the closure for everything else (After
+// callbacks, device completions).
+type eventKind uint8
+
+const (
+	evFn eventKind = iota
+	evProc
+	evArg
+)
+
 type event struct {
-	at  time.Duration
-	seq uint64
-	fn  func()
+	at   time.Duration
+	seq  uint64
+	kind eventKind
+	p    *Proc
+	fn   func()
+	afn  func(any)
+	arg  any
 }
 
 // NewEngine returns an engine with its virtual clock at zero and a
@@ -88,11 +105,36 @@ func (e *Engine) At(at time.Duration, fn func()) {
 		at = e.now
 	}
 	e.seq++
-	e.heap.push(event{at: at, seq: e.seq, fn: fn})
+	e.heap.push(event{at: at, seq: e.seq, kind: evFn, fn: fn})
+}
+
+// atProc schedules p to resume at absolute virtual time at without
+// allocating a closure. It follows the exact clamping and sequencing of
+// At, so the (at, seq) total order is identical to the closure path it
+// replaces.
+func (e *Engine) atProc(at time.Duration, p *Proc) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	e.heap.push(event{at: at, seq: e.seq, kind: evProc, p: p})
 }
 
 // After schedules fn to run d from now.
 func (e *Engine) After(d time.Duration, fn func()) { e.At(e.now+d, fn) }
+
+// AfterArg schedules fn(arg) to run d from now. Unlike After it
+// allocates nothing when fn is a reused func value and arg is a
+// pointer: hot callers (the fabric schedules one delivery per packet)
+// pool their argument records and pass the same fn every time.
+func (e *Engine) AfterArg(d time.Duration, fn func(any), arg any) {
+	at := e.now + d
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	e.heap.push(event{at: at, seq: e.seq, kind: evArg, afn: fn, arg: arg})
+}
 
 // Proc is a simulated process. Its methods must only be called from the
 // goroutine executing the process body.
@@ -144,7 +186,7 @@ func (e *Engine) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
 		}()
 		fn(p)
 	}()
-	e.At(e.now, func() { e.runProc(p) })
+	e.atProc(e.now, p)
 	return p
 }
 
@@ -164,7 +206,7 @@ func (p *Proc) block(state string) {
 
 // wake schedules p to resume at the current virtual time.
 func (e *Engine) wake(p *Proc) {
-	e.At(e.now, func() { e.runProc(p) })
+	e.atProc(e.now, p)
 }
 
 // Sleep advances the process's virtual time by d. Negative durations are
@@ -174,7 +216,7 @@ func (p *Proc) Sleep(d time.Duration) {
 		d = 0
 	}
 	e := p.e
-	e.At(e.now+d, func() { e.runProc(p) })
+	e.atProc(e.now+d, p)
 	p.block("sleep")
 }
 
@@ -226,7 +268,14 @@ func (e *Engine) Run(limit time.Duration) error {
 		}
 		ev := e.heap.pop()
 		e.now = ev.at
-		ev.fn()
+		switch ev.kind {
+		case evProc:
+			e.runProc(ev.p)
+		case evArg:
+			ev.afn(ev.arg)
+		default:
+			ev.fn()
+		}
 		if e.failv != nil {
 			if err, ok := e.failv.(error); ok {
 				return fmt.Errorf("sim: %w", err)

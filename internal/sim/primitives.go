@@ -2,54 +2,105 @@ package sim
 
 import "time"
 
+// waitq is a FIFO of blocked processes that reuses its backing array.
+// The old `ws = ws[1:]` reslicing discarded front capacity on every
+// dequeue, so each enqueue at steady state allocated a fresh array;
+// with a head index the array is reused and vacated slots are cleared
+// so finished processes are not kept reachable.
+type waitq struct {
+	procs []*Proc
+	head  int
+}
+
+func (w *waitq) len() int { return len(w.procs) - w.head }
+
+func (w *waitq) push(p *Proc) {
+	if w.head > 0 && w.head == len(w.procs) {
+		// Empty: rewind to reuse the full capacity.
+		w.procs = w.procs[:0]
+		w.head = 0
+	}
+	w.procs = append(w.procs, p)
+}
+
+func (w *waitq) pop() *Proc {
+	if w.head >= len(w.procs) {
+		return nil
+	}
+	p := w.procs[w.head]
+	w.procs[w.head] = nil
+	w.head++
+	if w.head == len(w.procs) {
+		w.procs = w.procs[:0]
+		w.head = 0
+	}
+	return p
+}
+
 // Queue is an unbounded FIFO queue of values passed between simulated
 // processes. Push never blocks; Pop blocks the calling process until an
 // item is available. Waiting processes are served in FIFO order.
+//
+// The item buffer is head-indexed and reused: popped slots are cleared
+// (so pooled values do not linger reachable) and the backing array is
+// rewound whenever the queue drains, making steady-state push/pop
+// allocation-free.
 type Queue[T any] struct {
 	e       *Engine
 	items   []T
-	waiters []*Proc
+	head    int
+	waiters waitq
 }
 
 // NewQueue returns an empty queue bound to e.
 func NewQueue[T any](e *Engine) *Queue[T] { return &Queue[T]{e: e} }
 
 // Len reports the number of queued items.
-func (q *Queue[T]) Len() int { return len(q.items) }
+func (q *Queue[T]) Len() int { return len(q.items) - q.head }
 
 // Waiters reports the number of processes blocked in Pop.
-func (q *Queue[T]) Waiters() int { return len(q.waiters) }
+func (q *Queue[T]) Waiters() int { return q.waiters.len() }
 
 // Push appends v and wakes the longest-waiting process, if any.
 func (q *Queue[T]) Push(v T) {
+	if q.head > 0 && q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
 	q.items = append(q.items, v)
-	if len(q.waiters) > 0 {
-		w := q.waiters[0]
-		q.waiters = q.waiters[1:]
+	if w := q.waiters.pop(); w != nil {
 		q.e.wake(w)
 	}
 }
 
+func (q *Queue[T]) popHead() T {
+	var zero T
+	v := q.items[q.head]
+	q.items[q.head] = zero
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return v
+}
+
 // TryPop removes and returns the head item without blocking.
 func (q *Queue[T]) TryPop() (T, bool) {
-	var zero T
-	if len(q.items) == 0 {
+	if q.Len() == 0 {
+		var zero T
 		return zero, false
 	}
-	v := q.items[0]
-	q.items = q.items[1:]
-	return v, true
+	return q.popHead(), true
 }
 
 // Pop blocks p until an item is available, then removes and returns it.
 func (q *Queue[T]) Pop(p *Proc) T {
-	for len(q.items) == 0 {
-		q.waiters = append(q.waiters, p)
+	for q.Len() == 0 {
+		q.waiters.push(p)
 		p.block("queue-pop")
 	}
-	v := q.items[0]
-	q.items = q.items[1:]
-	return v
+	return q.popHead()
 }
 
 // Cond is a condition variable for simulated processes. Unlike sync.Cond
@@ -58,7 +109,7 @@ func (q *Queue[T]) Pop(p *Proc) T {
 // because wakeups may be spurious when several processes share a Cond.
 type Cond struct {
 	e       *Engine
-	waiters []*Proc
+	waiters waitq
 }
 
 // NewCond returns a condition variable bound to e.
@@ -66,31 +117,32 @@ func NewCond(e *Engine) *Cond { return &Cond{e: e} }
 
 // Wait blocks p until Signal or Broadcast wakes it.
 func (c *Cond) Wait(p *Proc) {
-	c.waiters = append(c.waiters, p)
+	c.waiters.push(p)
 	p.block("cond-wait")
 }
 
 // Signal wakes the longest-waiting process, if any.
 func (c *Cond) Signal() {
-	if len(c.waiters) == 0 {
-		return
+	if w := c.waiters.pop(); w != nil {
+		c.e.wake(w)
 	}
-	w := c.waiters[0]
-	c.waiters = c.waiters[1:]
-	c.e.wake(w)
 }
 
 // Broadcast wakes every waiting process.
 func (c *Cond) Broadcast() {
-	ws := c.waiters
-	c.waiters = nil
-	for _, w := range ws {
+	// wake only schedules resumptions, so a woken process cannot
+	// re-enter Wait while this loop drains the queue.
+	for {
+		w := c.waiters.pop()
+		if w == nil {
+			return
+		}
 		c.e.wake(w)
 	}
 }
 
 // Waiting reports the number of blocked processes.
-func (c *Cond) Waiting() int { return len(c.waiters) }
+func (c *Cond) Waiting() int { return c.waiters.len() }
 
 // Resource models a pool of identical servers (for example, the Linux
 // CPUs of a node that service offloaded system calls). Acquire blocks
@@ -99,7 +151,7 @@ type Resource struct {
 	e        *Engine
 	capacity int
 	inUse    int
-	waiters  []*Proc
+	waiters  waitq
 	// Busy accumulates server-busy time for utilization accounting.
 	Busy time.Duration
 }
@@ -119,12 +171,12 @@ func (r *Resource) Capacity() int { return r.capacity }
 func (r *Resource) InUse() int { return r.inUse }
 
 // QueueLen returns the number of processes waiting for a server.
-func (r *Resource) QueueLen() int { return len(r.waiters) }
+func (r *Resource) QueueLen() int { return r.waiters.len() }
 
 // Acquire blocks p until a server is available and then claims it.
 func (r *Resource) Acquire(p *Proc) {
 	for r.inUse >= r.capacity {
-		r.waiters = append(r.waiters, p)
+		r.waiters.push(p)
 		p.block("resource-acquire")
 	}
 	r.inUse++
@@ -136,9 +188,7 @@ func (r *Resource) Release() {
 		panic("sim: Resource.Release without Acquire")
 	}
 	r.inUse--
-	if len(r.waiters) > 0 {
-		w := r.waiters[0]
-		r.waiters = r.waiters[1:]
+	if w := r.waiters.pop(); w != nil {
 		r.e.wake(w)
 	}
 }

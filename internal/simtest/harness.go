@@ -197,7 +197,7 @@ func run(w Workload, splitAt time.Duration) (*Report, error) {
 		Digest:      traceDigest(cl, eps, sums, rec),
 		VirtualTime: cl.E.Now(),
 		Messages:    len(w.Msgs),
-		Spans:       len(rec.Spans()),
+		Spans:       rec.SpanCount(),
 		Faults:      cl.Fab.FaultStats(),
 	}, nil
 }

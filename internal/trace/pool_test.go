@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// record emits a deterministic span workload: four (cat, name) pairs
+// cycling over two tracks, with a byte annotation on every third span.
+func record(r *Recorder, n int) {
+	cats := []string{CatPSM, CatSDMA}
+	names := []string{"send", "recv"}
+	tracks := []string{"rank0", "rank1"}
+	for i := 0; i < n; i++ {
+		var b uint64
+		if i%3 == 0 {
+			b = uint64(i)
+		}
+		r.SpanBytes(cats[i%2], names[(i/2)%2], tracks[i%2],
+			time.Duration(i), time.Duration(i+5), b)
+	}
+}
+
+// TestSpanRecordingSteadyStateAllocs pins the zero-alloc property of
+// enabled tracing: once the (cat, name) keys are interned and the first
+// chunk exists, recording a span allocates only when a 4096-span chunk
+// fills (amortized 1/4096 allocations per span).
+func TestSpanRecordingSteadyStateAllocs(t *testing.T) {
+	r := NewRecorder()
+	record(r, 8) // intern every key and track; allocate the first chunk
+	i := 0
+	avg := testing.AllocsPerRun(1000, func() {
+		r.SpanBytes(CatPSM, "send", "rank0", time.Duration(i), time.Duration(i+5), 0)
+		i++
+	})
+	if avg > 0.01 {
+		t.Fatalf("steady-state span recording allocates %.3f allocs/span, want ~1/%d", avg, spanChunkSize)
+	}
+}
+
+// TestSpanStorageAcrossChunks checks that chunked storage preserves
+// emission order and counts through multiple chunk boundaries.
+func TestSpanStorageAcrossChunks(t *testing.T) {
+	r := NewRecorder()
+	n := spanChunkSize*2 + 37
+	record(r, n)
+	if got := r.SpanCount(); got != n {
+		t.Fatalf("SpanCount = %d, want %d", got, n)
+	}
+	spans := r.Spans()
+	if len(spans) != n {
+		t.Fatalf("len(Spans()) = %d, want %d", len(spans), n)
+	}
+	var walked int
+	r.ForEachSpan(func(s *Span) {
+		if *s != spans[walked] {
+			t.Fatalf("span %d differs between Spans and ForEachSpan", walked)
+		}
+		walked++
+	})
+	if walked != n {
+		t.Fatalf("ForEachSpan visited %d spans, want %d", walked, n)
+	}
+	for i, s := range spans {
+		if s.Begin != time.Duration(i) {
+			t.Fatalf("span %d out of emission order: begin = %v", i, s.Begin)
+		}
+	}
+}
+
+// TestChromeTraceByteIdentical pins export determinism: two recorders
+// fed the same span sequence serialize to byte-identical JSON, across
+// chunk boundaries and with interned histogram keys.
+func TestChromeTraceByteIdentical(t *testing.T) {
+	a, b := NewRecorder(), NewRecorder()
+	n := spanChunkSize + 100
+	record(a, n)
+	record(b, n)
+	ja, jb := a.ChromeTraceJSON(), b.ChromeTraceJSON()
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("same span sequence produced different JSON (%d vs %d bytes)", len(ja), len(jb))
+	}
+	if len(a.HistogramNames()) == 0 {
+		t.Fatalf("no histograms registered")
+	}
+	for _, name := range a.HistogramNames() {
+		ha, hb := a.Histogram(name), b.Histogram(name)
+		if ha == nil || hb == nil || ha.Count() != hb.Count() {
+			t.Fatalf("histogram %q diverged", name)
+		}
+	}
+}
+
+// TestInternedHistogramSharesStringKey checks the interning is an alias,
+// not a fork: the span-fed histogram must be the same *Histogram the
+// string-keyed lookup returns, with first-use registration order kept.
+func TestInternedHistogramSharesStringKey(t *testing.T) {
+	r := NewRecorder()
+	r.SpanBytes(CatPSM, "send", "rank0", 0, time.Microsecond, 0)
+	r.SpanBytes(CatPSM, "send", "rank0", 0, 2*time.Microsecond, 0)
+	r.Observe(CatPSM+"/send", 3*time.Microsecond)
+	h := r.Histogram(CatPSM + "/send")
+	if h == nil {
+		t.Fatalf("span histogram not reachable under its cat/name key")
+	}
+	if h.Count() != 3 {
+		t.Fatalf("interned and string-keyed observations diverged: count = %d, want 3", h.Count())
+	}
+	if names := r.HistogramNames(); len(names) != 1 || names[0] != CatPSM+"/send" {
+		t.Fatalf("histogram registration order = %v", names)
+	}
+}

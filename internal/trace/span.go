@@ -41,6 +41,16 @@ type Span struct {
 	Bytes uint64
 }
 
+// spanChunkSize is the number of spans per storage chunk. Chunked
+// storage appends without ever copying earlier spans: recording N spans
+// costs N/spanChunkSize allocations total instead of the repeated
+// doubling copies of one growing slice.
+const spanChunkSize = 4096
+
+// histKey interns a (category, name) histogram identity so the per-span
+// histogram lookup needs no cat+"/"+name string concatenation.
+type histKey struct{ cat, name string }
+
 // Recorder accumulates spans and derived latency histograms. The zero
 // value is not usable; create with NewRecorder. A nil *Recorder is the
 // disabled state: every method is a no-op.
@@ -50,18 +60,23 @@ type Span struct {
 // under the deterministic engine — so two same-seed runs serialize to
 // byte-identical JSON.
 type Recorder struct {
-	spans      []Span
+	chunks     [][]Span // span storage; all chunks but the last are full
+	nspans     int
 	trackIDs   map[string]int
 	trackOrder []string
 	hists      map[string]*Histogram
 	histOrder  []string
+	// spanHists shares the hists entries under interned (cat, name)
+	// keys; the "cat/name" string is built once per distinct pair.
+	spanHists map[histKey]*Histogram
 }
 
 // NewRecorder returns an empty, enabled recorder.
 func NewRecorder() *Recorder {
 	return &Recorder{
-		trackIDs: make(map[string]int),
-		hists:    make(map[string]*Histogram),
+		trackIDs:  make(map[string]int),
+		hists:     make(map[string]*Histogram),
+		spanHists: make(map[histKey]*Histogram),
 	}
 }
 
@@ -73,7 +88,8 @@ func (r *Recorder) Span(cat, name, track string, begin, end time.Duration) {
 	r.SpanBytes(cat, name, track, begin, end, 0)
 }
 
-// SpanBytes is Span with a byte-count annotation.
+// SpanBytes is Span with a byte-count annotation. With steady-state
+// cat/name/track strings it allocates only once per spanChunkSize spans.
 func (r *Recorder) SpanBytes(cat, name, track string, begin, end time.Duration, bytes uint64) {
 	if r == nil {
 		return
@@ -85,8 +101,21 @@ func (r *Recorder) SpanBytes(cat, name, track string, begin, end time.Duration, 
 		r.trackIDs[track] = len(r.trackOrder) + 1 // tids start at 1
 		r.trackOrder = append(r.trackOrder, track)
 	}
-	r.spans = append(r.spans, Span{Cat: cat, Name: name, Track: track, Begin: begin, End: end, Bytes: bytes})
-	r.Observe(cat+"/"+name, end-begin)
+	last := len(r.chunks) - 1
+	if last < 0 || len(r.chunks[last]) == spanChunkSize {
+		r.chunks = append(r.chunks, make([]Span, 0, spanChunkSize))
+		last++
+	}
+	r.chunks[last] = append(r.chunks[last],
+		Span{Cat: cat, Name: name, Track: track, Begin: begin, End: end, Bytes: bytes})
+	r.nspans++
+	key := histKey{cat: cat, name: name}
+	h, ok := r.spanHists[key]
+	if !ok {
+		h = r.histFor(cat + "/" + name)
+		r.spanHists[key] = h
+	}
+	h.Observe(end - begin)
 }
 
 // Observe feeds a named histogram directly (for latencies that are not
@@ -95,22 +124,51 @@ func (r *Recorder) Observe(name string, d time.Duration) {
 	if r == nil {
 		return
 	}
+	r.histFor(name).Observe(d)
+}
+
+func (r *Recorder) histFor(name string) *Histogram {
 	h, ok := r.hists[name]
 	if !ok {
 		h = &Histogram{}
 		r.hists[name] = h
 		r.histOrder = append(r.histOrder, name)
 	}
-	h.Observe(d)
+	return h
 }
 
-// Spans returns the recorded spans in emission order (nil when
-// disabled).
-func (r *Recorder) Spans() []Span {
+// SpanCount returns the number of recorded spans (0 when disabled).
+func (r *Recorder) SpanCount() int {
 	if r == nil {
+		return 0
+	}
+	return r.nspans
+}
+
+// Spans returns a copy of the recorded spans in emission order (nil
+// when disabled or empty). Exporters that only iterate should use
+// ForEachSpan, which does not materialize the copy.
+func (r *Recorder) Spans() []Span {
+	if r == nil || r.nspans == 0 {
 		return nil
 	}
-	return r.spans
+	out := make([]Span, 0, r.nspans)
+	for _, c := range r.chunks {
+		out = append(out, c...)
+	}
+	return out
+}
+
+// ForEachSpan visits the recorded spans in emission order.
+func (r *Recorder) ForEachSpan(fn func(*Span)) {
+	if r == nil {
+		return
+	}
+	for _, c := range r.chunks {
+		for i := range c {
+			fn(&c[i])
+		}
+	}
 }
 
 // Histogram returns the named histogram, or nil if nothing was
@@ -178,18 +236,21 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 			return err
 		}
 	}
-	for _, s := range r.spans {
-		tid := r.trackIDs[s.Track]
-		if s.Bytes != 0 {
-			if err := emit(`{"ph":"X","pid":1,"tid":%d,"cat":"%s","name":"%s","ts":%s,"dur":%s,"args":{"bytes":%d}}`,
-				tid, jsonEscape(s.Cat), jsonEscape(s.Name), tsMicros(s.Begin), tsMicros(s.End-s.Begin), s.Bytes); err != nil {
+	for _, c := range r.chunks {
+		for i := range c {
+			s := &c[i]
+			tid := r.trackIDs[s.Track]
+			if s.Bytes != 0 {
+				if err := emit(`{"ph":"X","pid":1,"tid":%d,"cat":"%s","name":"%s","ts":%s,"dur":%s,"args":{"bytes":%d}}`,
+					tid, jsonEscape(s.Cat), jsonEscape(s.Name), tsMicros(s.Begin), tsMicros(s.End-s.Begin), s.Bytes); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := emit(`{"ph":"X","pid":1,"tid":%d,"cat":"%s","name":"%s","ts":%s,"dur":%s}`,
+				tid, jsonEscape(s.Cat), jsonEscape(s.Name), tsMicros(s.Begin), tsMicros(s.End-s.Begin)); err != nil {
 				return err
 			}
-			continue
-		}
-		if err := emit(`{"ph":"X","pid":1,"tid":%d,"cat":"%s","name":"%s","ts":%s,"dur":%s}`,
-			tid, jsonEscape(s.Cat), jsonEscape(s.Name), tsMicros(s.Begin), tsMicros(s.End-s.Begin)); err != nil {
-			return err
 		}
 	}
 	_, err := io.WriteString(w, "\n]}\n")

@@ -72,6 +72,10 @@ type Process struct {
 
 	mmapAlloc *vas.RangeAllocator
 	vmas      map[VirtAddr]*VMA
+	// extScratch backs the page-table walk in access: user memory is
+	// touched on every simulated syscall and DMA, so the extent list is
+	// reused instead of reallocated per access.
+	extScratch []mem.Extent
 }
 
 // mmapWindow is where anonymous mappings are placed (a 2M-aligned slice
@@ -230,7 +234,8 @@ func (p *Process) WriteAt(va VirtAddr, buf []byte) error {
 }
 
 func (p *Process) access(va VirtAddr, buf []byte, write bool) error {
-	exts, err := p.PT.WalkExtents(va, uint64(len(buf)))
+	exts, err := p.PT.WalkExtentsInto(p.extScratch[:0], va, uint64(len(buf)))
+	p.extScratch = exts
 	if err != nil {
 		return fmt.Errorf("uproc: %s: segfault at %#x: %w", p.Name, va, err)
 	}

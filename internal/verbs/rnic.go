@@ -111,6 +111,9 @@ type RNIC struct {
 	// completion-channel-free busy poll noticing new CQEs).
 	Notify *sim.Cond
 
+	// trackName is the cached span-track label ("rnic<node>").
+	trackName string
+
 	// Counters (consumed by simtest digests and invariants).
 	Doorbells uint64
 	WQEs      uint64
@@ -133,6 +136,7 @@ func NewRNIC(e *sim.Engine, pr *model.Params, node int, phys *mem.PhysMem,
 		sched:     sim.NewQueue[*hwQP](e),
 		rxq:       sim.NewQueue[*fabric.Packet](e),
 		Notify:    sim.NewCond(e),
+		trackName: fmt.Sprintf("rnic%d", node),
 	}
 	if _, err := fab.Attach(node, func(pkt *fabric.Packet) { r.rxq.Push(pkt) }); err != nil {
 		return nil, err
@@ -143,7 +147,7 @@ func NewRNIC(e *sim.Engine, pr *model.Params, node int, phys *mem.PhysMem,
 }
 
 // track names this HCA's span track.
-func (r *RNIC) track() string { return fmt.Sprintf("rnic%d", r.node) }
+func (r *RNIC) track() string { return r.trackName }
 
 // LiveQPs counts QPs not yet destroyed.
 func (r *RNIC) LiveQPs() int { return len(r.qps) }
@@ -365,12 +369,13 @@ func (r *RNIC) execWQE(p *sim.Proc, qp *hwQP, w *WQE) {
 		r.streamOut(p, qp.remoteNode, qp.remoteQPN, qp.qpn, w.Opcode, msgID, h, w)
 		r.e.Recorder().SpanBytes(trace.CatVerbs, "dma", r.track(), dmaBegin, p.Now(), w.Len)
 	case OpcodeRead:
-		pkt := &fabric.Packet{
+		pkt := r.fab.GetPacket()
+		*pkt = fabric.Packet{
 			SrcNode: r.node, DstNode: qp.remoteNode, DstCtx: int(qp.remoteQPN),
 			Kind: fabric.KindRDMA,
 			Hdr: fabric.Header{Op: OpcodeRead, SrcRank: qp.qpn, Tag: w.RAddr,
 				Aux: uint64(w.RKey), MsgID: msgID, MsgLen: w.Len},
-			Last: true,
+			Last: true, Pooled: true,
 		}
 		if err := r.fab.Send(p, pkt); err != nil {
 			r.e.Fail(err)
@@ -394,7 +399,7 @@ func (r *RNIC) streamOut(p *sim.Proc, dstNode int, dstQPN, srcQPN, op uint32,
 		last := off+n == w.Len
 		var payload []byte
 		if !r.synthetic && n > 0 {
-			payload = make([]byte, n)
+			payload = r.fab.GetBuf(int(n))
 			if err := r.dmaAccess(p, h, w.LAddr-h.IOVA+off, payload, false); err != nil {
 				r.e.Fail(err)
 				return
@@ -406,12 +411,14 @@ func (r *RNIC) streamOut(p *sim.Proc, dstNode int, dstQPN, srcQPN, op uint32,
 				return
 			}
 		}
-		pkt := &fabric.Packet{
+		pkt := r.fab.GetPacket()
+		*pkt = fabric.Packet{
 			SrcNode: r.node, DstNode: dstNode, DstCtx: int(dstQPN),
 			Kind: fabric.KindRDMA,
 			Hdr: fabric.Header{Op: op, SrcRank: srcQPN, Tag: w.RAddr,
 				Aux: uint64(w.RKey), MsgID: msgID, MsgLen: w.Len, Offset: off},
 			Payload: payload, Bytes: n, Last: last,
+			Pooled:  true, PooledPayload: payload != nil,
 		}
 		if err := r.fab.Send(p, pkt); err != nil {
 			r.e.Fail(err)
@@ -505,17 +512,21 @@ func (r *RNIC) runRx(p *sim.Proc) {
 			r.e.Fail(fmt.Errorf("verbs: unknown wire opcode %d", pkt.Hdr.Op))
 			return
 		}
+		// Every handler consumes the packet synchronously (payload bytes
+		// are DMA'd before return), so it can go back to the pool here.
+		r.fab.Release(pkt)
 	}
 }
 
 // reply sends an ack/nak (or read response) back to the initiator.
 func (r *RNIC) reply(p *sim.Proc, pkt *fabric.Packet, op, status uint32) {
-	out := &fabric.Packet{
+	out := r.fab.GetPacket()
+	*out = fabric.Packet{
 		SrcNode: r.node, DstNode: pkt.SrcNode, DstCtx: int(pkt.Hdr.SrcRank),
 		Kind: fabric.KindRDMA,
 		Hdr: fabric.Header{Op: op, SrcRank: uint32(pkt.DstCtx),
 			MsgID: pkt.Hdr.MsgID, Aux: uint64(status)},
-		Last: true,
+		Last: true, Pooled: true,
 	}
 	if err := r.fab.Send(p, out); err != nil {
 		r.e.Fail(err)
