@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet check bench bench-gate simtest trace-smoke verbs-trace-smoke reliability-smoke artifacts artifacts-paper examples clean
+.PHONY: all build test vet check bench bench-gate simtest trace-smoke verbs-trace-smoke reliability-smoke snapshot-smoke artifacts artifacts-paper examples clean
 
 all: build test
 
@@ -64,6 +64,27 @@ reliability-smoke:
 	grep -q retransmit /tmp/picodriver-rel-a.json
 	$(GO) run ./cmd/tracecheck /tmp/picodriver-rel-a.json
 	rm -f /tmp/picodriver-rel-a.json /tmp/picodriver-rel-b.json /tmp/picodriver-rel-a.txt /tmp/picodriver-rel-b.txt
+
+# Checkpoint/restore gate: a traced Figure 4 cell checkpointed at half
+# its virtual time and resumed from the snapshot must print the same
+# statistics and serialize a byte-identical Chrome trace as the
+# straight run; and the experiment-level -checkpoint/-resume manifest
+# must re-emit byte-identical artifacts without re-running.
+snapshot-smoke:
+	$(GO) run ./cmd/snapcheck -mode straight -trace /tmp/picodriver-snap-a.json > /tmp/picodriver-snap-a.txt
+	$(GO) run ./cmd/snapcheck -mode checkpoint -snap /tmp/picodriver-mid.snap
+	$(GO) run ./cmd/snapcheck -mode resume -snap /tmp/picodriver-mid.snap -trace /tmp/picodriver-snap-b.json > /tmp/picodriver-snap-b.txt
+	cmp /tmp/picodriver-snap-a.txt /tmp/picodriver-snap-b.txt
+	cmp /tmp/picodriver-snap-a.json /tmp/picodriver-snap-b.json
+	$(GO) run ./cmd/tracecheck /tmp/picodriver-snap-a.json
+	rm -rf /tmp/picodriver-ckpt-a /tmp/picodriver-ckpt-b /tmp/picodriver.ckpt
+	$(GO) run ./cmd/experiments -only fig4 -out /tmp/picodriver-ckpt-a -checkpoint /tmp/picodriver.ckpt >/dev/null
+	$(GO) run ./cmd/experiments -only fig4 -out /tmp/picodriver-ckpt-b -checkpoint /tmp/picodriver.ckpt -resume >/dev/null
+	cmp /tmp/picodriver-ckpt-a/fig4.txt /tmp/picodriver-ckpt-b/fig4.txt
+	cmp /tmp/picodriver-ckpt-a/fig4.csv /tmp/picodriver-ckpt-b/fig4.csv
+	rm -rf /tmp/picodriver-snap-a.txt /tmp/picodriver-snap-b.txt /tmp/picodriver-snap-a.json \
+		/tmp/picodriver-snap-b.json /tmp/picodriver-mid.snap \
+		/tmp/picodriver-ckpt-a /tmp/picodriver-ckpt-b /tmp/picodriver.ckpt
 
 # One testing.B benchmark per paper table/figure, plus ablations.
 # Writes BENCH_pr6.json; BENCH_seed.json is the frozen pre-pooling

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	experiments [-scale small|paper] [-only fig4,fig5a,...] [-out DIR] [-j N]
+//	            [-checkpoint FILE [-resume]]
 //
 // Experiment ids: fig4, fig5a, fig5b, fig6a, fig6b, fig7, table1, fig8,
 // fig9, verbs, reliability. With -out, each artifact is also written to
@@ -12,6 +13,12 @@
 // -j fans the independent simulation cells of each experiment out over N
 // workers (default: GOMAXPROCS). Artifacts are byte-identical for any
 // -j, including -j 1; only wall-clock changes.
+//
+// -checkpoint FILE records each finished experiment's artifacts in a
+// resumable manifest; adding -resume emits already-recorded experiments
+// from the manifest instead of re-running them, so an interrupted
+// -scale paper run picks up where it stopped. The manifest pins the
+// scale and seed: resuming under different parameters is refused.
 package main
 
 import (
@@ -38,7 +45,13 @@ func main() {
 	onlyFlag := flag.String("only", "", "comma-separated experiment ids (default: all)")
 	outFlag := flag.String("out", "", "directory to write artifacts into")
 	jFlag := flag.Int("j", 0, "parallel simulation jobs (0 = GOMAXPROCS)")
+	ckptFlag := flag.String("checkpoint", "", "record finished experiments in this resumable manifest")
+	resumeFlag := flag.Bool("resume", false, "with -checkpoint: emit already-recorded experiments from the manifest")
 	flag.Parse()
+	if *resumeFlag && *ckptFlag == "" {
+		fmt.Fprintln(os.Stderr, "-resume requires -checkpoint FILE")
+		os.Exit(2)
+	}
 
 	var sc experiments.Scale
 	switch *scaleFlag {
@@ -72,6 +85,15 @@ func main() {
 	cfg := experiments.NewConfig(sc, *jFlag)
 	fmt.Fprintf(os.Stderr, "experiments: scale=%s workers=%d\n", sc.Name, cfg.Pool.Workers())
 
+	var ckpt *experiments.Checkpoint
+	if *ckptFlag != "" {
+		meta := fmt.Sprintf("scale=%s seed=%d", sc.Name, sc.Seed)
+		var err error
+		if ckpt, err = experiments.LoadCheckpoint(*ckptFlag, meta, *resumeFlag); err != nil {
+			fatal(err)
+		}
+	}
+
 	// A failed sweep job doesn't abort the whole run: the experiment is
 	// named on stderr, the remaining experiments still execute, and the
 	// process exits non-zero at the end.
@@ -98,24 +120,42 @@ func main() {
 		}
 	}
 
-	// timed reports each experiment's wall-clock on stderr, where the
-	// effect of -j is otherwise invisible.
-	timed := func(id string, run func()) {
+	// do runs one experiment — or replays it from the resume manifest —
+	// emits its artifacts, records them in the checkpoint, and reports
+	// wall-clock on stderr (where the effect of -j is otherwise
+	// invisible).
+	do := func(id string, run func() (text, csv string, err error)) {
+		if !selected(id) {
+			return
+		}
+		if ckpt != nil && ckpt.Has(id) {
+			text, csv := ckpt.Artifact(id)
+			emit(id, text, csv)
+			fmt.Fprintf(os.Stderr, "experiments: %-6s resumed from %s\n", id, *ckptFlag)
+			return
+		}
 		start := time.Now()
-		run()
+		text, csv, err := run()
+		if err != nil {
+			fail(id, err)
+			return
+		}
+		emit(id, text, csv)
+		if ckpt != nil {
+			if err := ckpt.Record(id, text, csv); err != nil {
+				fatal(err)
+			}
+		}
 		fmt.Fprintf(os.Stderr, "experiments: %-6s %s\n", id, time.Since(start).Round(time.Millisecond))
 	}
 
-	if selected("fig4") {
-		timed("fig4", func() {
-			rows, err := experiments.Fig4(cfg)
-			if err != nil {
-				fail("fig4", err)
-				return
-			}
-			emit("fig4", report.Fig4Table(rows), report.Fig4CSV(rows))
-		})
-	}
+	do("fig4", func() (string, string, error) {
+		rows, err := experiments.Fig4(cfg)
+		if err != nil {
+			return "", "", err
+		}
+		return report.Fig4Table(rows), report.Fig4CSV(rows), nil
+	})
 
 	scaling := []struct {
 		id, title string
@@ -129,70 +169,53 @@ func main() {
 		{"fig7", "Figure 7: QBOX", miniapps.QBOX(), sc.QBoxNodes},
 	}
 	for _, s := range scaling {
-		if !selected(s.id) {
-			continue
-		}
 		s := s
-		timed(s.id, func() {
+		do(s.id, func() (string, string, error) {
 			pts, err := experiments.AppScaling(cfg, s.app, s.nodes)
 			if err != nil {
-				fail(s.id, err)
-				return
+				return "", "", err
 			}
-			emit(s.id, report.ScalingTable(s.title, pts), report.ScalingCSV(pts))
+			return report.ScalingTable(s.title, pts), report.ScalingCSV(pts), nil
 		})
 	}
 
-	if selected("table1") {
-		timed("table1", func() {
-			profiles, err := experiments.Table1(cfg)
-			if err != nil {
-				fail("table1", err)
-				return
-			}
-			emit("table1", report.Table1(profiles), report.Table1CSV(profiles))
-		})
-	}
+	do("table1", func() (string, string, error) {
+		profiles, err := experiments.Table1(cfg)
+		if err != nil {
+			return "", "", err
+		}
+		return report.Table1(profiles), report.Table1CSV(profiles), nil
+	})
 
 	for _, bd := range []struct{ id, app string }{
 		{"fig8", "UMT2013"},
 		{"fig9", "QBOX"},
 	} {
-		if !selected(bd.id) {
-			continue
-		}
 		bd := bd
-		timed(bd.id, func() {
+		do(bd.id, func() (string, string, error) {
 			orig, pico, err := experiments.SyscallBreakdown(cfg, bd.app)
 			if err != nil {
-				fail(bd.id, err)
-				return
+				return "", "", err
 			}
-			emit(bd.id, report.BreakdownTable(orig, pico), report.BreakdownCSV(orig, pico))
+			return report.BreakdownTable(orig, pico), report.BreakdownCSV(orig, pico), nil
 		})
 	}
 
-	if selected("verbs") {
-		timed("verbs", func() {
-			rows, err := experiments.VerbsSweep(cfg)
-			if err != nil {
-				fail("verbs", err)
-				return
-			}
-			emit("verbs", report.VerbsTable(rows), report.VerbsCSV(rows))
-		})
-	}
+	do("verbs", func() (string, string, error) {
+		rows, err := experiments.VerbsSweep(cfg)
+		if err != nil {
+			return "", "", err
+		}
+		return report.VerbsTable(rows), report.VerbsCSV(rows), nil
+	})
 
-	if selected("reliability") {
-		timed("reliability", func() {
-			rows, err := experiments.Reliability(cfg)
-			if err != nil {
-				fail("reliability", err)
-				return
-			}
-			emit("reliability", report.ReliabilityTable(rows), report.ReliabilityCSV(rows))
-		})
-	}
+	do("reliability", func() (string, string, error) {
+		rows, err := experiments.Reliability(cfg)
+		if err != nil {
+			return "", "", err
+		}
+		return report.ReliabilityTable(rows), report.ReliabilityCSV(rows), nil
+	})
 
 	if len(failed) > 0 {
 		fmt.Fprintf(os.Stderr, "experiments: %d experiment(s) failed: %s\n",

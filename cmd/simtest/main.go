@@ -1,29 +1,41 @@
 // Command simtest soaks the property-based simulation harness: many
 // randomized cells per OS configuration run in parallel, each through
-// the full determinism check, and every failure prints the workload
-// summary plus a one-line single-seed repro command. The exit status
-// is non-zero if any cell fails.
+// the full determinism-and-snapshot-equivalence check, and every
+// failure prints the workload summary plus a one-line single-seed
+// repro command. With -snapdir, each failing cell additionally emits a
+// simulator snapshot captured shortly before the failure, plus the
+// `go test -restore=<file>` command that replays just the final slice
+// under tracing. The exit status is non-zero if any cell fails.
 //
 // Usage:
 //
-//	go run ./cmd/simtest -seed 1 -cells 100 -j 8
+//	go run ./cmd/simtest -seed 1 -cells 100 -j 8 -snapdir .
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"repro/internal/cluster"
 	"repro/internal/runner"
 	"repro/internal/simtest"
 )
 
+// snapFileName flattens a cell name ("Linux/!tid/0") into a filename.
+func snapFileName(seed int64, cell string) string {
+	r := strings.NewReplacer("/", "-", "!", "", "+", "")
+	return fmt.Sprintf("simtest-fail-s%d-%s.snap", seed, r.Replace(cell))
+}
+
 func main() {
 	seed := flag.Int64("seed", 1, "base seed")
 	cells := flag.Int("cells", 50, "cells per OS configuration")
 	jobs := flag.Int("j", 0, "parallel workers (0 = GOMAXPROCS)")
 	verbose := flag.Bool("v", false, "print passing cells too")
+	snapdir := flag.String("snapdir", "", "write a pre-failure snapshot per failing cell into this directory")
 	flag.Parse()
 
 	type outcome struct {
@@ -63,7 +75,21 @@ func main() {
 	for _, o := range results {
 		if o.err != nil {
 			failed++
-			fmt.Fprintf(os.Stderr, "FAIL %s\n%v\n\n", o.cell, o.err)
+			fmt.Fprintf(os.Stderr, "FAIL %s\n%v\n", o.cell, o.err)
+			if *snapdir != "" {
+				if snap, at, serr := simtest.FailureSnapshot(*seed, o.cell); serr != nil {
+					fmt.Fprintf(os.Stderr, "(no failure snapshot: %v)\n", serr)
+				} else {
+					file := filepath.Join(*snapdir, snapFileName(*seed, o.cell))
+					if werr := os.WriteFile(file, snap, 0o644); werr != nil {
+						fmt.Fprintf(os.Stderr, "(snapshot not written: %v)\n", werr)
+					} else {
+						fmt.Fprintf(os.Stderr, "snapshot: %s (state at %v, just before the failure)\nreplay:   %s\n",
+							file, at, simtest.ReproRestore(*seed, o.cell, file))
+					}
+				}
+			}
+			fmt.Fprintln(os.Stderr)
 		} else if *verbose {
 			fmt.Printf("ok   %s digest=%s\n", o.cell, o.digest)
 		}

@@ -133,6 +133,10 @@ func New(cfg Config) (*Cluster, error) {
 	c.Fab = fabric.New(c.E, c.Params)
 	c.IBFab = fabric.New(c.E, c.Params)
 	c.Fab.SetFaults(&c.Cfg.Faults)
+	// Snapshot registration: the OmniPath fabric takes the bare label,
+	// the IB fabric the deterministic "#1" suffix.
+	c.E.RegisterState("fabric", c.Fab.EncodeState)
+	c.E.RegisterState("fabric", c.IBFab.EncodeState)
 	for i := 0; i < cfg.Nodes; i++ {
 		n, err := c.buildNode(i)
 		if err != nil {
@@ -253,6 +257,20 @@ func (c *Cluster) buildNode(id int) (*Node, error) {
 			return nil, err
 		}
 	}
+
+	// Register this node's per-layer snapshot sections. Labels sort
+	// together per node; short-lived layers (PSM endpoints) register
+	// and unregister themselves instead.
+	c.E.RegisterState(fmt.Sprintf("node%d/mem", id), n.Phys.EncodeState)
+	c.E.RegisterState(fmt.Sprintf("node%d/kmem-linux", id), n.LinSpace.EncodeState)
+	if n.LWKSpace != nil {
+		c.E.RegisterState(fmt.Sprintf("node%d/kmem-lwk", id), n.LWKSpace.EncodeState)
+	}
+	c.E.RegisterState(fmt.Sprintf("node%d/linux", id), n.Lin.EncodeState)
+	c.E.RegisterState(fmt.Sprintf("node%d/hfi", id), n.NIC.EncodeState)
+	c.E.RegisterState(fmt.Sprintf("node%d/hfidrv", id), n.Drv.EncodeState)
+	c.E.RegisterState(fmt.Sprintf("node%d/rnic", id), n.RNIC.EncodeState)
+	c.E.RegisterState(fmt.Sprintf("node%d/mlx", id), n.Mlx.EncodeState)
 	return n, nil
 }
 

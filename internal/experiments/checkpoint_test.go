@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/trace"
+)
+
+// TestCheckpointManifest covers the experiment-level resume protocol:
+// recorded artifacts come back verbatim, resume tolerates a missing
+// file, and a manifest recorded under different parameters is refused.
+func TestCheckpointManifest(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+
+	ck, err := LoadCheckpoint(path, "scale=tiny seed=1", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Has("fig4") {
+		t.Fatal("fresh manifest claims fig4 done")
+	}
+	if err := ck.Record("fig4", "the table\n", "a,b\n1,2\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.Record("table1", "profiles\n", ""); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := LoadCheckpoint(path, "scale=tiny seed=1", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"fig4", "table1"} {
+		if !re.Has(id) {
+			t.Fatalf("resumed manifest lost %s", id)
+		}
+	}
+	if re.Has("fig5a") {
+		t.Fatal("resumed manifest invents fig5a")
+	}
+	text, csv := re.Artifact("fig4")
+	if text != "the table\n" || csv != "a,b\n1,2\n" {
+		t.Fatalf("fig4 artifact mangled: %q / %q", text, csv)
+	}
+	if text, csv = re.Artifact("table1"); text != "profiles\n" || csv != "" {
+		t.Fatalf("table1 artifact mangled: %q / %q", text, csv)
+	}
+
+	if _, err := LoadCheckpoint(path, "scale=paper seed=1", true); err == nil {
+		t.Fatal("manifest recorded at scale=tiny accepted for a scale=paper resume")
+	}
+
+	// Resume with no file on disk starts fresh.
+	fresh, err := LoadCheckpoint(filepath.Join(t.TempDir(), "none.ckpt"), "m", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Has("fig4") {
+		t.Fatal("nonexistent manifest claims work done")
+	}
+}
+
+// TestPingPongCheckpointResume pins the engine-level workflow the
+// snapshot-smoke CI gate runs: a Figure 4 cell checkpointed at half
+// its virtual time and resumed from the image must reproduce the
+// straight run's statistics and serialize a byte-identical Chrome
+// trace.
+func TestPingPongCheckpointResume(t *testing.T) {
+	cfg := tinyConfig()
+	const size = 256 << 10 // rendezvous: TID/SDMA state in flight at mid
+	os := cluster.OSMcKernelHFI
+
+	recA := trace.NewRecorder()
+	straight, err := PingPongStraight(cfg, os, size, recA)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var img bytes.Buffer
+	at, err := PingPongCheckpoint(cfg, os, size, &img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at <= 0 || img.Len() == 0 {
+		t.Fatalf("empty checkpoint (at=%v, %d bytes)", at, img.Len())
+	}
+
+	recB := trace.NewRecorder()
+	resumed, err := PingPongResume(cfg, os, size, img.Bytes(), recB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if straight != resumed {
+		t.Fatalf("resumed cell diverged: straight %v, resumed %v", straight, resumed)
+	}
+	if !bytes.Equal(recA.ChromeTraceJSON(), recB.ChromeTraceJSON()) {
+		t.Fatal("resumed run's trace differs from the straight run's")
+	}
+
+	// A corrupted image must be rejected, not half-restored.
+	bad := append([]byte(nil), img.Bytes()...)
+	bad[img.Len()/2] ^= 1
+	if _, err := PingPongResume(cfg, os, size, bad, nil); err == nil {
+		t.Fatal("bit-flipped checkpoint accepted")
+	}
+}

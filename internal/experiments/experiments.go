@@ -233,18 +233,38 @@ func TracedPingPong(cfg Config, os cluster.OSType, size uint64) (*trace.Recorder
 }
 
 func pingPongRec(cfg Config, os cluster.OSType, size uint64, reps int, seed int64, rec *trace.Recorder) (ppResult, error) {
+	c, err := buildPingPong(cfg, os, size, reps, seed, rec)
+	if err != nil {
+		return ppResult{}, err
+	}
+	return c.finish()
+}
+
+// ppCell is a built-but-not-yet-run ping-pong cell: the cluster with
+// both rank processes spawned, plus the accumulators their closures
+// write into. Splitting construction from execution is what lets
+// checkpoint/resume interpose on the engine between the two.
+type ppCell struct {
+	cl     *cluster.Cluster
+	reps   int
+	total  time.Duration
+	hist   *trace.Histogram
+	runErr error
+}
+
+// buildPingPong constructs the cell and spawns the ranks; the engine
+// has not run yet when it returns.
+func buildPingPong(cfg Config, os cluster.OSType, size uint64, reps int, seed int64, rec *trace.Recorder) (*ppCell, error) {
 	// Loss-free cells run synthetic (no payload materialization); a
 	// lossy fault profile needs real bytes so every bounce can be
 	// verified against the reference pattern.
 	lossy := cfg.Faults.Active()
 	cl, err := cfg.cluster(2, os, seed, !lossy)
 	if err != nil {
-		return ppResult{}, err
+		return nil, err
 	}
 	cl.E.SetRecorder(rec)
-	var total time.Duration
-	hist := &trace.Histogram{}
-	var runErr error
+	c := &ppCell{cl: cl, reps: reps, hist: &trace.Histogram{}}
 	eps := make([]*psm.Endpoint, 2)
 	book := psm.MapBook{}
 	ready := sim.NewWaitGroup(cl.E)
@@ -256,7 +276,7 @@ func pingPongRec(cfg Config, os cluster.OSType, size uint64, reps int, seed int6
 		cl.E.Go(fmt.Sprintf("pp%d", r), func(p *sim.Proc) {
 			ep, err := psm.NewEndpoint(p, osops, r, book, !lossy)
 			if err != nil {
-				runErr = err
+				c.runErr = err
 				ready.Done()
 				return
 			}
@@ -266,7 +286,7 @@ func pingPongRec(cfg Config, os cluster.OSType, size uint64, reps int, seed int6
 			ready.Wait(p)
 			buf, err := osops.MmapAnon(p, size)
 			if err != nil {
-				runErr = err
+				c.runErr = err
 				return
 			}
 			// On a lossy fabric rank 0 seeds a reference pattern and
@@ -274,7 +294,7 @@ func pingPongRec(cfg Config, os cluster.OSType, size uint64, reps int, seed int6
 			// layer must recover loss, never rewrite bytes.
 			if lossy && r == 0 {
 				if err := ep.OS.Proc().WriteAt(buf, relPattern(uint64(seed), size)); err != nil {
-					runErr = err
+					c.runErr = err
 					return
 				}
 			}
@@ -285,43 +305,43 @@ func pingPongRec(cfg Config, os cluster.OSType, size uint64, reps int, seed int6
 				if r == 0 {
 					start = p.Now()
 					if err := ep.Send(p, 1, tag, buf, size); err != nil {
-						runErr = err
+						c.runErr = err
 						return
 					}
 					if err := ep.Recv(p, 1, tag, buf, size); err != nil {
-						runErr = err
+						c.runErr = err
 						return
 					}
 					if lossy {
 						got := make([]byte, size)
 						if err := ep.OS.Proc().ReadAt(buf, got); err != nil {
-							runErr = err
+							c.runErr = err
 							return
 						}
 						if !bytes.Equal(got, relPattern(uint64(seed), size)) {
-							runErr = fmt.Errorf("pingpong: bounce %d corrupted the payload (size %d, %s)", i, size, os)
+							c.runErr = fmt.Errorf("pingpong: bounce %d corrupted the payload (size %d, %s)", i, size, os)
 							return
 						}
 					}
 					if i > 0 {
 						rtt := p.Now() - start
-						total += rtt
-						hist.Observe(rtt / 2)
+						c.total += rtt
+						c.hist.Observe(rtt / 2)
 					}
 				} else {
 					if err := ep.Recv(p, 0, tag, buf, size); err != nil {
-						runErr = err
+						c.runErr = err
 						return
 					}
 					if err := ep.Send(p, 0, tag, buf, size); err != nil {
-						runErr = err
+						c.runErr = err
 						return
 					}
 				}
 			}
 			if lossy {
 				if err := ep.Quiesce(p); err != nil {
-					runErr = err
+					c.runErr = err
 					return
 				}
 				// Stay alive until the peer has drained too: a quiesced
@@ -330,7 +350,7 @@ func pingPongRec(cfg Config, os cluster.OSType, size uint64, reps int, seed int6
 				*idle++
 				for *idle < 2 {
 					if _, err := ep.Progress(p); err != nil {
-						runErr = err
+						c.runErr = err
 						return
 					}
 					p.Sleep(time.Microsecond)
@@ -338,13 +358,18 @@ func pingPongRec(cfg Config, os cluster.OSType, size uint64, reps int, seed int6
 			}
 		})
 	}
-	if err := cl.E.Run(0); err != nil {
+	return c, nil
+}
+
+// finish runs the cell's engine to completion and folds the result.
+func (c *ppCell) finish() (ppResult, error) {
+	if err := c.cl.E.Run(0); err != nil {
 		return ppResult{}, err
 	}
-	if runErr != nil {
-		return ppResult{}, runErr
+	if c.runErr != nil {
+		return ppResult{}, c.runErr
 	}
-	return ppResult{mean: total / time.Duration(2*reps), hist: hist}, nil
+	return ppResult{mean: c.total / time.Duration(2*c.reps), hist: c.hist}, nil
 }
 
 // ---------------------------------------------------------------------

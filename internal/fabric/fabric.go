@@ -7,12 +7,12 @@ package fabric
 
 import (
 	"fmt"
-	"math/rand"
 	"time"
 
 	"repro/internal/model"
 	"repro/internal/sim"
 	"repro/internal/trace"
+	"repro/internal/xrand"
 )
 
 // PacketKind distinguishes receive-side handling.
@@ -115,7 +115,7 @@ type Fabric struct {
 	ports map[int]*Port
 
 	faults *FaultProfile
-	frng   *rand.Rand
+	frng   *xrand.Rand
 	fstats FaultStats
 
 	// Hot-path freelists (see pool.go) and the pooled delivery records
@@ -140,7 +140,7 @@ func (f *Fabric) SetFaults(fp *FaultProfile) {
 		if seed == 0 {
 			seed = 1
 		}
-		f.frng = rand.New(rand.NewSource(seed))
+		f.frng = xrand.New(seed)
 	}
 }
 

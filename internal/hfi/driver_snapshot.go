@@ -1,0 +1,62 @@
+package hfi
+
+import (
+	"sort"
+
+	"repro/internal/kmem"
+	"repro/internal/snapshot"
+)
+
+// EncodeState serializes the Linux HFI driver's bookkeeping: open
+// contexts with their allocated host-memory areas, pages pinned for
+// in-flight SDMA transactions, and TID pins. The kernel-memory objects
+// these point at are covered by the node's kmem/PhysMem sections.
+// Registered by cluster.buildNode under "node<N>/hfidrv".
+func (d *LinuxDriver) EncodeState(e *snapshot.Enc) {
+	e.Printf("driver nextctxt=%d open=%d\n", d.nextCtxt, len(d.open))
+	ids := make([]int, 0, len(d.open))
+	for id := range d.open {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		oc := d.open[id]
+		e.Printf("open id=%d fdata=%x ctxt=%x status=%x+%d hdrq=%x+%d eager=%x+%d cq=%x+%d\n",
+			id, uint64(oc.fdataVA), uint64(oc.ctxtVA),
+			uint64(oc.statusExt.Addr), oc.statusExt.Len,
+			uint64(oc.hdrqExt.Addr), oc.hdrqExt.Len,
+			uint64(oc.eagerExt.Addr), oc.eagerExt.Len,
+			uint64(oc.cqExt.Addr), oc.cqExt.Len)
+	}
+
+	txreqs := make([]kmem.VirtAddr, 0, len(d.pinnedByTxreq))
+	for va := range d.pinnedByTxreq {
+		txreqs = append(txreqs, va)
+	}
+	sort.Slice(txreqs, func(i, j int) bool { return txreqs[i] < txreqs[j] })
+	for _, va := range txreqs {
+		exts := d.pinnedByTxreq[va]
+		var bytes uint64
+		for _, x := range exts {
+			bytes += x.Len
+		}
+		e.Printf("txreq va=%x extents=%d bytes=%d\n", uint64(va), len(exts), bytes)
+	}
+
+	ids = ids[:0]
+	for id := range d.tidPins {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		idxs := make([]int, 0, len(d.tidPins[id]))
+		for idx := range d.tidPins[id] {
+			idxs = append(idxs, idx)
+		}
+		sort.Ints(idxs)
+		for _, idx := range idxs {
+			ext := d.tidPins[id][idx]
+			e.Printf("tidpin ctx=%d tid=%d ext=%x+%d\n", id, idx, uint64(ext.Addr), ext.Len)
+		}
+	}
+}

@@ -2,7 +2,6 @@ package hfi
 
 import (
 	"fmt"
-	"math/rand"
 	"time"
 
 	"repro/internal/fabric"
@@ -10,6 +9,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/sim"
 	"repro/internal/trace"
+	"repro/internal/xrand"
 )
 
 // SDMATxn is one submitted send transaction: the descriptor list built by
@@ -119,7 +119,7 @@ type NIC struct {
 
 	// frng draws SDMA error injections (lazily created from the fault
 	// profile seed and node id, so the pattern replays per seed).
-	frng *rand.Rand
+	frng *xrand.Rand
 
 	// Instrumentation.
 	RxPackets    uint64
@@ -218,7 +218,7 @@ func (n *NIC) sdmaErrAt(nreq int) int {
 		return -1
 	}
 	if n.frng == nil {
-		n.frng = rand.New(rand.NewSource(fp.Seed + int64(n.Node)*1000003 + 1))
+		n.frng = xrand.New(fp.Seed + int64(n.Node)*1000003 + 1)
 	}
 	if n.frng.Float64() >= fp.SDMAErr {
 		return -1

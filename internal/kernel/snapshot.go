@@ -1,0 +1,21 @@
+package kernel
+
+import "repro/internal/snapshot"
+
+// EncodeState serializes the pool's mutable state: per-CPU busy
+// accounting, the completed-work counter, and the names of work items
+// still queued (their effects replay through the engine; the names pin
+// that the same work is pending).
+func (wp *WorkerPool) EncodeState(e *snapshot.Enc) {
+	e.Printf("pool cpus=%d executed=%d queued=%d\n", len(wp.cpus), wp.Executed, wp.q.Len())
+	for i, cpu := range wp.cpus {
+		e.Printf("cpu id=%d busy=%d\n", cpu, int64(wp.Busy[i]))
+	}
+	for _, item := range wp.q.Items() {
+		if item == nil {
+			e.Printf("work shutdown\n")
+			continue
+		}
+		e.Printf("work name=%q waited=%v\n", item.Name, item.cond != nil)
+	}
+}

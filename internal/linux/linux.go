@@ -13,7 +13,6 @@ package linux
 
 import (
 	"fmt"
-	"math/rand"
 	"time"
 
 	"repro/internal/kernel"
@@ -23,6 +22,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/uproc"
+	"repro/internal/xrand"
 )
 
 // File is an open device file. In the multi-kernel case it is owned by
@@ -77,7 +77,7 @@ type Kernel struct {
 	pr      *model.Params
 	devices map[string]Driver
 	nextFD  int
-	rng     *rand.Rand
+	rng     *xrand.Rand
 	// noisePhase staggers tick noise across callers deterministically.
 	noisePhase uint64
 }
@@ -92,7 +92,7 @@ func NewKernel(e *sim.Engine, pr *model.Params, space *kmem.Space, cpus []int, s
 		pr:       pr,
 		devices:  make(map[string]Driver),
 		nextFD:   3,
-		rng:      rand.New(rand.NewSource(seed)),
+		rng:      xrand.New(seed),
 	}
 }
 

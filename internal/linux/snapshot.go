@@ -1,0 +1,31 @@
+package linux
+
+import (
+	"sort"
+
+	"repro/internal/snapshot"
+)
+
+// EncodeState serializes the kernel's mutable state: the OS-noise RNG
+// and phase, file-descriptor allocation, registered device paths, the
+// per-syscall time profile, and the Linux CPU worker pool. Registered
+// by cluster.buildNode under "node<N>/linux" (McKernel's state is the
+// LWK address space, covered by the kmem/PhysMem sections).
+func (k *Kernel) EncodeState(e *snapshot.Enc) {
+	st := k.rng.State()
+	e.Printf("rng=%016x,%016x,%016x,%016x noisephase=%d nextfd=%d\n",
+		st[0], st[1], st[2], st[3], k.noisePhase, k.nextFD)
+	paths := make([]string, 0, len(k.devices))
+	for p := range k.devices {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		e.Printf("device path=%q\n", p)
+	}
+	// Top(0) is fully sorted (time desc, name asc) — deterministic.
+	for _, ent := range k.Syscalls.Top(0) {
+		e.Printf("syscall name=%q time=%d count=%d\n", ent.Name, int64(ent.Time), ent.Count)
+	}
+	k.Pool.EncodeState(e)
+}

@@ -1,0 +1,36 @@
+package mlx
+
+import (
+	"sort"
+
+	"repro/internal/snapshot"
+)
+
+// EncodeState serializes the mlx5-style driver's bookkeeping: the
+// registered-MR table with its MTT footprint and per-file QP ownership.
+// Registered by cluster.buildNode under "node<N>/mlx".
+func (d *Driver) EncodeState(e *snapshot.Enc) {
+	e.Printf("driver mrs=%d mrbytes=%d\n", len(d.mrs), d.MRBytesRegistered)
+	keys := make([]uint32, 0, len(d.mrs))
+	for k := range d.mrs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		mr := d.mrs[k]
+		var bytes uint64
+		for _, x := range mr.pages {
+			bytes += x.Len
+		}
+		e.Printf("mr key=%d mrva=%x mtt=%x+%d pages=%d bytes=%d file=%d\n",
+			k, uint64(mr.mrVA), uint64(mr.mttVA), mr.mttLen, len(mr.pages), bytes, mr.fileID)
+	}
+	files := make([]int, 0, len(d.qps))
+	for f := range d.qps {
+		files = append(files, f)
+	}
+	sort.Ints(files)
+	for _, f := range files {
+		e.Printf("file id=%d qps=%v\n", f, d.qps[f])
+	}
+}

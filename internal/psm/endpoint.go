@@ -74,6 +74,10 @@ type Endpoint struct {
 	completedMsgs map[msgKey]bool
 	completedFIFO []msgKey
 
+	// snapLabel is this endpoint's registered snapshot section
+	// (see EncodeState); Close unregisters it.
+	snapLabel string
+
 	// Per-endpoint scratch, safe because each endpoint is driven by its
 	// rank's process one hdrq entry / one chunk at a time.
 	hdrqRaw   [hfi.HdrqEntrySize]byte
@@ -247,6 +251,7 @@ func NewEndpoint(p *sim.Proc, os OSOps, rank int, book AddressBook, synthetic bo
 			ep.runRetransmit(dp)
 		})
 	}
+	ep.snapLabel = ep.eng.RegisterState(fmt.Sprintf("psm/rank%d", rank), ep.EncodeState)
 	return ep, nil
 }
 
@@ -254,6 +259,7 @@ func NewEndpoint(p *sim.Proc, os OSOps, rank int, book AddressBook, synthetic bo
 // Quiesce first so no retransmission state is abandoned mid-recovery.
 func (ep *Endpoint) Close(p *sim.Proc) error {
 	ep.closed = true
+	ep.eng.UnregisterState(ep.snapLabel)
 	if ep.rtCond != nil {
 		ep.rtCond.Broadcast()
 	}

@@ -1,0 +1,159 @@
+package psm
+
+import (
+	"crypto/sha256"
+	"sort"
+
+	"repro/internal/snapshot"
+)
+
+// EncodeState serializes the endpoint's protocol state: matched queues,
+// send windows, rendezvous receive windows, and — on a lossy fabric —
+// the go-back-N flows with their retained packets, retransmit timers
+// and budgets. Registered by NewEndpoint under "psm/rank<N>" and
+// unregistered by Close, so a snapshot taken after an endpoint teardown
+// matches one taken by a replay that also tore it down.
+func (ep *Endpoint) EncodeState(e *snapshot.Enc) {
+	s := &ep.Stats
+	e.Printf("stats pio=%d sdma=%d rdv=%d local=%d recvs=%d sent=%d recvd=%d unexp=%d writevs=%d tidioctls=%d rexmit=%d timeouts=%d acks=%d naks=%d msgresends=%d\n",
+		s.SendsPIO, s.SendsEagerSDMA, s.SendsRdv, s.SendsLocal, s.Recvs,
+		s.BytesSent, s.BytesRecv, s.Unexpected, s.Writevs, s.TIDIoctls,
+		s.Retransmits, s.Timeouts, s.AcksSent, s.NaksSent, s.MsgResends)
+	e.Printf("cursors hdrq=%d eager=%d cq=%d nextmsg=%d nextcomp=%d closed=%v\n",
+		ep.hdrqTail, ep.eagerTail, ep.cqTail, ep.nextMsgSeq, ep.nextCompSeq, ep.closed)
+
+	for i, rr := range ep.posted {
+		e.Printf("posted i=%d src=%d tag=%x buf=%x cap=%d\n", i, rr.src, rr.tag, uint64(rr.buf), rr.capacity)
+	}
+	for i, in := range ep.unexpected {
+		encodeInbound(e, "unexpected", i, in)
+	}
+	keys := make([]msgKey, 0, len(ep.inflight))
+	for k := range ep.inflight {
+		keys = append(keys, k)
+	}
+	sortMsgKeys(keys)
+	for _, k := range keys {
+		encodeInbound(e, "inflight", int(k.src), ep.inflight[k])
+	}
+	for i, r := range ep.pendingRTS {
+		e.Printf("pendingrts i=%d src=%d tag=%x msgid=%d len=%d\n", i, r.src, r.tag, r.msgid, r.msglen)
+	}
+
+	seqs := make([]uint32, 0, len(ep.bySeq))
+	for sq := range ep.bySeq {
+		seqs = append(seqs, sq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, sq := range seqs {
+		e.Printf("window seq=%d msgid=%d\n", sq, ep.bySeq[sq].send.msgid)
+	}
+	mids := make([]uint64, 0, len(ep.sends))
+	for m := range ep.sends {
+		mids = append(mids, m)
+	}
+	sort.Slice(mids, func(i, j int) bool { return mids[i] < mids[j] })
+	for _, m := range mids {
+		sr := ep.sends[m]
+		e.Printf("send msgid=%d peer=%d tag=%x len=%d remaining=%d windows=%d ctsdone=%v needfin=%v findone=%v op=%q\n",
+			m, sr.peer, sr.tag, sr.length, sr.remaining, sr.windows, sr.ctsDone, sr.needFin, sr.finDone, sr.op)
+	}
+
+	mids = mids[:0]
+	for m := range ep.rdvRecvs {
+		mids = append(mids, m)
+	}
+	sort.Slice(mids, func(i, j int) bool { return mids[i] < mids[j] })
+	for _, m := range mids {
+		rv := ep.rdvRecvs[m]
+		e.Printf("rdv msgid=%d src=%d len=%d nextreg=%d completed=%d winsize=%d windows=%d\n",
+			m, rv.src, rv.msglen, rv.nextReg, rv.completed, rv.winSize, len(rv.windows))
+		offs := make([]uint64, 0, len(rv.windows))
+		for o := range rv.windows {
+			offs = append(offs, o)
+		}
+		sort.Slice(offs, func(i, j int) bool { return offs[i] < offs[j] })
+		for _, o := range offs {
+			w := rv.windows[o]
+			e.Printf("rdv msgid=%d window off=%d len=%d tids=%d slot=%d covered=%d\n",
+				m, o, w.len, len(w.tids), w.slot, w.covered)
+		}
+	}
+	e.Printf("rdv active=%d backlog=%d freeslots=%d\n", ep.activeRdvs, len(ep.rdvBacklog), len(ep.freeRdvSlots))
+
+	if !ep.reliable {
+		return
+	}
+	peers := make([]int, 0, len(ep.txFlows))
+	for p := range ep.txFlows {
+		peers = append(peers, p)
+	}
+	sort.Ints(peers)
+	for _, p := range peers {
+		fl := ep.txFlows[p]
+		e.Printf("txflow peer=%d nextpsn=%d unacked=%d waiters=%d deadline=%d rto=%d retries=%d failed=%v lastgbn=%d\n",
+			p, fl.nextPSN, len(fl.unacked), len(fl.waiters),
+			int64(fl.deadline), int64(fl.rto), fl.retries, fl.failed != nil, int64(fl.lastGBN))
+		for _, tp := range fl.unacked {
+			e.Printf("txflow peer=%d pkt psn=%d op=%d msgid=%d bytes=%d", p, tp.psn, tp.hdr.Op, tp.hdr.MsgID, tp.bytes)
+			if tp.payload != nil {
+				sum := sha256.Sum256(tp.payload)
+				e.Printf(" payload=%x", sum[:8])
+			}
+			e.Printf("\n")
+		}
+	}
+	peers = peers[:0]
+	for p := range ep.rxFlows {
+		peers = append(peers, p)
+	}
+	sort.Ints(peers)
+	for _, p := range peers {
+		fl := ep.rxFlows[p]
+		e.Printf("rxflow peer=%d expected=%d naksentfor=%d\n", p, fl.expected, fl.nakSentFor)
+	}
+	tkeys := make([]mtKey, 0, len(ep.msgTimers))
+	for k := range ep.msgTimers {
+		tkeys = append(tkeys, k)
+	}
+	sort.Slice(tkeys, func(i, j int) bool {
+		a, b := tkeys[i], tkeys[j]
+		if a.msgid != b.msgid {
+			return a.msgid < b.msgid
+		}
+		if a.win != b.win {
+			return a.win < b.win
+		}
+		return a.kind < b.kind
+	})
+	for _, k := range tkeys {
+		mt := ep.msgTimers[k]
+		e.Printf("msgtimer msgid=%d win=%d kind=%d deadline=%d rto=%d retries=%d peer=%d\n",
+			k.msgid, k.win, k.kind, int64(mt.deadline), int64(mt.rto), mt.retries, mt.peer)
+	}
+	peers = peers[:0]
+	for p, owed := range ep.ackOwed {
+		if owed {
+			peers = append(peers, p)
+		}
+	}
+	sort.Ints(peers)
+	for _, p := range peers {
+		e.Printf("ackowed peer=%d\n", p)
+	}
+	e.Printf("completed msgs=%d fifo=%d\n", len(ep.completedMsgs), len(ep.completedFIFO))
+}
+
+func encodeInbound(e *snapshot.Enc, kind string, i int, in *inbound) {
+	e.Printf("%s i=%d src=%d tag=%x msgid=%d len=%d got=%d bound=%v heap=%d\n",
+		kind, i, in.src, in.tag, in.msgid, in.msglen, in.got, in.bound != nil, len(in.heap))
+}
+
+func sortMsgKeys(keys []msgKey) {
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].src != keys[j].src {
+			return keys[i].src < keys[j].src
+		}
+		return keys[i].msgid < keys[j].msgid
+	})
+}

@@ -14,12 +14,13 @@ package sim
 
 import (
 	"fmt"
-	"math/rand"
 	"runtime/debug"
 	"sort"
 	"time"
 
+	"repro/internal/snapshot"
 	"repro/internal/trace"
+	"repro/internal/xrand"
 )
 
 // Engine is a discrete-event simulator. Create one with NewEngine, add
@@ -29,13 +30,20 @@ type Engine struct {
 	now    time.Duration
 	seq    uint64
 	heap   eventHeap
-	rng    *rand.Rand
+	rng    *xrand.Rand
 	parked chan struct{}
 	procs  map[*Proc]struct{}
 	live   int
 	failv  any
 	rnd    uint64 // cheap deterministic counter for Rng-free jitter
 	rec    *trace.Recorder
+	states []regState // snapshot section encoders, registration order
+}
+
+// regState is one registered snapshot contributor.
+type regState struct {
+	label string
+	fn    func(*snapshot.Enc)
 }
 
 // eventKind selects how a popped event is dispatched. The dominant
@@ -65,7 +73,7 @@ type event struct {
 // deterministic random source derived from seed.
 func NewEngine(seed int64) *Engine {
 	return &Engine{
-		rng:    rand.New(rand.NewSource(seed)),
+		rng:    xrand.New(seed),
 		parked: make(chan struct{}),
 		procs:  make(map[*Proc]struct{}),
 	}
@@ -96,7 +104,9 @@ func (e *Engine) Fail(err error) {
 
 // Rng returns the engine's deterministic random source. It must only be
 // used from simulation context (the engine loop or a running process).
-func (e *Engine) Rng() *rand.Rand { return e.rng }
+// The generator's state is part of the engine snapshot, so draws made
+// by a restored run continue the straight run's sequence exactly.
+func (e *Engine) Rng() *xrand.Rand { return e.rng }
 
 // At schedules fn to run at absolute virtual time at. Times in the past
 // are clamped to the present.

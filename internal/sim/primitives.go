@@ -58,6 +58,11 @@ func NewQueue[T any](e *Engine) *Queue[T] { return &Queue[T]{e: e} }
 // Len reports the number of queued items.
 func (q *Queue[T]) Len() int { return len(q.items) - q.head }
 
+// Items returns a read-only view of the queued items in FIFO order. It
+// aliases the queue's backing array and is only valid until the next
+// Push or Pop; snapshot encoders use it to enumerate in-flight work.
+func (q *Queue[T]) Items() []T { return q.items[q.head:] }
+
 // Waiters reports the number of processes blocked in Pop.
 func (q *Queue[T]) Waiters() int { return q.waiters.len() }
 

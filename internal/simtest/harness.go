@@ -5,6 +5,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"os"
 	"strings"
 	"time"
 
@@ -13,6 +14,7 @@ import (
 	"repro/internal/mlx"
 	"repro/internal/psm"
 	"repro/internal/sim"
+	"repro/internal/snapshot"
 	"repro/internal/trace"
 	"repro/internal/uproc"
 	"repro/internal/verbs"
@@ -37,6 +39,53 @@ func Repro(base int64, cell string) string {
 	return fmt.Sprintf("go test ./internal/simtest -run 'TestSimHarness$' -seed=%d -cell='%s'", base, cell)
 }
 
+// ReproRestore is the time-travel repro command printed when a failing
+// cell's snapshot was captured: it replays the final slice from the
+// snapshot under tracing.
+func ReproRestore(base int64, cell, snapFile string) string {
+	return fmt.Sprintf("go test ./internal/simtest -run 'TestSimRestore$' -seed=%d -cell='%s' -restore=%s -restore-trace=%s.trace.json",
+		base, cell, snapFile, snapFile)
+}
+
+// FailureSnapshot reruns a failing cell to locate the virtual time of
+// the failure, then reruns once more capturing a full simulator
+// snapshot at 90% of that time — late enough that replaying the rest
+// under tracing covers only the interesting slice. Returns the
+// snapshot image and its capture time; it is an error if the cell
+// passes, or fails before any snapshot could be taken.
+func FailureSnapshot(base int64, cell string) ([]byte, time.Duration, error) {
+	w, err := Generate(base, cell)
+	if err != nil {
+		return nil, 0, err
+	}
+	var failAt time.Duration
+	if _, err := runWith(w, runOpts{failNow: &failAt}); err == nil {
+		return nil, 0, fmt.Errorf("simtest: cell %s passed on rerun; nothing to snapshot", cell)
+	}
+	at := failAt * 9 / 10
+	var snap []byte
+	runWith(w, runOpts{snapshotAt: at, snapOut: &snap}) // fails again; the snapshot lands first
+	if len(snap) == 0 {
+		return nil, 0, fmt.Errorf("simtest: cell %s stopped before %v; no snapshot captured", cell, at)
+	}
+	return snap, at, nil
+}
+
+// Replay re-executes a cell from a snapshot image: the simulation is
+// rebuilt from the cell's seed, fast-forwarded through the image
+// (byte-verified by snapshot.Restore), and run to the end with the
+// span recorder attached only from the restore point on. The
+// final-slice Chrome trace is written to tracePath ("" discards it)
+// whether or not the run fails, so a failure replay still yields its
+// trace.
+func Replay(base int64, cell string, img []byte, tracePath string) (*Report, error) {
+	w, err := Generate(base, cell)
+	if err != nil {
+		return nil, err
+	}
+	return runWith(w, runOpts{restore: img, traceFromRestore: true, traceOut: tracePath})
+}
+
 // CheckCell generates the cell's workload, runs it twice and compares
 // trace digests. Any failure carries the workload summary and a
 // one-line repro command.
@@ -52,23 +101,38 @@ func CheckCell(base int64, cell string) (*Report, error) {
 	return rep, nil
 }
 
-// Check runs the workload twice and asserts same-seed determinism: two
-// executions of an identical workload must produce identical trace
-// digests. The second execution is split at half the first run's
-// virtual time (Run(t); Run(0)), so the determinism check doubles as a
-// pause/resume invariant on Engine.Run's limit handling.
+// Check runs the workload three times and asserts same-seed
+// determinism plus snapshot equivalence:
+//
+//  1. straight through (the reference digest);
+//  2. paused at half the reference virtual time, where a full
+//     simulator snapshot is captured, then resumed — the digest must
+//     match, so the determinism check doubles as a pause/resume
+//     invariant on Engine.Run's limit handling;
+//  3. restored from that snapshot — snapshot.Restore rebuilds the
+//     midpoint by replay, byte-verifies the re-encoded state against
+//     the image, and the finished run's digest must again match.
 func Check(w Workload) (*Report, error) {
 	r1, err := Run(w)
 	if err != nil {
 		return nil, err
 	}
-	r2, err := run(w, r1.VirtualTime/2)
+	var snap []byte
+	r2, err := runWith(w, runOpts{snapshotAt: r1.VirtualTime / 2, snapOut: &snap})
 	if err != nil {
 		return nil, fmt.Errorf("simtest: split rerun of identical workload failed: %w", err)
 	}
 	if r1.Digest != r2.Digest {
 		return nil, fmt.Errorf("simtest: nondeterminism: same seed produced digests %s (one-shot) and %s (split at %v)",
 			r1.Digest, r2.Digest, r1.VirtualTime/2)
+	}
+	r3, err := runWith(w, runOpts{restore: snap})
+	if err != nil {
+		return nil, fmt.Errorf("simtest: restore from the %v snapshot failed: %w", r1.VirtualTime/2, err)
+	}
+	if r1.Digest != r3.Digest {
+		return nil, fmt.Errorf("simtest: snapshot equivalence violated: straight digest %s, restored-from-%v digest %s",
+			r1.Digest, r1.VirtualTime/2, r3.Digest)
 	}
 	return r1, nil
 }
@@ -77,11 +141,35 @@ func Check(w Workload) (*Report, error) {
 // invariant battery: byte-exact delivery, pin and TID balance at
 // teardown, closed contexts, no dropped packets, and per-rank
 // virtual-clock monotonicity.
-func Run(w Workload) (*Report, error) { return run(w, 0) }
+func Run(w Workload) (*Report, error) { return runWith(w, runOpts{}) }
 
-// run executes the workload; a nonzero splitAt pauses the engine at
-// that virtual time and resumes, which must not change any observable.
-func run(w Workload, splitAt time.Duration) (*Report, error) {
+// runOpts selects the checkpoint/restore variant of a harness run.
+type runOpts struct {
+	// snapshotAt pauses the engine at this virtual time, captures a
+	// full simulator snapshot into snapOut, and resumes. The pause
+	// alone must not change any observable.
+	snapshotAt time.Duration
+	snapOut    *[]byte
+	// restore fast-forwards the freshly built simulation through this
+	// snapshot image (snapshot.Restore: replay, re-encode,
+	// byte-compare) before finishing the run.
+	restore []byte
+	// traceFromRestore attaches the span recorder only after the
+	// restore point, so the trace covers exactly the final slice
+	// (time-travel debugging). Digests then cover only that slice, so
+	// equivalence checks leave it unset.
+	traceFromRestore bool
+	// traceOut, when non-empty, receives the run's Chrome trace JSON
+	// even if the run fails — the whole point when replaying a
+	// failure snapshot.
+	traceOut string
+	// failNow, when non-nil, receives the virtual time at which a
+	// failing run stopped.
+	failNow *time.Duration
+}
+
+// runWith executes the workload under o's checkpoint/restore plan.
+func runWith(w Workload, o runOpts) (*Report, error) {
 	if len(w.Msgs) == 0 {
 		return nil, fmt.Errorf("simtest: empty workload")
 	}
@@ -103,7 +191,9 @@ func run(w Workload, splitAt time.Duration) (*Report, error) {
 		return nil, err
 	}
 	rec := trace.NewRecorder()
-	cl.E.SetRecorder(rec)
+	if !o.traceFromRestore {
+		cl.E.SetRecorder(rec)
+	}
 	// Pin balance is measured against the post-boot baseline: McKernel
 	// ranks pin their anonymous memory at mmap time, so only the delta
 	// across the workload must return to zero.
@@ -134,11 +224,31 @@ func run(w Workload, splitAt time.Duration) (*Report, error) {
 		})
 	}
 	var engineErr error
-	if splitAt > 0 {
-		engineErr = cl.E.Run(splitAt)
+	if len(o.restore) > 0 {
+		if _, rerr := snapshot.Restore(o.restore, cl.E); rerr != nil {
+			engineErr = fmt.Errorf("restore: %w", rerr)
+		} else if o.traceFromRestore {
+			cl.E.SetRecorder(rec)
+		}
+	}
+	if engineErr == nil && o.snapshotAt > 0 {
+		engineErr = cl.E.Run(o.snapshotAt)
+		if engineErr == nil && o.snapOut != nil {
+			var buf bytes.Buffer
+			if serr := cl.E.Snapshot(&buf); serr != nil {
+				engineErr = fmt.Errorf("snapshot at %v: %w", o.snapshotAt, serr)
+			} else {
+				*o.snapOut = buf.Bytes()
+			}
+		}
 	}
 	if engineErr == nil {
 		engineErr = cl.E.Run(0)
+	}
+	if o.traceOut != "" {
+		if werr := os.WriteFile(o.traceOut, rec.ChromeTraceJSON(), 0o644); werr != nil && engineErr == nil {
+			engineErr = fmt.Errorf("writing trace: %w", werr)
+		}
 	}
 	var fails []string
 	for r, e := range rankErr {
@@ -150,6 +260,9 @@ func run(w Workload, splitAt time.Duration) (*Report, error) {
 		fails = append(fails, engineErr.Error())
 	}
 	if len(fails) > 0 {
+		if o.failNow != nil {
+			*o.failNow = cl.E.Now()
+		}
 		return nil, fmt.Errorf("simtest: %s", strings.Join(fails, "; "))
 	}
 	for i, n := range cl.Nodes {

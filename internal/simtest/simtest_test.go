@@ -3,6 +3,8 @@ package simtest_test
 import (
 	"flag"
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -14,6 +16,9 @@ var (
 	seedFlag  = flag.Int64("seed", 1, "simtest base seed (reproduce a failure with the printed -seed/-cell pair)")
 	cellFlag  = flag.String("cell", "", "run only this simtest cell (e.g. 'Linux/3')")
 	cellsFlag = flag.Int("cells", 9, "randomized cells per OS configuration")
+
+	restoreFlag      = flag.String("restore", "", "replay -cell from this snapshot file (TestSimRestore)")
+	restoreTraceFlag = flag.String("restore-trace", "", "write the final-slice Chrome trace of the -restore replay here")
 )
 
 // TestSimHarness drives randomized workloads through the real
@@ -111,6 +116,64 @@ func TestSimTIDExhaustionFault(t *testing.T) {
 		t.Fatalf("shrinker grew the workload: %d > %d msgs", len(min.Msgs), len(w.Msgs))
 	}
 	t.Logf("fault output:\n%s\nshrunk: %s → %v", out, min.Summary(), minErr)
+}
+
+// TestSimRestore is the time-travel entry point printed with failure
+// snapshots: given -cell and -restore=<snapshot file>, it rebuilds the
+// cell's simulation, fast-forwards it through the snapshot (byte-
+// verified), and replays the final slice with tracing attached from
+// the restore point on. -restore-trace names the Chrome trace output.
+// The replayed cell's failure — the thing being debugged — is
+// reported after the trace is written.
+func TestSimRestore(t *testing.T) {
+	if *restoreFlag == "" {
+		t.Skip("no -restore snapshot given")
+	}
+	if *cellFlag == "" {
+		t.Fatal("-restore requires -cell (and the matching -seed)")
+	}
+	img, err := os.ReadFile(*restoreFlag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, rerr := simtest.Replay(*seedFlag, *cellFlag, img, *restoreTraceFlag)
+	if *restoreTraceFlag != "" {
+		t.Logf("final-slice trace written to %s", *restoreTraceFlag)
+	}
+	if rerr != nil {
+		t.Fatalf("cell %s replayed from %s:\n%v", *cellFlag, *restoreFlag, rerr)
+	}
+	t.Logf("cell %s replayed clean from %s: digest %s, %v virtual time",
+		*cellFlag, *restoreFlag, rep.Digest, rep.VirtualTime)
+}
+
+// TestFailureSnapshotRepro pins the failure time-travel workflow end
+// to end on a known-failing cell: FailureSnapshot must capture a
+// restorable image from before the injected fault, and Replay from
+// that image must reproduce the same fault while emitting the
+// final-slice trace.
+func TestFailureSnapshotRepro(t *testing.T) {
+	cell := "Linux/!tid/0"
+	snap, at, err := simtest.FailureSnapshot(*seedFlag, cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at <= 0 || len(snap) == 0 {
+		t.Fatalf("empty failure snapshot (at=%v, %d bytes)", at, len(snap))
+	}
+	tracePath := filepath.Join(t.TempDir(), "slice.trace.json")
+	_, rerr := simtest.Replay(*seedFlag, cell, snap, tracePath)
+	if rerr == nil {
+		t.Fatal("replay from the failure snapshot passed; fault not reproduced")
+	}
+	if !strings.Contains(rerr.Error(), "RcvArray exhausted") {
+		t.Fatalf("replay failed differently than the original fault:\n%v", rerr)
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil || len(data) == 0 {
+		t.Fatalf("failure replay wrote no final-slice trace: %v (%d bytes)", err, len(data))
+	}
+	t.Logf("snapshot at %v (%d bytes) reproduced the fault; %d-byte slice trace", at, len(snap), len(data))
 }
 
 // TestTraceFoldedIntoDigest pins the recorder integration: every cell

@@ -1,0 +1,335 @@
+// Package snapshot implements explicit, versioned serialization of the
+// complete simulator state, and checkpoint/restore on top of it.
+//
+// A snapshot is a container file: a fixed header (magic, format
+// version, the virtual time and engine sequence counter at capture)
+// followed by named sections, one per state owner — the engine itself
+// plus every layer that registered a state encoder (fabric, NIC,
+// kernels, PSM endpoints, verbs HCAs, physical memory, ...) — and a
+// trailing SHA-256 over the whole image. Section payloads are
+// deterministic text: sorted, pointer-free, wall-clock-free, so two
+// captures of identical simulator states are byte-identical. That
+// byte identity is the correctness currency of the whole design.
+//
+// Restore is replay-based: simulated processes are goroutines and Go
+// cannot serialize a goroutine stack, so a snapshot cannot be decoded
+// into live process continuations. Instead the caller rebuilds the
+// simulation exactly as the original run did (same constructors, same
+// seed, same workload processes) and Restore re-executes it to the
+// snapshot's virtual time — cheap, since the expensive parts of a
+// debugging run (tracing, invariant checking) stay off during replay —
+// then re-serializes the rebuilt state and byte-compares it against
+// the snapshot. Any divergence fails loudly, naming the first section
+// that differs. Determinism is already pinned by simtest replay
+// digests, which is what makes this verification exact rather than
+// probabilistic: a restored run is not "similar to" the original, it
+// is the original, and the byte comparison proves it.
+package snapshot
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Magic identifies a snapshot file; Version is the format revision.
+// Both are pinned by a golden-file test: readers reject unknown
+// versions instead of guessing.
+const (
+	Magic   = "PICOSNAP"
+	Version = 1
+)
+
+// maxSections bounds the section table so a corrupted count cannot
+// drive allocation. Real snapshots carry a few sections per node.
+const maxSections = 1 << 20
+
+// Section is one named state payload.
+type Section struct {
+	Name    string
+	Payload []byte
+}
+
+// File is a decoded snapshot.
+type File struct {
+	Version uint32
+	// Now is the virtual clock at capture; Seq the engine's event
+	// sequence counter. Together they name the exact replay position.
+	Now      time.Duration
+	Seq      uint64
+	Sections []Section
+}
+
+// Section returns the named section's payload, or nil.
+func (f *File) Section(name string) []byte {
+	for _, s := range f.Sections {
+		if s.Name == name {
+			return s.Payload
+		}
+	}
+	return nil
+}
+
+// Encode writes f in the versioned container format. Encoding is
+// deterministic: identical Files serialize to identical bytes.
+func Encode(w io.Writer, f *File) error {
+	var buf bytes.Buffer
+	buf.WriteString(Magic)
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], Version)
+	buf.Write(u32[:])
+	var u64 [8]byte
+	binary.LittleEndian.PutUint64(u64[:], uint64(f.Now))
+	buf.Write(u64[:])
+	binary.LittleEndian.PutUint64(u64[:], f.Seq)
+	buf.Write(u64[:])
+	putUvarint(&buf, uint64(len(f.Sections)))
+	for _, s := range f.Sections {
+		putUvarint(&buf, uint64(len(s.Name)))
+		buf.WriteString(s.Name)
+		putUvarint(&buf, uint64(len(s.Payload)))
+		buf.Write(s.Payload)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	buf.Write(sum[:])
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// EncodeBytes is Encode into a fresh byte slice.
+func EncodeBytes(f *File) []byte {
+	var buf bytes.Buffer
+	Encode(&buf, f) // bytes.Buffer writes cannot fail
+	return buf.Bytes()
+}
+
+func putUvarint(buf *bytes.Buffer, v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	buf.Write(tmp[:n])
+}
+
+// Decode parses a snapshot image. It never panics: corrupted or
+// truncated input returns an error. The trailing checksum must match.
+func Decode(data []byte) (*File, error) {
+	r := reader{data: data}
+	magic, err := r.bytes(len(Magic))
+	if err != nil || string(magic) != Magic {
+		return nil, fmt.Errorf("snapshot: bad magic (not a snapshot file)")
+	}
+	verb, err := r.bytes(4)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: truncated header")
+	}
+	ver := binary.LittleEndian.Uint32(verb)
+	if ver != Version {
+		return nil, fmt.Errorf("snapshot: format version %d, this build reads version %d", ver, Version)
+	}
+	nowb, err := r.bytes(8)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: truncated header")
+	}
+	seqb, err := r.bytes(8)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: truncated header")
+	}
+	f := &File{
+		Version: ver,
+		Now:     time.Duration(binary.LittleEndian.Uint64(nowb)),
+		Seq:     binary.LittleEndian.Uint64(seqb),
+	}
+	if f.Now < 0 {
+		return nil, fmt.Errorf("snapshot: negative virtual time %d", f.Now)
+	}
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: section count: %w", err)
+	}
+	if n > maxSections {
+		return nil, fmt.Errorf("snapshot: implausible section count %d", n)
+	}
+	for i := uint64(0); i < n; i++ {
+		nameLen, err := r.uvarint()
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: section %d name length: %w", i, err)
+		}
+		name, err := r.bytesU64(nameLen)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: section %d name: %w", i, err)
+		}
+		payLen, err := r.uvarint()
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: section %q payload length: %w", name, err)
+		}
+		payload, err := r.bytesU64(payLen)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: section %q payload: %w", name, err)
+		}
+		f.Sections = append(f.Sections, Section{Name: string(name), Payload: append([]byte(nil), payload...)})
+	}
+	body := data[:r.pos]
+	sum, err := r.bytes(sha256.Size)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: truncated checksum")
+	}
+	if r.pos != len(data) {
+		return nil, fmt.Errorf("snapshot: %d trailing bytes after checksum", len(data)-r.pos)
+	}
+	want := sha256.Sum256(body)
+	if !bytes.Equal(sum, want[:]) {
+		return nil, fmt.Errorf("snapshot: checksum mismatch (file corrupted)")
+	}
+	return f, nil
+}
+
+// reader is a bounds-checked cursor over the input.
+type reader struct {
+	data []byte
+	pos  int
+}
+
+func (r *reader) bytes(n int) ([]byte, error) {
+	if n < 0 || r.pos+n > len(r.data) {
+		return nil, fmt.Errorf("need %d bytes, %d remain", n, len(r.data)-r.pos)
+	}
+	b := r.data[r.pos : r.pos+n]
+	r.pos += n
+	return b, nil
+}
+
+func (r *reader) bytesU64(n uint64) ([]byte, error) {
+	if n > uint64(len(r.data)-r.pos) {
+		return nil, fmt.Errorf("need %d bytes, %d remain", n, len(r.data)-r.pos)
+	}
+	return r.bytes(int(n))
+}
+
+func (r *reader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.data[r.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("bad uvarint")
+	}
+	r.pos += n
+	return v, nil
+}
+
+// Enc accumulates one section's payload. Encoders must emit only
+// deterministic, instance-independent text: sorted map walks, no
+// pointer values, no wall-clock time. Durations and integers are fine
+// (the virtual clock is part of simulator state).
+type Enc struct {
+	buf bytes.Buffer
+}
+
+// NewEnc returns an empty payload builder.
+func NewEnc() *Enc { return &Enc{} }
+
+// Printf appends formatted text. Conventionally one "key=value ...\n"
+// line per record.
+func (e *Enc) Printf(format string, args ...any) {
+	fmt.Fprintf(&e.buf, format, args...)
+}
+
+// Bytes returns the accumulated payload.
+func (e *Enc) Bytes() []byte { return e.buf.Bytes() }
+
+// Stater is implemented by values that can contribute their state to a
+// snapshot — notably the pooled argument records sitting in the engine
+// event heap (in-flight fabric deliveries), which would otherwise be
+// opaque closures.
+type Stater interface {
+	SnapshotState(*Enc)
+}
+
+// Machine is the surface Restore drives; *sim.Engine implements it.
+type Machine interface {
+	Now() time.Duration
+	Run(limit time.Duration) error
+	Snapshot(w io.Writer) error
+}
+
+// Restore re-executes a freshly built simulation to the snapshot's
+// virtual time and verifies, byte for byte, that the rebuilt state
+// matches the snapshot. The caller must have reconstructed the
+// simulation exactly as the original run did (same constructors, same
+// seed, same processes) and not run it yet. On success the machine is
+// positioned at the snapshot point and ready to continue (typically
+// with Run(0)); the returned time is the snapshot's virtual time.
+func Restore(data []byte, m Machine) (time.Duration, error) {
+	f, err := Decode(data)
+	if err != nil {
+		return 0, err
+	}
+	if now := m.Now(); now > 0 {
+		return 0, fmt.Errorf("snapshot: machine already at %v; restore needs a freshly built simulation", now)
+	}
+	if f.Now > 0 {
+		// Run(0) means run-to-completion, so a t=0 snapshot skips replay.
+		if err := m.Run(f.Now); err != nil {
+			return 0, fmt.Errorf("snapshot: replay to %v failed: %w", f.Now, err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := m.Snapshot(&buf); err != nil {
+		return 0, fmt.Errorf("snapshot: re-serializing replayed state: %w", err)
+	}
+	if !bytes.Equal(buf.Bytes(), data) {
+		return 0, fmt.Errorf("snapshot: replayed state diverges from snapshot at %v:\n%s",
+			f.Now, Diff(data, buf.Bytes()))
+	}
+	return f.Now, nil
+}
+
+// Diff names the first difference between two snapshot images — the
+// diverging section and its first differing payload line — for restore
+// failure messages.
+func Diff(a, b []byte) string {
+	fa, ea := Decode(a)
+	fb, eb := Decode(b)
+	if ea != nil || eb != nil {
+		return fmt.Sprintf("undecodable image(s): %v / %v", ea, eb)
+	}
+	if fa.Now != fb.Now || fa.Seq != fb.Seq {
+		return fmt.Sprintf("header: now=%v seq=%d vs now=%v seq=%d", fa.Now, fa.Seq, fb.Now, fb.Seq)
+	}
+	an := sectionNames(fa)
+	bn := sectionNames(fb)
+	if an != bn {
+		return fmt.Sprintf("section sets differ:\n  a: %s\n  b: %s", an, bn)
+	}
+	for i := range fa.Sections {
+		sa, sb := fa.Sections[i], fb.Sections[i]
+		if bytes.Equal(sa.Payload, sb.Payload) {
+			continue
+		}
+		la := bytes.Split(sa.Payload, []byte("\n"))
+		lb := bytes.Split(sb.Payload, []byte("\n"))
+		for j := 0; j < len(la) || j < len(lb); j++ {
+			var va, vb []byte
+			if j < len(la) {
+				va = la[j]
+			}
+			if j < len(lb) {
+				vb = lb[j]
+			}
+			if !bytes.Equal(va, vb) {
+				return fmt.Sprintf("section %q line %d:\n  snapshot: %s\n  replayed: %s", sa.Name, j+1, va, vb)
+			}
+		}
+	}
+	return "images differ only in undecoded bytes"
+}
+
+func sectionNames(f *File) string {
+	var buf bytes.Buffer
+	for i, s := range f.Sections {
+		if i > 0 {
+			buf.WriteByte(' ')
+		}
+		buf.WriteString(s.Name)
+	}
+	return buf.String()
+}
