@@ -211,6 +211,26 @@ func BenchmarkReliabilityLossy(b *testing.B) {
 	b.ReportMetric(float64(r.Retransmits["McKernel+HFI1"]), "hfi-retransmits")
 }
 
+// BenchmarkFailover runs the dual-rail live-failover cell set (all
+// three OS configurations, rail 0 down mid-stream) and reports the
+// blackout window the health machine's detection and rail switch cost.
+func BenchmarkFailover(b *testing.B) {
+	var rows []experiments.FailoverRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Failover(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.OS == "McKernel+HFI1" {
+			b.ReportMetric(float64(r.Blackout)/1e3, "hfi-blackout-µs")
+			b.ReportMetric(r.PostMBps, "hfi-post-MB/s")
+		}
+	}
+}
+
 // ---------------------------------------------------------------------
 // Ablation benches (DESIGN.md §4).
 // ---------------------------------------------------------------------

@@ -37,7 +37,7 @@ import (
 // experimentIDs lists every known id in output order.
 var experimentIDs = []string{
 	"fig4", "fig5a", "fig5b", "fig6a", "fig6b", "fig7", "table1", "fig8", "fig9",
-	"verbs", "reliability",
+	"verbs", "reliability", "failover",
 }
 
 func main() {
@@ -215,6 +215,14 @@ func main() {
 			return "", "", err
 		}
 		return report.ReliabilityTable(rows), report.ReliabilityCSV(rows), nil
+	})
+
+	do("failover", func() (string, string, error) {
+		rows, err := experiments.Failover(cfg)
+		if err != nil {
+			return "", "", err
+		}
+		return report.FailoverTable(rows), report.FailoverCSV(rows), nil
 	})
 
 	if len(failed) > 0 {

@@ -20,6 +20,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/report"
+	"repro/internal/trace"
 )
 
 func parseSize(s string) (uint64, error) {
@@ -43,6 +44,7 @@ func main() {
 	jFlag := flag.Int("j", 0, "parallel simulation jobs (0 = GOMAXPROCS)")
 	traceFlag := flag.String("trace", "", "write a Chrome trace of one 64KB McKernel+HFI cell to this file")
 	lossFlag := flag.Float64("loss", 0, "per-packet drop probability (activates the PSM reliability layer)")
+	foFlag := flag.Bool("failover", false, "run the traced dual-rail failover cell (McKernel+HFI1) instead of the bandwidth sweep")
 	flag.Parse()
 
 	sc := experiments.SmallScale()
@@ -58,6 +60,25 @@ func main() {
 	}
 	cfg := experiments.NewConfig(sc, *jFlag)
 	cfg.Faults.Drop = *lossFlag
+
+	if *foFlag {
+		row, rec, err := experiments.TracedFailover(cfg, cluster.OSMcKernelHFI)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pingpong:", err)
+			os.Exit(1)
+		}
+		fmt.Print(report.FailoverTable([]experiments.FailoverRow{row}))
+		if *traceFlag != "" {
+			if err := writeTrace(rec, *traceFlag); err != nil {
+				fmt.Fprintln(os.Stderr, "pingpong:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("trace: dual-rail failover cell, %d spans -> %s\n",
+				rec.SpanCount(), *traceFlag)
+		}
+		return
+	}
+
 	rows, err := experiments.Fig4(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pingpong:", err)
@@ -71,20 +92,24 @@ func main() {
 			fmt.Fprintln(os.Stderr, "pingpong:", err)
 			os.Exit(1)
 		}
-		f, err := os.Create(*traceFlag)
-		if err != nil {
+		if err := writeTrace(rec, *traceFlag); err != nil {
 			fmt.Fprintln(os.Stderr, "pingpong:", err)
-			os.Exit(1)
-		}
-		werr := rec.WriteChromeTrace(f)
-		if cerr := f.Close(); werr == nil {
-			werr = cerr
-		}
-		if werr != nil {
-			fmt.Fprintln(os.Stderr, "pingpong:", werr)
 			os.Exit(1)
 		}
 		fmt.Printf("trace: 64KB McKernel+HFI1 ping-pong, %d spans -> %s\n",
 			rec.SpanCount(), *traceFlag)
 	}
+}
+
+// writeTrace serializes a recorder as Chrome trace JSON.
+func writeTrace(rec *trace.Recorder, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := rec.WriteChromeTrace(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
 }

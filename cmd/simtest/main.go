@@ -45,10 +45,12 @@ func main() {
 	}
 	var work []runner.Job[outcome]
 	for _, osType := range cluster.AllOSTypes {
-		extra := (*cells + 2) / 3 // one-sided and lossy cells each
-		for i := 0; i < *cells+2*extra; i++ {
+		extra := (*cells + 2) / 3 // one-sided, lossy and failover cells each
+		for i := 0; i < *cells+3*extra; i++ {
 			cell := fmt.Sprintf("%s/%d", osType, i)
-			if i >= *cells+extra {
+			if i >= *cells+2*extra {
+				cell = fmt.Sprintf("%s/failover/%d", osType, i-*cells-2*extra)
+			} else if i >= *cells+extra {
 				cell = fmt.Sprintf("%s/lossy/%d", osType, i-*cells-extra)
 			} else if i >= *cells {
 				cell = fmt.Sprintf("%s/rma/%d", osType, i-*cells)

@@ -92,6 +92,10 @@ type mckOS struct {
 	node *Node
 	proc *uproc.Process
 	cpu  int
+	// slow forces the device syscalls (writev/ioctl) onto the offloaded
+	// slow path, bypassing any registered PicoDriver fast path. Toggled
+	// at runtime by the PSM health machine (psm.SlowPathForcer).
+	slow bool
 }
 
 func (o *mckOS) ctx(p *sim.Proc) *kernel.Ctx { return &kernel.Ctx{P: p, CPU: o.cpu} }
@@ -111,12 +115,23 @@ func (o *mckOS) Close(p *sim.Proc, h psm.Handle) error {
 }
 
 func (o *mckOS) Writev(p *sim.Proc, h psm.Handle, iov []hfi.IOVec) (uint64, error) {
+	if o.slow {
+		return o.node.Mck.WritevSlow(o.ctx(p), h.(*linux.File), toLinuxIOV(iov))
+	}
 	return o.node.Mck.Writev(o.ctx(p), h.(*linux.File), toLinuxIOV(iov))
 }
 
 func (o *mckOS) Ioctl(p *sim.Proc, h psm.Handle, cmd uint32, arg uproc.VirtAddr) (uint64, error) {
+	if o.slow {
+		return o.node.Mck.IoctlSlow(o.ctx(p), h.(*linux.File), cmd, arg)
+	}
 	return o.node.Mck.Ioctl(o.ctx(p), h.(*linux.File), cmd, arg)
 }
+
+// ForceSlowPath implements psm.SlowPathForcer: while on, device writev
+// and ioctl always take the offloaded syscall route even when a
+// PicoDriver fast path is registered.
+func (o *mckOS) ForceSlowPath(on bool) { o.slow = on }
 
 func (o *mckOS) MmapDevice(p *sim.Proc, h psm.Handle, kind uint32, length uint64) (uproc.VirtAddr, error) {
 	return o.node.Mck.MmapDevice(o.ctx(p), h.(*linux.File), kind, length)

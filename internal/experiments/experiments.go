@@ -101,7 +101,11 @@ type Scale struct {
 	// ReliabilitySizes straddle the PIO (16K) and eager-SDMA (64K)
 	// protocol thresholds so every transfer mode recovers from loss.
 	ReliabilitySizes []uint64
-	Seed             int64
+	// FailoverMsgs/FailoverSize shape the failover experiment's paced
+	// message stream (0 = defaults: 160 messages of 32K).
+	FailoverMsgs int
+	FailoverSize uint64
+	Seed         int64
 }
 
 // SmallScale is the default: shapes are visible, runtime is modest.
@@ -119,6 +123,8 @@ func SmallScale() Scale {
 		VerbsReps:     4,
 		LossRates:        []float64{0, 0.001, 0.01, 0.05},
 		ReliabilitySizes: []uint64{8 << 10, 32 << 10, 256 << 10},
+		FailoverMsgs:     160,
+		FailoverSize:     32 << 10,
 		Seed:             1,
 	}
 }
@@ -146,7 +152,9 @@ func PaperScale() Scale {
 		ReliabilitySizes: []uint64{
 			2 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10, 256 << 10,
 		},
-		Seed: 1,
+		FailoverMsgs: 400,
+		FailoverSize: 32 << 10,
+		Seed:         1,
 	}
 }
 

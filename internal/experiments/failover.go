@@ -1,0 +1,242 @@
+// The failover experiment measures what a live rail failover costs: a
+// paced message stream crosses a dual-rail fabric whose rail 0 goes
+// down mid-stream, and the cell reports the blackout window (the
+// longest gap between consecutive message completions) plus the
+// goodput before the outage and after the fall back to rail 0. Every
+// delivered payload is verified byte-for-byte, so the sweep is the
+// end-to-end gate on the health machine's rail switching, not just a
+// timing.
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/fabric"
+	"repro/internal/model"
+	"repro/internal/psm"
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// failoverOutage is the rail-0 outage window every failover cell runs
+// under: long enough that an unfrozen retry budget would visibly decay,
+// short enough that the stream comfortably spans recovery.
+const (
+	failoverOutageFrom  = 400 * time.Microsecond
+	failoverOutageUntil = 1400 * time.Microsecond
+)
+
+// FailoverRow is one OS configuration's failover measurement.
+type FailoverRow struct {
+	OS string
+	// Msgs is the number of messages streamed, Size their payload size.
+	Msgs int
+	Size uint64
+	// Blackout is the longest gap between consecutive message
+	// completions — the time the stream stalled while the health
+	// machine detected the outage and switched rails.
+	Blackout time.Duration
+	// PreMBps/PostMBps are goodput before the outage began and after it
+	// ended (post-recovery traffic rides rail 1 until the probe falls
+	// back, then rail 0 again).
+	PreMBps  float64
+	PostMBps float64
+	// Health-machine counters observed on the sending endpoint.
+	Failovers    uint64
+	RailSwitches uint64
+	Fallbacks    uint64
+	Freezes      uint64
+}
+
+// Failover runs the failover cell once per OS configuration.
+func Failover(cfg Config) ([]FailoverRow, error) {
+	sc := cfg.Scale
+	msgs, size := sc.FailoverMsgs, sc.FailoverSize
+	if msgs <= 0 {
+		msgs = 160
+	}
+	if size == 0 {
+		size = 32 << 10
+	}
+	var jobs []runner.Job[FailoverRow]
+	for _, os := range cluster.AllOSTypes {
+		os := os
+		id := fmt.Sprintf("failover/%s", osName(os))
+		jobs = append(jobs, runner.Job[FailoverRow]{ID: id, Fn: func() (FailoverRow, error) {
+			return failoverCell(cfg, os, msgs, size, runner.DeriveSeed(sc.Seed, id), nil)
+		}})
+	}
+	return runner.Run(cfg.pool(), jobs)
+}
+
+// TracedFailover runs one failover cell under a trace recorder and
+// returns the measured row together with the recorder, so the
+// failover/fallback spans of the health machine can be exported as a
+// Chrome trace.
+func TracedFailover(cfg Config, os cluster.OSType) (FailoverRow, *trace.Recorder, error) {
+	sc := cfg.Scale
+	msgs, size := sc.FailoverMsgs, sc.FailoverSize
+	if msgs <= 0 {
+		msgs = 160
+	}
+	if size == 0 {
+		size = 32 << 10
+	}
+	rec := cfg.Trace
+	if rec == nil {
+		rec = trace.NewRecorder()
+	}
+	id := fmt.Sprintf("failover/%s", osName(os))
+	row, err := failoverCell(cfg, os, msgs, size, runner.DeriveSeed(sc.Seed, id), rec)
+	return row, rec, err
+}
+
+// failoverCell streams msgs paced messages of the given size from rank 0
+// to rank 1 over a dual-rail cluster whose rail 0 is down for
+// [failoverOutageFrom, failoverOutageUntil), verifying every payload and
+// timing every completion.
+func failoverCell(cfg Config, os cluster.OSType, msgs int, size uint64, seed int64, rec *trace.Recorder) (FailoverRow, error) {
+	pr := model.Default()
+	pr.DualRail = true
+	fp := cfg.Faults
+	fp.Down = append(append([]fabric.DownWindow{}, fp.Down...),
+		fabric.DownWindow{Src: 0, Dst: 1, From: failoverOutageFrom, Until: failoverOutageUntil},
+		fabric.DownWindow{Src: 1, Dst: 0, From: failoverOutageFrom, Until: failoverOutageUntil})
+	cl, err := cluster.New(cluster.Config{
+		Nodes: 2, OS: os, Params: pr, Seed: seed, Faults: fp,
+	})
+	if err != nil {
+		return FailoverRow{}, err
+	}
+	if rec != nil {
+		cl.E.SetRecorder(rec)
+	}
+	var runErr error
+	completions := make([]time.Duration, 0, msgs)
+	var streamStart time.Duration
+	eps := make([]*psm.Endpoint, 2)
+	book := psm.MapBook{}
+	ready := sim.NewWaitGroup(cl.E)
+	ready.Add(2)
+	idle := new(int)
+	for r := 0; r < 2; r++ {
+		r := r
+		osops := cl.Nodes[r].NewRankOS(r)
+		cl.E.Go(fmt.Sprintf("fo%d", r), func(p *sim.Proc) {
+			ep, err := psm.NewEndpoint(p, osops, r, book, false)
+			if err != nil {
+				runErr = err
+				ready.Done()
+				return
+			}
+			eps[r] = ep
+			book[r] = psm.Addr{Node: osops.NodeID(), Ctx: ep.CtxID}
+			ready.Done()
+			ready.Wait(p)
+			proc := ep.OS.Proc()
+			buf, err := osops.MmapAnon(p, size)
+			if err != nil {
+				runErr = err
+				return
+			}
+			if r == 0 {
+				streamStart = p.Now()
+				for i := 0; i < msgs; i++ {
+					tag := uint64(10 + i)
+					if err := proc.WriteAt(buf, relPattern(tag, size)); err != nil {
+						runErr = err
+						return
+					}
+					if err := ep.Send(p, 1, tag, buf, size); err != nil {
+						runErr = fmt.Errorf("failover: send %d on %s: %w", i, os, err)
+						return
+					}
+					completions = append(completions, p.Now())
+					// Pacing keeps the stream alive past the outage and the
+					// probe-driven fall back to rail 0.
+					p.Sleep(10 * time.Microsecond)
+				}
+			} else {
+				for i := 0; i < msgs; i++ {
+					tag := uint64(10 + i)
+					if err := ep.Recv(p, 0, tag, buf, size); err != nil {
+						runErr = fmt.Errorf("failover: recv %d on %s: %w", i, os, err)
+						return
+					}
+					got := make([]byte, size)
+					if err := proc.ReadAt(buf, got); err != nil {
+						runErr = err
+						return
+					}
+					if !bytes.Equal(got, relPattern(tag, size)) {
+						runErr = fmt.Errorf("failover: payload mismatch at msg %d on %s", i, os)
+						return
+					}
+				}
+			}
+			if err := ep.Quiesce(p); err != nil {
+				runErr = err
+				return
+			}
+			*idle++
+			for *idle < 2 {
+				if _, err := ep.Progress(p); err != nil {
+					runErr = err
+					return
+				}
+				p.Sleep(time.Microsecond)
+			}
+		})
+	}
+	if err := cl.E.Run(0); err != nil {
+		return FailoverRow{}, err
+	}
+	if runErr != nil {
+		return FailoverRow{}, runErr
+	}
+	row := FailoverRow{OS: osName(os), Msgs: msgs, Size: size}
+	fs := eps[0].FailoverStats
+	row.Failovers, row.RailSwitches = fs.Failovers, fs.RailSwitches
+	row.Fallbacks, row.Freezes = fs.Fallbacks, fs.Freezes
+	if row.Failovers == 0 || row.RailSwitches == 0 {
+		return FailoverRow{}, fmt.Errorf("failover: outage never triggered a rail switch on %s: %+v", os, fs)
+	}
+	prev := streamStart
+	var preBytes, postBytes uint64
+	var preStart, preEnd, postStart, postEnd time.Duration
+	preStart = streamStart
+	for _, t := range completions {
+		if gap := t - prev; gap > row.Blackout {
+			row.Blackout = gap
+		}
+		prev = t
+		switch {
+		case t < failoverOutageFrom:
+			preBytes += size
+			preEnd = t
+		case t >= failoverOutageUntil:
+			if postBytes == 0 {
+				postStart = t
+			}
+			postBytes += size
+			postEnd = t
+		}
+	}
+	mbps := func(b uint64, from, to time.Duration) float64 {
+		if b == 0 || to <= from {
+			return 0
+		}
+		return float64(b) / (to - from).Seconds() / 1e6
+	}
+	row.PreMBps = mbps(preBytes, preStart, preEnd)
+	row.PostMBps = mbps(postBytes-size, postStart, postEnd) // first post message anchors the clock
+	if preBytes == 0 || postBytes < 2*size {
+		return FailoverRow{}, fmt.Errorf("failover: stream did not span the outage on %s (pre=%dB post=%dB)",
+			os, preBytes, postBytes)
+	}
+	return row, nil
+}

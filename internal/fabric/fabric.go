@@ -153,6 +153,24 @@ func (f *Fabric) Lossy() bool { return f.faults.Active() }
 // FaultStats returns the injected-fault counters.
 func (f *Fabric) FaultStats() FaultStats { return f.fstats }
 
+// RailBase offsets the port IDs of secondary rails: rail r of node n
+// attaches its port at RailID(n, r). Each rail is an independent set of
+// directed links, so FaultProfile Down windows and PerLink overrides
+// select a rail by using rail IDs as Src/Dst.
+const RailBase = 1 << 16
+
+// RailID returns the port ID of node's rail (rail 0 is the plain node
+// ID, keeping single-rail configurations unchanged).
+func RailID(node, rail int) int { return node + rail*RailBase }
+
+// LinkDown reports whether the directed link src→dst (port IDs, so
+// rail-qualified) is currently inside a configured outage window. This
+// is the health machine's link-state oracle: the sender-side NIC can
+// observe its own link LEDs, it just can't see in-flight loss.
+func (f *Fabric) LinkDown(src, dst int) bool {
+	return f.faults.Active() && f.faults.downAt(src, dst, f.e.Now())
+}
+
 // Attach registers a node's port. deliver is invoked (in event context,
 // zero duration) when a packet arrives; the NIC model queues it for its
 // receive pipeline.

@@ -80,6 +80,9 @@ const (
 	// FlagSynthetic marks a transfer whose payload bytes are not
 	// materialized (large-scale simulation mode); timing is identical.
 	FlagSynthetic uint32 = 1 << 0
+	// FlagStripe asks the SDMA engine to alternate this transfer's
+	// requests across both rails of a dual-rail NIC.
+	FlagStripe uint32 = 1 << 1
 )
 
 // EncodeSDMAHeader writes the header at va in the process's memory.

@@ -690,6 +690,7 @@ func SubmitToEngine(ctx *kernel.Ctx, space *kmem.Space, reg *kstruct.Registry, n
 		Hdr:         fabricHeader(hdr),
 		Requests:    reqs,
 		Synthetic:   hdr.Flags&FlagSynthetic != 0,
+		Stripe:      hdr.Flags&FlagStripe != 0,
 		CallbackVA:  uint64(callbackVA),
 		CallbackArg: uint64(rec.Addr),
 	}

@@ -24,6 +24,10 @@ type SDMATxn struct {
 	Kind      fabric.PacketKind
 	Hdr       fabric.Header
 	Synthetic bool
+	// Stripe lets the engine alternate a large transfer's requests
+	// across both rails of a dual-rail NIC (decoded from FlagStripe in
+	// the SDMA header); ignored on single-rail configurations.
+	Stripe bool
 	// CallbackVA/CallbackArg identify the completion callback: a kernel
 	// TEXT symbol and the kernel virtual address of the completion
 	// metadata record allocated by the submitting driver.
@@ -108,6 +112,13 @@ type NIC struct {
 	phys *mem.PhysMem
 	fab  *fabric.Fabric
 	port *fabric.Port
+	// port1 is the second rail's fabric port (nil unless
+	// model.Params.DualRail); both rails feed the same rx pipeline.
+	port1 *fabric.Port
+	// railOf records the transmit rail currently selected per
+	// destination node (rail 0 when absent); the PSM health machine
+	// reroutes traffic here on link failover.
+	railOf map[int]int
 
 	contexts map[int]*Context
 	engines  []*SDMAEngine
@@ -167,6 +178,13 @@ func NewNIC(e *sim.Engine, pr *model.Params, node int, phys *mem.PhysMem, fab *f
 		return nil, err
 	}
 	n.port = port
+	if pr.DualRail {
+		port1, err := fab.Attach(fabric.RailID(node, 1), func(pkt *fabric.Packet) { n.rxq.Push(pkt) })
+		if err != nil {
+			return nil, err
+		}
+		n.port1 = port1
+	}
 	for i := 0; i < pr.SDMAEngines; i++ {
 		eng := &SDMAEngine{Index: i, q: sim.NewQueue[*SDMATxn](e), drain: sim.NewCond(e)}
 		n.engines = append(n.engines, eng)
@@ -208,6 +226,41 @@ func (n *NIC) Lossy() bool { return n.fab.Lossy() }
 
 // Faults returns the fabric's fault profile (nil when loss-free).
 func (n *NIC) Faults() *fabric.FaultProfile { return n.fab.Faults() }
+
+// Dual reports whether the NIC has a second rail attached.
+func (n *NIC) Dual() bool { return n.port1 != nil }
+
+// TxRail returns the transmit rail currently selected toward dstNode
+// (rail 0 unless the health machine switched it).
+func (n *NIC) TxRail(dstNode int) int {
+	if n.railOf == nil {
+		return 0
+	}
+	return n.railOf[dstNode]
+}
+
+// SetRail selects the transmit rail toward dstNode. All subsequent PIO
+// and SDMA traffic for that node, including go-back-N retransmissions,
+// leaves through the chosen rail's port.
+func (n *NIC) SetRail(dstNode, rail int) {
+	if n.railOf == nil {
+		n.railOf = make(map[int]int)
+	}
+	if rail == 0 {
+		delete(n.railOf, dstNode)
+		return
+	}
+	n.railOf[dstNode] = rail
+}
+
+// RailDown reports whether the given rail's link toward dstNode is
+// inside an outage window in either direction — a dead reverse path
+// starves acknowledgments just as thoroughly as a dead forward path.
+func (n *NIC) RailDown(rail, dstNode int) bool {
+	src := fabric.RailID(n.Node, rail)
+	dst := fabric.RailID(dstNode, rail)
+	return n.fab.LinkDown(src, dst) || n.fab.LinkDown(dst, src)
+}
 
 // sdmaErrAt draws the failure point for one transaction attempt: -1
 // means the attempt succeeds, otherwise the index of the first request
@@ -343,9 +396,10 @@ func (n *NIC) pioSend(p *sim.Proc, dstNode, dstCtx int, hdr fabric.Header, paylo
 		return fmt.Errorf("hfi: PIO send of %d bytes exceeds PIO limit", bytes)
 	}
 	p.Sleep(n.pr.PIOTime(bytes))
+	rail := n.TxRail(dstNode)
 	pkt := n.fab.GetPacket()
 	*pkt = fabric.Packet{
-		SrcNode: n.Node, DstNode: dstNode, DstCtx: dstCtx,
+		SrcNode: fabric.RailID(n.Node, rail), DstNode: fabric.RailID(dstNode, rail), DstCtx: dstCtx,
 		Kind: fabric.KindEager, Hdr: hdr, Payload: payload, Bytes: bytes,
 		Pooled: true, PooledPayload: pooled && payload != nil,
 	}
@@ -400,6 +454,12 @@ func (n *NIC) runEngine(p *sim.Proc, eng *SDMAEngine) {
 			return
 		}
 		failAt := n.sdmaErrAt(len(txn.Requests))
+		// Rail selection: large striped transfers alternate requests
+		// across both rails when both are up; everything else follows
+		// the per-destination rail the health machine selected.
+		baseRail := n.TxRail(txn.DstNode)
+		stripe := txn.Stripe && n.Dual() &&
+			!n.RailDown(0, txn.DstNode) && !n.RailDown(1, txn.DstNode)
 		for i, req := range txn.Requests {
 			if i == failAt {
 				// Mid-transfer abort: requests before i are on the wire,
@@ -426,9 +486,13 @@ func (n *NIC) runEngine(p *sim.Proc, eng *SDMAEngine) {
 			}
 			hdr := txn.Hdr
 			hdr.Offset = req.MsgOff
+			rail := baseRail
+			if stripe {
+				rail = i % 2
+			}
 			pkt := n.fab.GetPacket()
 			*pkt = fabric.Packet{
-				SrcNode: n.Node, DstNode: txn.DstNode, DstCtx: txn.DstCtx,
+				SrcNode: fabric.RailID(n.Node, rail), DstNode: fabric.RailID(txn.DstNode, rail), DstCtx: txn.DstCtx,
 				Kind: txn.Kind, Hdr: hdr,
 				Payload: payload, Bytes: req.Src.Len,
 				TIDIdx: req.TIDIdx, TIDOff: req.TIDOff, Last: req.Last,
@@ -464,9 +528,10 @@ func (n *NIC) PIOChunk(p *sim.Proc, txn *SDMATxn, req SDMARequest) error {
 	hdr := txn.Hdr
 	hdr.Offset = req.MsgOff
 	p.Sleep(n.pr.PIOTime(req.Src.Len))
+	rail := n.TxRail(txn.DstNode)
 	pkt := n.fab.GetPacket()
 	*pkt = fabric.Packet{
-		SrcNode: n.Node, DstNode: txn.DstNode, DstCtx: txn.DstCtx,
+		SrcNode: fabric.RailID(n.Node, rail), DstNode: fabric.RailID(txn.DstNode, rail), DstCtx: txn.DstCtx,
 		Kind: txn.Kind, Hdr: hdr, Payload: payload, Bytes: req.Src.Len,
 		TIDIdx: req.TIDIdx, TIDOff: req.TIDOff, Last: req.Last,
 		Pooled: true, PooledPayload: payload != nil,
@@ -643,5 +708,24 @@ func (n *NIC) NotifyContext(ctxID int) {
 	}
 }
 
-// TxBytes returns the total bytes transmitted by this NIC.
-func (n *NIC) TxBytes() uint64 { return n.port.TxBytes }
+// TxBytes returns the total bytes transmitted by this NIC, across both
+// rails on dual-rail configurations.
+func (n *NIC) TxBytes() uint64 {
+	b := n.port.TxBytes
+	if n.port1 != nil {
+		b += n.port1.TxBytes
+	}
+	return b
+}
+
+// RailTxBytes returns the bytes transmitted on one rail (striping and
+// failover instrumentation).
+func (n *NIC) RailTxBytes(rail int) uint64 {
+	switch {
+	case rail == 0:
+		return n.port.TxBytes
+	case n.port1 != nil:
+		return n.port1.TxBytes
+	}
+	return 0
+}

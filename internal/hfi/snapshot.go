@@ -23,6 +23,19 @@ func (n *NIC) EncodeState(e *snapshot.Enc) {
 		n.RxPackets, n.SDMARequests, n.SDMAFullSize, n.IRQsRaised,
 		n.RxDropped, n.RxCorrupt, n.RxStaleTID, n.SDMAErrors,
 		n.TIDProgramOps, n.TIDClearOps)
+	// Rail lines appear only on dual-rail NICs, keeping single-rail
+	// snapshots byte-identical to pre-dual-rail builds.
+	if n.port1 != nil {
+		e.Printf("rail dual=true tx0=%d tx1=%d\n", n.port.TxBytes, n.port1.TxBytes)
+		dsts := make([]int, 0, len(n.railOf))
+		for d := range n.railOf {
+			dsts = append(dsts, d)
+		}
+		sort.Ints(dsts)
+		for _, d := range dsts {
+			e.Printf("rail dst=%d tx=%d\n", d, n.railOf[d])
+		}
+	}
 
 	ids := make([]int, 0, len(n.contexts))
 	for id := range n.contexts {

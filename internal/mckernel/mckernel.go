@@ -146,6 +146,22 @@ func (k *Kernel) Writev(ctx *kernel.Ctx, f *linux.File, iov []linux.IOVec) (uint
 	return n, err
 }
 
+// WritevSlow is Writev with the fast path bypassed: the call always
+// pays the full offload round trip, even when a PicoDriver is
+// registered. The PSM health machine routes device writes here while
+// the fast path is failed over.
+func (k *Kernel) WritevSlow(ctx *kernel.Ctx, f *linux.File, iov []linux.IOVec) (uint64, error) {
+	start := ctx.Now()
+	defer k.account(ctx, "writev", start)
+	ctx.Spend(lwkSyscallEntry)
+	var n uint64
+	var err error
+	k.Del.Offload(ctx.P, "writev", func(lctx *kernel.Ctx) {
+		n, err = k.lin.Writev(lctx, f, iov)
+	})
+	return n, err
+}
+
 // Ioctl dispatches an ioctl, fast-pathing the commands the PicoDriver
 // ported and offloading the rest transparently.
 func (k *Kernel) Ioctl(ctx *kernel.Ctx, f *linux.File, cmd uint32, arg uproc.VirtAddr) (uint64, error) {
@@ -158,6 +174,19 @@ func (k *Kernel) Ioctl(ctx *kernel.Ctx, f *linux.File, cmd uint32, arg uproc.Vir
 			return res, err
 		}
 	}
+	var res uint64
+	var err error
+	k.Del.Offload(ctx.P, "ioctl", func(lctx *kernel.Ctx) {
+		res, err = k.lin.Ioctl(lctx, f, cmd, arg)
+	})
+	return res, err
+}
+
+// IoctlSlow is Ioctl with the fast path bypassed (see WritevSlow).
+func (k *Kernel) IoctlSlow(ctx *kernel.Ctx, f *linux.File, cmd uint32, arg uproc.VirtAddr) (uint64, error) {
+	start := ctx.Now()
+	defer k.account(ctx, "ioctl", start)
+	ctx.Spend(lwkSyscallEntry)
 	var res uint64
 	var err error
 	k.Del.Offload(ctx.P, "ioctl", func(lctx *kernel.Ctx) {

@@ -23,6 +23,12 @@ type Params struct {
 	PacketOverheadBytes int
 	// SDMAEngines is the number of send-DMA engines per NIC.
 	SDMAEngines int
+	// DualRail attaches a second fabric port (rail 1) to every NIC:
+	// large SDMA transfers stripe across both rails and the PSM health
+	// machine fails traffic over to the spare rail when a link goes
+	// down. Off by default — single-rail runs are byte-identical to
+	// pre-dual-rail builds.
+	DualRail bool
 	// MaxSDMARequest is the largest physically contiguous SDMA request
 	// the NIC accepts (10 KB on HFI1).
 	MaxSDMARequest uint64

@@ -21,6 +21,10 @@ type Endpoint struct {
 	Book      AddressBook
 	Stats     Stats
 
+	// FailoverStats counts health-machine activity (see health.go). It
+	// is kept out of Stats so no-fault trace digests stay byte-stable.
+	FailoverStats FailoverStats
+
 	fd     Handle
 	CtxID  int
 	nic    *hfi.NIC
@@ -73,6 +77,9 @@ type Endpoint struct {
 	closed        bool
 	completedMsgs map[msgKey]bool
 	completedFIFO []msgKey
+	// health drives live fast-path/slow-path switching and dual-rail
+	// failover (nil on a loss-free fabric); see health.go.
+	health *healthMachine
 
 	// snapLabel is this endpoint's registered snapshot section
 	// (see EncodeState); Close unregisters it.
@@ -247,6 +254,7 @@ func NewEndpoint(p *sim.Proc, os OSOps, rank int, book AddressBook, synthetic bo
 		ep.ackOwed = make(map[int]bool)
 		ep.completedMsgs = make(map[msgKey]bool)
 		ep.rtCond = sim.NewCond(ep.eng)
+		ep.health = &healthMachine{ep: ep}
 		ep.eng.GoDaemon(fmt.Sprintf("psm-rt-rank%d", rank), func(dp *sim.Proc) {
 			ep.runRetransmit(dp)
 		})

@@ -80,7 +80,7 @@ func (ep *Endpoint) Progress(p *sim.Proc) (bool, error) {
 		if err := ep.writeStatus(hfi.StatusCQTail, ep.cqTail); err != nil {
 			return made, err
 		}
-		if err := ep.onSendComplete(seq); err != nil {
+		if err := ep.onSendComplete(p, seq); err != nil {
 			return made, err
 		}
 		made = true
@@ -303,7 +303,7 @@ func (ep *Endpoint) onCTS(p *sim.Proc, e *hfi.HdrqEntry) error {
 		Op: hfi.OpExpected, DstNode: uint32(sr.dst.Node), DstCtx: uint32(sr.dst.Ctx),
 		SrcRank: uint32(ep.Rank), Tag: sr.tag, MsgID: sr.msgid, MsgLen: winLen,
 		TIDListVA: tidsVA, TIDCount: uint32(nPairs),
-		CompSeq: cs, Flags: ep.flags(), Aux: windowOff,
+		CompSeq: cs, Flags: ep.flags(winLen), Aux: windowOff,
 	}
 	if err := ep.writevSDMA(p, hdr, sr.buf+uproc.VirtAddr(windowOff), winLen); err != nil {
 		return err
@@ -327,7 +327,7 @@ func (ep *Endpoint) onCTS(p *sim.Proc, e *hfi.HdrqEntry) error {
 
 // onSendComplete retires one CQ completion. The raw CQ word carries the
 // sequence number in the low half and the error bit above it.
-func (ep *Endpoint) onSendComplete(seqRaw uint64) error {
+func (ep *Endpoint) onSendComplete(p *sim.Proc, seqRaw uint64) error {
 	seq := uint32(seqRaw)
 	w, ok := ep.bySeq[seq]
 	if !ok {
@@ -337,8 +337,18 @@ func (ep *Endpoint) onSendComplete(seqRaw uint64) error {
 	sr := w.send
 	sr.windows--
 	if seqRaw&hfi.CQErrBit != 0 {
+		if ep.reliable && sr.op == "send:eager-sdma" && !sr.req.Done {
+			// Fast-path failure with a live reliability layer: strike the
+			// health machine (enough strikes fail the endpoint over to
+			// the slow path) and recover this message by replaying it as
+			// sequenced PIO chunks — the same replay the eager-fin timer
+			// performs, so completion still rides the receiver's FIN.
+			ep.health.sdmaStrike()
+			ep.Stats.MsgResends++
+			return ep.resendEagerPIO(p, sr)
+		}
 		// Terminal SDMA failure (driver retry budget exhausted with
-		// degradation disabled): surface a typed error.
+		// degradation disabled, no recovery path): surface a typed error.
 		if !sr.req.Done {
 			sr.req.Err = &SDMAError{Rank: ep.Rank, Seq: seq}
 			sr.req.Done = true

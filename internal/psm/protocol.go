@@ -178,12 +178,25 @@ func (ep *Endpoint) readPayloadScratch(va uproc.VirtAddr, n uint64) ([]byte, err
 // send additionally awaits the receiver's FIN, with a recovery timer
 // that replays the message as sequenced PIO chunks.
 func (ep *Endpoint) sendEagerSDMA(p *sim.Proc, dst int, a Addr, tag, msgid uint64, buf uproc.VirtAddr, length uint64, req *Request) error {
+	if ep.avoidSDMA() {
+		// Failed over from the SDMA fast path: carry the payload as
+		// sequenced PIO chunks instead of a writev. Completion still
+		// rides the receiver's FIN, and the eager-fin timer replays the
+		// message if the FIN stalls — identical recovery semantics, no
+		// SDMA engine involved.
+		sr := &sendReq{req: req, dst: a, peer: dst, tag: tag, msgid: msgid, buf: buf,
+			length: length, ctsDone: true, needFin: true,
+			op: "send:eager-sdma"}
+		ep.sends[msgid] = sr
+		ep.armEagerFin(sr)
+		return ep.resendEagerPIO(p, sr)
+	}
 	ep.nextCompSeq++
 	cs := ep.nextCompSeq
 	hdr := &hfi.SDMAHeader{
 		Op: hfi.OpEager, DstNode: uint32(a.Node), DstCtx: uint32(a.Ctx),
 		SrcRank: uint32(ep.Rank), Tag: tag, MsgID: msgid, MsgLen: length,
-		CompSeq: cs, Flags: ep.flags(),
+		CompSeq: cs, Flags: ep.flags(length),
 	}
 	if err := ep.writevSDMA(p, hdr, buf, length); err != nil {
 		return err
@@ -195,20 +208,25 @@ func (ep *Endpoint) sendEagerSDMA(p *sim.Proc, dst int, a Addr, tag, msgid uint6
 	if ep.reliable {
 		sr.needFin = true
 		ep.sends[msgid] = sr
-		ep.armMsgTimer(mtKey{msgid: msgid, kind: mtEagerFin}, dst,
-			func(tp *sim.Proc) error {
-				ep.Stats.MsgResends++
-				return ep.resendEagerPIO(tp, sr)
-			},
-			func(err error) {
-				if !sr.req.Done {
-					sr.req.Err = err
-					sr.req.Done = true
-				}
-				delete(ep.sends, msgid)
-			})
+		ep.armEagerFin(sr)
 	}
 	return nil
+}
+
+// armEagerFin arms the eager-SDMA message's FIN-replay recovery timer.
+func (ep *Endpoint) armEagerFin(sr *sendReq) {
+	ep.armMsgTimer(mtKey{msgid: sr.msgid, kind: mtEagerFin}, sr.peer,
+		func(tp *sim.Proc) error {
+			ep.Stats.MsgResends++
+			return ep.resendEagerPIO(tp, sr)
+		},
+		func(err error) {
+			if !sr.req.Done {
+				sr.req.Err = err
+				sr.req.Done = true
+			}
+			delete(ep.sends, sr.msgid)
+		})
 }
 
 // sendRendezvous issues the RTS; the CTS handler drives the SDMA windows.
@@ -236,11 +254,18 @@ func (ep *Endpoint) writevSDMA(p *sim.Proc, hdr *hfi.SDMAHeader, buf uproc.VirtA
 	return err
 }
 
-func (ep *Endpoint) flags() uint32 {
+// flags composes the SDMA header flag bits for a transfer of the given
+// size: synthetic-payload marking, plus rail striping for SDMA-sized
+// transfers on a dual-rail NIC.
+func (ep *Endpoint) flags(size uint64) uint32 {
+	var f uint32
 	if ep.Synthetic {
-		return hfi.FlagSynthetic
+		f |= hfi.FlagSynthetic
 	}
-	return 0
+	if ep.nic.Dual() && size > ep.nic.Params().PIOMaxSize {
+		f |= hfi.FlagStripe
+	}
+	return f
 }
 
 // Irecv posts a receive for (src, tag) into buf (capacity bytes).

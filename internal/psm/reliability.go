@@ -55,17 +55,25 @@ type txWaiter struct {
 
 // txFlow is the go-back-N sender state toward one peer.
 type txFlow struct {
-	peer     int
-	addr     Addr
-	nextPSN  uint32
-	unacked  []txPkt
-	waiters  []txWaiter
-	deadline time.Duration // 0 = timer unarmed
+	peer    int
+	addr    Addr
+	nextPSN uint32
+	unacked []txPkt
+	waiters []txWaiter
+	// armed gates deadline: a disarmed timer's deadline is meaningless.
+	// (An explicit flag, not a zero-value sentinel — virtual time starts
+	// at 0, so "deadline == 0" cannot distinguish disarmed from armed-at-
+	// time-zero.)
+	armed    bool
+	deadline time.Duration
 	rto      time.Duration
 	retries  int
 	failed   error
 	// lastGBN rate-limits NAK-triggered resends: a burst of NAKs from
-	// one loss event triggers one go-back-N round.
+	// one loss event triggers one go-back-N round. gbnRan gates it for
+	// the same reason armed gates deadline: a round fired at virtual
+	// time 0 leaves lastGBN == 0, which must not read as "never fired".
+	gbnRan  bool
 	lastGBN time.Duration
 }
 
@@ -197,8 +205,9 @@ func (ep *Endpoint) sendFlowPkt(p *sim.Proc, peer int, a Addr, hdr fabric.Header
 	if onAcked != nil {
 		fl.waiters = append(fl.waiters, txWaiter{psn: hdr.PSN, fn: onAcked})
 	}
-	if fl.deadline == 0 {
+	if !fl.armed {
 		fl.rto = ep.nic.Params().PSMRtoBase
+		fl.armed = true
 		fl.deadline = ep.eng.Now() + fl.rto
 		ep.rtCond.Broadcast()
 	}
@@ -210,6 +219,15 @@ func (ep *Endpoint) sendCtl(p *sim.Proc, peer int, op uint32, aux uint64) error 
 	a, err := ep.addrOf(peer)
 	if err != nil {
 		return err
+	}
+	// Control packets are unsequenced: no retransmit timer protects
+	// them, so one aimed into a dark link silently starves the peer's
+	// flow. The NIC can see its own link LEDs, so reroute through the
+	// health machine before spending the packet. The sequenced data
+	// path never does this — its detection signal is the go-back-N
+	// timeout, which is what the blackout window measures.
+	if ep.pathDown(a.Node) {
+		ep.health.linkStrike(a.Node)
 	}
 	hdr := ep.header(op, 0, 0, 0, 0, aux)
 	return ep.nic.PIOSend(p, a.Node, a.Ctx, hdr, nil, ackWireBytes)
@@ -251,7 +269,7 @@ func (ep *Endpoint) ackUpTo(fl *txFlow, cum uint32) {
 	fl.retries = 0
 	fl.rto = ep.nic.Params().PSMRtoBase
 	if len(fl.unacked) == 0 {
-		fl.deadline = 0
+		fl.armed = false
 	} else {
 		fl.deadline = ep.eng.Now() + fl.rto
 	}
@@ -267,19 +285,30 @@ func (ep *Endpoint) onNak(p *sim.Proc, e *ackEntry) error {
 	if e.cum > 0 {
 		ep.ackUpTo(fl, e.cum-1)
 	}
-	return ep.goBackN(p, fl)
+	return ep.goBackN(p, fl, false)
 }
 
-// goBackN resends every unacknowledged packet on the flow, rate-limited
-// so a burst of NAKs from one loss event triggers a single round.
-func (ep *Endpoint) goBackN(p *sim.Proc, fl *txFlow) error {
+// gbnSuppressed reports whether a NAK-triggered go-back-N round should
+// be suppressed by the rate limiter: a round already ran (gbnRan, an
+// explicit flag — lastGBN alone cannot encode "never fired" because a
+// legitimate round at virtual time 0 stamps lastGBN = 0) and it was
+// recent. Extracted so the time-zero behavior is unit-testable.
+func gbnSuppressed(gbnRan bool, lastGBN, now, rto time.Duration) bool {
+	return gbnRan && now-lastGBN < rto/2
+}
+
+// goBackN resends every unacknowledged packet on the flow. NAK-driven
+// rounds (force == false) are rate-limited so a burst of NAKs from one
+// loss event triggers a single round; timer-driven rounds force.
+func (ep *Endpoint) goBackN(p *sim.Proc, fl *txFlow, force bool) error {
 	if len(fl.unacked) == 0 || fl.failed != nil {
 		return nil
 	}
 	now := ep.eng.Now()
-	if fl.lastGBN != 0 && now-fl.lastGBN < fl.rto/2 {
+	if !force && gbnSuppressed(fl.gbnRan, fl.lastGBN, now, fl.rto) {
 		return nil
 	}
+	fl.gbnRan = true
 	fl.lastGBN = now
 	var resent uint64
 	for _, tp := range fl.unacked {
@@ -317,25 +346,30 @@ func (ep *Endpoint) touchMsgTimer(key mtKey) {
 
 func (ep *Endpoint) cancelMsgTimer(key mtKey) { delete(ep.msgTimers, key) }
 
-// nextDeadline returns the earliest armed deadline across flows and
-// message timers.
+// nextDeadline returns the earliest armed deadline across flows,
+// message timers and the health machine. Arming is explicit (armed
+// flags, map presence) — deadline values are never sentinels, so a
+// deadline of 0 (virtual time starts at 0) is considered like any
+// other.
 func (ep *Endpoint) nextDeadline() (time.Duration, bool) {
 	var next time.Duration
 	any := false
 	consider := func(d time.Duration) {
-		if d == 0 {
-			return
-		}
 		if !any || d < next {
 			next = d
 			any = true
 		}
 	}
 	for _, fl := range ep.txFlows {
-		consider(fl.deadline)
+		if fl.armed {
+			consider(fl.deadline)
+		}
 	}
 	for _, mt := range ep.msgTimers {
 		consider(mt.deadline)
+	}
+	if ep.health != nil && ep.health.armed {
+		consider(ep.health.deadline)
 	}
 	return next, any
 }
@@ -380,18 +414,34 @@ func (ep *Endpoint) fireTimers(p *sim.Proc) error {
 
 	var peers []int
 	for peer, fl := range ep.txFlows {
-		if fl.deadline != 0 && fl.deadline <= now {
+		if fl.armed && fl.deadline <= now {
 			peers = append(peers, peer)
 		}
 	}
 	sort.Ints(peers)
 	for _, peer := range peers {
 		fl := ep.txFlows[peer]
-		if fl.deadline == 0 || fl.deadline > now {
+		if !fl.armed || fl.deadline > now {
 			continue
 		}
 		if len(fl.unacked) == 0 {
-			fl.deadline = 0
+			fl.armed = false
+			continue
+		}
+		if ep.pathDown(fl.addr.Node) {
+			// The link this flow transmits on is down: resending into it
+			// is guaranteed loss, so don't burn the retry budget. Give
+			// the health machine a chance to switch rails; if it can't
+			// (single rail, or spare also down), freeze the budget and
+			// re-check after rto.
+			if ep.health.linkStrike(fl.addr.Node) {
+				if err := ep.goBackN(p, fl, true); err != nil {
+					return err
+				}
+			} else {
+				ep.FailoverStats.Freezes++
+			}
+			fl.deadline = p.Now() + fl.rto
 			continue
 		}
 		fl.retries++
@@ -399,7 +449,7 @@ func (ep *Endpoint) fireTimers(p *sim.Proc) error {
 		if fl.retries > pr.PSMMaxRetries {
 			err := &RetryBudgetError{Rank: ep.Rank, Peer: peer, Retries: fl.retries - 1, What: "flow"}
 			fl.failed = err
-			fl.deadline = 0
+			fl.armed = false
 			for _, w := range fl.waiters {
 				w.fn(err)
 			}
@@ -409,8 +459,7 @@ func (ep *Endpoint) fireTimers(p *sim.Proc) error {
 		}
 		// The backoff span covers the silent wait that just ended.
 		ep.span("backoff", now-fl.rto, 0)
-		fl.lastGBN = 0 // timer-driven rounds are never rate-limited
-		if err := ep.goBackN(p, fl); err != nil {
+		if err := ep.goBackN(p, fl, true); err != nil {
 			return err
 		}
 		fl.rto *= 2
@@ -438,6 +487,17 @@ func (ep *Endpoint) fireTimers(p *sim.Proc) error {
 	for _, k := range keys {
 		mt, ok := ep.msgTimers[k]
 		if !ok || mt.deadline > now {
+			continue
+		}
+		if a, err := ep.addrOf(mt.peer); err == nil && ep.pathDown(a.Node) {
+			// Same budget freeze as flows: a recovery replay into a down
+			// link cannot succeed, so it must not count against the
+			// budget. linkStrike may switch rails, after which the timer
+			// fires normally on its next expiry.
+			if !ep.health.linkStrike(a.Node) {
+				ep.FailoverStats.Freezes++
+			}
+			mt.deadline = p.Now() + mt.rto
 			continue
 		}
 		mt.retries++
@@ -469,7 +529,19 @@ func (ep *Endpoint) fireTimers(p *sim.Proc) error {
 		}
 		mt.deadline = p.Now() + mt.rto
 	}
+
+	ep.health.fire(now)
 	return nil
+}
+
+// pathDown reports whether the rail currently selected toward peerNode
+// is inside a link-down window, in either direction (an outage of the
+// reverse path starves ACKs just the same).
+func (ep *Endpoint) pathDown(peerNode int) bool {
+	if ep.health == nil {
+		return false
+	}
+	return ep.nic.RailDown(ep.nic.TxRail(peerNode), peerNode)
 }
 
 // maybeCompleteSend finishes a send request once every completion

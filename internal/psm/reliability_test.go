@@ -19,8 +19,15 @@ import (
 // body on both ranks.
 func lossyPair(t *testing.T, fp fabric.FaultProfile, body func(p *sim.Proc, rank int, ep *psm.Endpoint)) (*cluster.Cluster, []*psm.Endpoint) {
 	t.Helper()
+	return lossyPairOn(t, fp, model.Default(), body)
+}
+
+// lossyPairOn is lossyPair with explicit model parameters (e.g. for
+// dual-rail configurations).
+func lossyPairOn(t *testing.T, fp fabric.FaultProfile, pr model.Params, body func(p *sim.Proc, rank int, ep *psm.Endpoint)) (*cluster.Cluster, []*psm.Endpoint) {
+	t.Helper()
 	cl, err := cluster.New(cluster.Config{
-		Nodes: 2, OS: cluster.OSLinux, Params: model.Default(), Seed: 21, Faults: fp,
+		Nodes: 2, OS: cluster.OSLinux, Params: pr, Seed: 21, Faults: fp,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -63,6 +70,7 @@ func pattern(tag, size uint64) []byte {
 
 type lossyResult struct {
 	stats  [2]psm.Stats
+	fail   [2]psm.FailoverStats
 	fstats fabric.FaultStats
 	now    time.Duration
 }
@@ -72,13 +80,19 @@ type lossyResult struct {
 // generator, then drains both endpoints.
 func runLossyTransfers(t *testing.T, fp fabric.FaultProfile, sizes []uint64, iters int) lossyResult {
 	t.Helper()
+	return runLossyTransfersOn(t, fp, model.Default(), sizes, iters)
+}
+
+// runLossyTransfersOn is runLossyTransfers with explicit model params.
+func runLossyTransfersOn(t *testing.T, fp fabric.FaultProfile, pr model.Params, sizes []uint64, iters int) lossyResult {
+	t.Helper()
 	var max uint64
 	for _, s := range sizes {
 		if s > max {
 			max = s
 		}
 	}
-	cl, eps := lossyPair(t, fp, func(p *sim.Proc, rank int, ep *psm.Endpoint) {
+	cl, eps := lossyPairOn(t, fp, pr, func(p *sim.Proc, rank int, ep *psm.Endpoint) {
 		proc := ep.OS.Proc()
 		buf, err := ep.OS.MmapAnon(p, max)
 		if err != nil {
@@ -133,6 +147,7 @@ func runLossyTransfers(t *testing.T, fp fabric.FaultProfile, sizes []uint64, ite
 	for i, ep := range eps {
 		if ep != nil {
 			res.stats[i] = ep.Stats
+			res.fail[i] = ep.FailoverStats
 		}
 	}
 	return res
@@ -285,26 +300,51 @@ func TestEagerSDMABlackholeFails(t *testing.T) {
 	})
 }
 
-// TestSDMAErrorSurfaced: with degradation disabled, an SDMA transaction
-// that exhausts the driver's retry budget surfaces as a typed SDMAError
-// on the send request via the CQ error completion.
+// TestSDMAErrorSurfaced: with degradation disabled, an SDMA error
+// completion on a rendezvous window is terminal and surfaces as a typed
+// SDMAError on the send request via the CQ error completion. (Eager
+// SDMA sends instead fail over to PIO; see TestEagerSDMAErrorFailsOver.)
 func TestSDMAErrorSurfaced(t *testing.T) {
 	fp := fabric.FaultProfile{SDMAErr: 1, SDMANoDegrade: true, Seed: 3}
 	lossyPair(t, fp, func(p *sim.Proc, rank int, ep *psm.Endpoint) {
-		if rank != 0 {
-			return
-		}
-		buf, err := ep.OS.MmapAnon(p, 32<<10)
+		buf, err := ep.OS.MmapAnon(p, 200<<10)
 		if err != nil {
 			t.Error(err)
 			return
 		}
-		err = ep.Send(p, 1, 4, buf, 32<<10)
+		if rank == 1 {
+			// The receiver must post a matching Recv so the CTS flows
+			// and the doomed SDMA writev is actually issued; once the
+			// sender dies its rendezvous window budget exhausts too.
+			if err := ep.Recv(p, 0, 4, buf, 200<<10); err == nil {
+				t.Error("recv completed despite terminal SDMA error on sender")
+			}
+			return
+		}
+		err = ep.Send(p, 1, 4, buf, 200<<10)
 		var se *psm.SDMAError
 		if !errors.As(err, &se) {
 			t.Errorf("send error = %v, want *SDMAError", err)
 		}
 	})
+}
+
+// TestEagerSDMAErrorFailsOver: eager-SDMA sends hitting hard SDMA error
+// completions (degradation disabled) must not fail; the health machine
+// accumulates strikes, fails the endpoint over to the PIO/slow path and
+// every payload still arrives byte-identical.
+func TestEagerSDMAErrorFailsOver(t *testing.T) {
+	fp := fabric.FaultProfile{SDMAErr: 1, SDMANoDegrade: true, Seed: 3}
+	res := runLossyTransfers(t, fp, []uint64{32 << 10}, 3)
+	if res.stats[0].SendsEagerSDMA == 0 {
+		t.Fatalf("no eager-SDMA sends attempted: %+v", res.stats[0])
+	}
+	if res.fail[0].SDMAStrikes == 0 {
+		t.Fatalf("no SDMA strikes recorded: %+v", res.fail[0])
+	}
+	if res.fail[0].Failovers == 0 {
+		t.Fatalf("health machine never failed over: %+v", res.fail[0])
+	}
 }
 
 // TestSDMADegradeDelivers: with degradation enabled, aborted SDMA
@@ -315,5 +355,64 @@ func TestSDMADegradeDelivers(t *testing.T) {
 	res := runLossyTransfers(t, fp, []uint64{32 << 10, 200 << 10}, 2)
 	if res.stats[0].SendsEagerSDMA != 2 || res.stats[0].SendsRdv != 2 {
 		t.Fatalf("unexpected send mix: %+v", res.stats[0])
+	}
+}
+
+// TestLinkDownFreezesRetryBudget: a link outage that outlasts the whole
+// exponential-backoff budget (~15ms for the default parameters; the
+// window here is 30ms) must NOT burn the flow's retry budget. The
+// health machine observes the down oracle, freezes the budget while the
+// path is down, and the transfer completes once the link returns. The
+// contrasting case — link up but peer silently dead — still exhausts the
+// budget on schedule (TestRetransmitBackoffSchedule).
+func TestLinkDownFreezesRetryBudget(t *testing.T) {
+	const outage = 30 * time.Millisecond
+	fp := fabric.FaultProfile{
+		Down: []fabric.DownWindow{
+			{Src: 0, Dst: 1, From: 0, Until: outage},
+			{Src: 1, Dst: 0, From: 0, Until: outage},
+		},
+		Seed: 13,
+	}
+	res := runLossyTransfers(t, fp, []uint64{8 << 10}, 1)
+	if res.fail[0].Freezes == 0 {
+		t.Fatalf("budget never frozen during outage: %+v", res.fail[0])
+	}
+	pr := model.Default()
+	if got := res.stats[0].Timeouts; got >= uint64(pr.PSMMaxRetries) {
+		t.Fatalf("outage burned %d timeouts against a budget of %d", got, pr.PSMMaxRetries)
+	}
+	if res.now < outage {
+		t.Fatalf("transfer finished at %v, inside the %v outage", res.now, outage)
+	}
+}
+
+// TestDualRailFailover: with a second rail configured, a rail-0 outage
+// longer than the retransmit timer must trigger a rail switch (strike →
+// fail over to rail 1), deliver every payload byte-identical, and fall
+// back to rail 0 once the probe sees the outage end.
+func TestDualRailFailover(t *testing.T) {
+	pr := model.Default()
+	pr.DualRail = true
+	fp := fabric.FaultProfile{
+		Down: []fabric.DownWindow{
+			{Src: 0, Dst: 1, From: 0, Until: 2 * time.Millisecond},
+			{Src: 1, Dst: 0, From: 0, Until: 2 * time.Millisecond},
+		},
+		Seed: 17,
+	}
+	res := runLossyTransfersOn(t, fp, pr, []uint64{4 << 10, 32 << 10}, 3)
+	f := res.fail[0]
+	if f.LinkStrikes == 0 {
+		t.Fatalf("no link strikes recorded: %+v", f)
+	}
+	if f.RailSwitches == 0 {
+		t.Fatalf("no rail switch despite a healthy spare: %+v", f)
+	}
+	if f.Failovers == 0 {
+		t.Fatalf("health machine never failed over: %+v", f)
+	}
+	if f.Fallbacks == 0 {
+		t.Fatalf("never fell back to rail 0 after the outage: %+v", f)
 	}
 }

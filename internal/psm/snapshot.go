@@ -91,9 +91,9 @@ func (ep *Endpoint) EncodeState(e *snapshot.Enc) {
 	sort.Ints(peers)
 	for _, p := range peers {
 		fl := ep.txFlows[p]
-		e.Printf("txflow peer=%d nextpsn=%d unacked=%d waiters=%d deadline=%d rto=%d retries=%d failed=%v lastgbn=%d\n",
-			p, fl.nextPSN, len(fl.unacked), len(fl.waiters),
-			int64(fl.deadline), int64(fl.rto), fl.retries, fl.failed != nil, int64(fl.lastGBN))
+		e.Printf("txflow peer=%d nextpsn=%d unacked=%d waiters=%d armed=%v deadline=%d rto=%d retries=%d failed=%v gbnran=%v lastgbn=%d\n",
+			p, fl.nextPSN, len(fl.unacked), len(fl.waiters), fl.armed,
+			int64(fl.deadline), int64(fl.rto), fl.retries, fl.failed != nil, fl.gbnRan, int64(fl.lastGBN))
 		for _, tp := range fl.unacked {
 			e.Printf("txflow peer=%d pkt psn=%d op=%d msgid=%d bytes=%d", p, tp.psn, tp.hdr.Op, tp.hdr.MsgID, tp.bytes)
 			if tp.payload != nil {
@@ -142,6 +142,13 @@ func (ep *Endpoint) EncodeState(e *snapshot.Enc) {
 		e.Printf("ackowed peer=%d\n", p)
 	}
 	e.Printf("completed msgs=%d fifo=%d\n", len(ep.completedMsgs), len(ep.completedFIFO))
+	if h := ep.health; h != nil {
+		e.Printf("health state=%d cause=%d strikes=%d peer=%d armed=%v deadline=%d\n",
+			h.state, h.cause, h.strikes, h.peer, h.armed, int64(h.deadline))
+		fs := &ep.FailoverStats
+		e.Printf("failover sdmastrikes=%d linkstrikes=%d failovers=%d fallbacks=%d railswitches=%d freezes=%d\n",
+			fs.SDMAStrikes, fs.LinkStrikes, fs.Failovers, fs.Fallbacks, fs.RailSwitches, fs.Freezes)
+	}
 }
 
 func encodeInbound(e *snapshot.Enc, kind string, i int, in *inbound) {

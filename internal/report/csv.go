@@ -103,6 +103,20 @@ func ReliabilityCSV(rows []experiments.ReliabilityRow) string {
 	return b.String()
 }
 
+// FailoverCSV renders the live-failover rows.
+func FailoverCSV(rows []experiments.FailoverRow) string {
+	var b strings.Builder
+	b.WriteString("os,msgs,bytes,blackout_us,pre_mbps,post_mbps," +
+		"failovers,rail_switches,fallbacks,freezes\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s,%d,%d,%.3f,%.1f,%.1f,%d,%d,%d,%d\n",
+			r.OS, r.Msgs, r.Size, float64(r.Blackout)/1e3,
+			r.PreMBps, r.PostMBps,
+			r.Failovers, r.RailSwitches, r.Fallbacks, r.Freezes)
+	}
+	return b.String()
+}
+
 // BreakdownCSV renders a syscall-share pair.
 func BreakdownCSV(orig, pico experiments.Breakdown) string {
 	var b strings.Builder

@@ -167,6 +167,24 @@ func ReliabilityTable(rows []experiments.ReliabilityRow) string {
 	return b.String()
 }
 
+// FailoverTable renders the live-failover measurement: blackout window
+// and pre-outage / post-recovery goodput per OS configuration, plus the
+// health-machine counters that prove the rail switch actually happened.
+func FailoverTable(rows []experiments.FailoverRow) string {
+	var b strings.Builder
+	b.WriteString("Failover: rail-0 outage blackout window and goodput per OS configuration\n")
+	fmt.Fprintf(&b, "%-14s %5s %-8s %12s %10s %10s %5s %5s %5s %7s\n",
+		"os", "msgs", "size", "blackout", "pre MB/s", "post MB/s",
+		"fo", "rail", "fb", "freezes")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %5d %-8s %12s %10.1f %10.1f %5d %5d %5d %7d\n",
+			r.OS, r.Msgs, sizeLabel(r.Size), r.Blackout,
+			r.PreMBps, r.PostMBps,
+			r.Failovers, r.RailSwitches, r.Fallbacks, r.Freezes)
+	}
+	return b.String()
+}
+
 // lossLabel renders a drop probability as a percentage.
 func lossLabel(loss float64) string {
 	if loss == 0 {

@@ -59,6 +59,17 @@ func TestSimHarness(t *testing.T) {
 				runCell(t, cell)
 			})
 		}
+		// Failover cells: rail flaps, mid-message fast→slow switching and
+		// recovery fallback; the health machine must carry every payload
+		// across the failovers and the 3× straight/snapshot/restore digest
+		// comparison covers the new health and rail snapshot sections.
+		for i := 0; i < (*cellsFlag+2)/3; i++ {
+			cell := fmt.Sprintf("%s/failover/%d", osType, i)
+			t.Run(cell, func(t *testing.T) {
+				t.Parallel()
+				runCell(t, cell)
+			})
+		}
 	}
 }
 

@@ -15,6 +15,7 @@ package simtest
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 	"strings"
 	"time"
 
@@ -110,6 +111,9 @@ type FaultPlan struct {
 	// LinkJitter adds a deterministic pseudo-random delivery delay in
 	// [0, LinkJitter) to every fabric packet.
 	LinkJitter time.Duration
+	// DualRail equips every NIC with a second fabric port so the
+	// health machine can switch rails under a link outage.
+	DualRail bool
 	// Profile configures lossy-fabric injection; a non-zero profile
 	// activates PSM's reliability protocol.
 	Profile fabric.FaultProfile
@@ -189,6 +193,9 @@ func Generate(base int64, cell string) (Workload, error) {
 	}
 	if strings.Contains(cell, "/lossy/") {
 		return generateLossy(w), nil
+	}
+	if strings.Contains(cell, "/failover/") {
+		return generateFailover(w), nil
 	}
 	rng := rand.New(rand.NewSource(w.Seed))
 	w.Nodes = 1 + rng.Intn(3)
@@ -314,6 +321,76 @@ func generateLossy(w Workload) Workload {
 	return w
 }
 
+// generateFailover builds a live-failover cell. The trailing index of
+// the cell name selects a scenario, cycling through three:
+//
+//	0 — rail flap: dual-rail NICs, two finite rail-0 outage windows;
+//	    the health machine must strike, switch to rail 1, and probe
+//	    back to rail 0 after each window ends.
+//	1 — mid-message fast→slow switch: hard SDMA error completions with
+//	    degradation disabled force eager-SDMA sends through the health
+//	    machine's PIO/slow-path reroute mid-stream. Rendezvous sizes
+//	    are excluded — their SDMA errors are terminal by design.
+//	2 — recovery fallback: dual-rail NICs with one short outage right
+//	    at startup, so most of the traffic lands after the fall back
+//	    to rail 0 (striping resumes once both rails are up).
+//
+// Ring tightening is skipped for the same reason as generateLossy.
+func generateFailover(w Workload) Workload {
+	rng := rand.New(rand.NewSource(w.Seed))
+	variant := 0
+	if k := strings.LastIndex(w.Cell, "/"); k >= 0 {
+		if n, err := strconv.Atoi(w.Cell[k+1:]); err == nil && n >= 0 {
+			variant = n % 3
+		}
+	}
+	w.Nodes = 2
+	w.RanksPerNode = 1 + rng.Intn(2)
+	w.Order = OrderMode(rng.Intn(int(orderModes)))
+	w.LargePages = rng.Intn(2) == 0
+
+	sizes := sizeClasses
+	switch variant {
+	case 1:
+		w.Faults.Profile.SDMAErr = 0.7 + 0.3*rng.Float64()
+		w.Faults.Profile.SDMANoDegrade = true
+		sizes = []uint64{4096, 16 << 10, 16<<10 + 1, 40 << 10, 64<<10 - 8, 64 << 10}
+	default:
+		w.Faults.DualRail = true
+		// Outage windows cover only the rail-0 links: the link IDs of
+		// rail 0 are the plain node IDs, rail 1 lives at node+RailBase.
+		down := func(from, until time.Duration) {
+			w.Faults.Profile.Down = append(w.Faults.Profile.Down,
+				fabric.DownWindow{Src: 0, Dst: 1, From: from, Until: until},
+				fabric.DownWindow{Src: 1, Dst: 0, From: from, Until: until})
+		}
+		if variant == 2 {
+			down(0, time.Duration(200+rng.Intn(600))*time.Microsecond)
+		} else {
+			end1 := time.Duration(300+rng.Intn(1200)) * time.Microsecond
+			down(0, end1)
+			start2 := end1 + time.Duration(500+rng.Intn(1000))*time.Microsecond
+			down(start2, start2+time.Duration(300+rng.Intn(1000))*time.Microsecond)
+		}
+	}
+
+	ranks := w.Nodes * w.RanksPerNode
+	nmsg := 4 + rng.Intn(6)
+	for i := 0; i < nmsg; i++ {
+		src := rng.Intn(ranks)
+		dst := rng.Intn(ranks - 1)
+		if dst >= src {
+			dst++
+		}
+		w.Msgs = append(w.Msgs, Msg{
+			Src: src, Dst: dst,
+			Tag:  uint64(100 + i),
+			Size: sizes[rng.Intn(len(sizes))],
+		})
+	}
+	return w
+}
+
 // generateTIDFault builds the deliberate RcvArray-exhaustion scenario:
 // two nodes, one rank each, a rendezvous-sized message, and a context
 // limited to 8 TIDs. On Linux (scattered 4K frames) a 300K window
@@ -390,6 +467,7 @@ func (w Workload) params() model.Params {
 		pr.RendezvousWindow = w.RendezvousWindow
 	}
 	pr.LinkJitter = w.Faults.LinkJitter
+	pr.DualRail = w.Faults.DualRail
 	pr.SDMAQueueDepth = w.Faults.SDMAQueueDepth
 	pr.EagerSlots = w.Faults.EagerSlots
 	pr.HdrqEntries = w.Faults.HdrqEntries
@@ -409,6 +487,9 @@ func (w Workload) Summary() string {
 	if w.Faults.Profile.Active() {
 		s += fmt.Sprintf(" lossy(drop=%.3f dup=%.3f reorder=%.3f sdmaerr=%.3f)",
 			w.Faults.Profile.Drop, w.Faults.Profile.Dup, w.Faults.Profile.Reorder, w.Faults.Profile.SDMAErr)
+	}
+	if w.Faults.DualRail {
+		s += fmt.Sprintf(" dualrail(downwindows=%d)", len(w.Faults.Profile.Down))
 	}
 	return s
 }
