@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet check bench bench-gate simtest trace-smoke verbs-trace-smoke reliability-smoke failover-smoke snapshot-smoke artifacts artifacts-paper examples clean
+.PHONY: all build test vet check bench bench-gate simtest trace-smoke verbs-trace-smoke reliability-smoke failover-smoke tenancy-smoke snapshot-smoke artifacts artifacts-paper examples clean
 
 all: build test
 
@@ -86,6 +86,27 @@ failover-smoke:
 	cmp artifacts/fig4.txt /tmp/picodriver-fo-nofault/fig4.txt
 	rm -rf /tmp/picodriver-fo-a.json /tmp/picodriver-fo-b.json \
 		/tmp/picodriver-fo-a.txt /tmp/picodriver-fo-b.txt /tmp/picodriver-fo-nofault
+
+# Multi-tenancy gate: two same-seed tenancy sweeps must emit
+# byte-identical interference tables (text and CSV), and the traced
+# packed noisy-neighbor cell (pingpong -neighbor) must be deterministic
+# and pass the tracecheck validator. The sweep's own hard checks assert
+# nonzero packed p99 inflation, spread recovering below packed, and
+# congestion-control activity (marks/stalls) on the packed cell.
+tenancy-smoke:
+	rm -rf /tmp/picodriver-ten-a /tmp/picodriver-ten-b
+	$(GO) run ./cmd/experiments -only tenancy -out /tmp/picodriver-ten-a >/dev/null
+	$(GO) run ./cmd/experiments -only tenancy -out /tmp/picodriver-ten-b >/dev/null
+	cmp /tmp/picodriver-ten-a/tenancy.txt /tmp/picodriver-ten-b/tenancy.txt
+	cmp /tmp/picodriver-ten-a/tenancy.csv /tmp/picodriver-ten-b/tenancy.csv
+	$(GO) run ./cmd/pingpong -neighbor -trace /tmp/picodriver-ten-a.json | sed 's/-> .*//' > /tmp/picodriver-ten-a.txt
+	$(GO) run ./cmd/pingpong -neighbor -trace /tmp/picodriver-ten-b.json | sed 's/-> .*//' > /tmp/picodriver-ten-b.txt
+	cmp /tmp/picodriver-ten-a.txt /tmp/picodriver-ten-b.txt
+	cmp /tmp/picodriver-ten-a.json /tmp/picodriver-ten-b.json
+	$(GO) run ./cmd/tracecheck /tmp/picodriver-ten-a.json
+	rm -rf /tmp/picodriver-ten-a /tmp/picodriver-ten-b \
+		/tmp/picodriver-ten-a.json /tmp/picodriver-ten-b.json \
+		/tmp/picodriver-ten-a.txt /tmp/picodriver-ten-b.txt
 
 # Checkpoint/restore gate: a traced Figure 4 cell checkpointed at half
 # its virtual time and resumed from the snapshot must print the same

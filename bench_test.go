@@ -50,6 +50,7 @@ func benchScale() experiments.Scale {
 	sc.VerbsReps = 3
 	sc.LossRates = []float64{0.02}
 	sc.ReliabilitySizes = []uint64{32 << 10}
+	sc.TenancyMsgs = 60
 	return sc
 }
 
@@ -229,6 +230,36 @@ func BenchmarkFailover(b *testing.B) {
 			b.ReportMetric(r.PostMBps, "hfi-post-MB/s")
 		}
 	}
+}
+
+// BenchmarkTenancy runs the multi-tenant interference sweep (all three
+// OS configurations × solo/packed/spread/incast scenarios on the
+// congestion-controlled fabric) and reports the noisy-neighbor p99
+// inflation a packed placement costs the victim, plus the bulk
+// neighbor's goodput under AIMD backoff.
+func BenchmarkTenancy(b *testing.B) {
+	var rows []experiments.TenancyRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Tenancy(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var solo, packed experiments.TenancyRow
+	for _, r := range rows {
+		if r.OS != "McKernel+HFI1" {
+			continue
+		}
+		switch r.Scenario {
+		case "solo":
+			solo = r
+		case "packed":
+			packed = r
+		}
+	}
+	b.ReportMetric(float64(packed.VictimP99-solo.VictimP99)/1e3, "hfi-p99-inflation-µs")
+	b.ReportMetric(packed.BulkMBps, "hfi-bulk-MB/s")
 }
 
 // ---------------------------------------------------------------------

@@ -7,8 +7,8 @@
 //	            [-checkpoint FILE [-resume]]
 //
 // Experiment ids: fig4, fig5a, fig5b, fig6a, fig6b, fig7, table1, fig8,
-// fig9, verbs, reliability. With -out, each artifact is also written to
-// DIR/<id>.txt.
+// fig9, verbs, reliability, failover, tenancy. With -out, each artifact
+// is also written to DIR/<id>.txt.
 //
 // -j fans the independent simulation cells of each experiment out over N
 // workers (default: GOMAXPROCS). Artifacts are byte-identical for any
@@ -37,7 +37,7 @@ import (
 // experimentIDs lists every known id in output order.
 var experimentIDs = []string{
 	"fig4", "fig5a", "fig5b", "fig6a", "fig6b", "fig7", "table1", "fig8", "fig9",
-	"verbs", "reliability", "failover",
+	"verbs", "reliability", "failover", "tenancy",
 }
 
 func main() {
@@ -223,6 +223,14 @@ func main() {
 			return "", "", err
 		}
 		return report.FailoverTable(rows), report.FailoverCSV(rows), nil
+	})
+
+	do("tenancy", func() (string, string, error) {
+		rows, err := experiments.Tenancy(cfg)
+		if err != nil {
+			return "", "", err
+		}
+		return report.TenancyTable(rows), report.TenancyCSV(rows), nil
 	})
 
 	if len(failed) > 0 {

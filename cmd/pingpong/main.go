@@ -4,10 +4,14 @@
 // Usage:
 //
 //	pingpong [-sizes 1K,64K,4M] [-reps N] [-j N] [-loss 0.02] [-trace out.json]
+//	         [-failover] [-neighbor]
 //
 // A nonzero -loss arms the fabric fault model: packets are dropped at
 // the given probability and the PSM reliability layer recovers them,
 // with every bounce verified byte-for-byte against a reference pattern.
+// -neighbor runs the noisy-neighbor pair instead of the sweep: a traced
+// pingpong victim beside a bulk SDMA stream on a congestion-controlled
+// fabric, printing the victim's p50/p99 inflation.
 package main
 
 import (
@@ -45,6 +49,7 @@ func main() {
 	traceFlag := flag.String("trace", "", "write a Chrome trace of one 64KB McKernel+HFI cell to this file")
 	lossFlag := flag.Float64("loss", 0, "per-packet drop probability (activates the PSM reliability layer)")
 	foFlag := flag.Bool("failover", false, "run the traced dual-rail failover cell (McKernel+HFI1) instead of the bandwidth sweep")
+	nbFlag := flag.Bool("neighbor", false, "run the noisy-neighbor pair (McKernel+HFI1): traced pingpong victim beside a bulk SDMA stream, printing the victim's p50/p99 delta")
 	flag.Parse()
 
 	sc := experiments.SmallScale()
@@ -74,6 +79,26 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Printf("trace: dual-rail failover cell, %d spans -> %s\n",
+				rec.SpanCount(), *traceFlag)
+		}
+		return
+	}
+
+	if *nbFlag {
+		solo, packed, rec, err := experiments.NeighborDelta(cfg, cluster.OSMcKernelHFI)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pingpong:", err)
+			os.Exit(1)
+		}
+		fmt.Print(report.TenancyTable([]experiments.TenancyRow{solo, packed}))
+		fmt.Printf("victim delta: p50 %+v, p99 %+v (bulk neighbor at %.1f MB/s)\n",
+			packed.VictimP50-solo.VictimP50, packed.VictimP99-solo.VictimP99, packed.BulkMBps)
+		if *traceFlag != "" {
+			if err := writeTrace(rec, *traceFlag); err != nil {
+				fmt.Fprintln(os.Stderr, "pingpong:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("trace: packed noisy-neighbor cell, %d spans -> %s\n",
 				rec.SpanCount(), *traceFlag)
 		}
 		return

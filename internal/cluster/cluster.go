@@ -72,6 +72,11 @@ type Config struct {
 	// the link level in hardware). The zero value is loss-free. An
 	// unset Faults.Seed defaults to the cluster Seed.
 	Faults fabric.FaultProfile
+	// Congestion configures credit/ECN congestion control on the
+	// OmniPath fabric (the verbs/IB fabric is exempt, like Faults). The
+	// zero value disables it entirely: no credit gating, no ECN marks,
+	// and byte-identical snapshots/traces to pre-congestion builds.
+	Congestion fabric.CongProfile
 }
 
 // Cluster is the simulated machine.
@@ -133,6 +138,7 @@ func New(cfg Config) (*Cluster, error) {
 	c.Fab = fabric.New(c.E, c.Params)
 	c.IBFab = fabric.New(c.E, c.Params)
 	c.Fab.SetFaults(&c.Cfg.Faults)
+	c.Fab.SetCongestion(&c.Cfg.Congestion)
 	// Snapshot registration: the OmniPath fabric takes the bare label,
 	// the IB fabric the deterministic "#1" suffix.
 	c.E.RegisterState("fabric", c.Fab.EncodeState)

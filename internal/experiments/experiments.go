@@ -50,6 +50,11 @@ type Config struct {
 	// experiments. The reliability sweep overrides the drop rate per
 	// cell; everything else runs it as given.
 	Faults fabric.FaultProfile
+	// Congestion is the fabric congestion-control profile for every
+	// cluster built by the experiments. The zero value (the default)
+	// disables it, keeping all pre-congestion artifacts byte-identical;
+	// the tenancy experiment overrides it per cell.
+	Congestion fabric.CongProfile
 }
 
 // NewConfig bundles a scale with a worker pool (workers 0 = GOMAXPROCS).
@@ -71,7 +76,7 @@ func (c Config) pool() *runner.Pool {
 func (c Config) cluster(nodes int, os cluster.OSType, seed int64, synthetic bool) (*cluster.Cluster, error) {
 	return cluster.New(cluster.Config{
 		Nodes: nodes, OS: os, Params: model.Default(), Seed: seed,
-		Synthetic: synthetic, Faults: c.Faults,
+		Synthetic: synthetic, Faults: c.Faults, Congestion: c.Congestion,
 	})
 }
 
@@ -105,7 +110,12 @@ type Scale struct {
 	// message stream (0 = defaults: 160 messages of 32K).
 	FailoverMsgs int
 	FailoverSize uint64
-	Seed         int64
+	// TenancyMsgs is the latency tenant's message count per tenancy
+	// cell, TenancyBulkSize the noisy neighbor's transfer size
+	// (0 = defaults: 120 messages, 32K bulk transfers).
+	TenancyMsgs     int
+	TenancyBulkSize uint64
+	Seed            int64
 }
 
 // SmallScale is the default: shapes are visible, runtime is modest.

@@ -68,6 +68,15 @@ type Packet struct {
 	// Corrupt marks a packet damaged in flight (injected fault); the
 	// receiving NIC's CRC check discards it without touching a context.
 	Corrupt bool
+	// ECN marks a packet admitted while its link or ingress occupancy
+	// sat above the congestion profile's marking threshold; the
+	// receiving NIC copies it into the header-queue entry so PSM can
+	// answer with a CNP. Never set when congestion control is off.
+	ECN bool
+	// congFree exempts a packet from credit return: set on the extra
+	// copy of a duplicated packet, whose original carries the (single)
+	// credit charge. Zero on every caller-constructed packet.
+	congFree bool
 	// Pooled marks a Packet obtained from the fabric's packet pool: the
 	// receiving NIC hands it back via Release after rx processing.
 	Pooled bool
@@ -117,6 +126,17 @@ type Fabric struct {
 	faults *FaultProfile
 	frng   *xrand.Rand
 	fstats FaultStats
+
+	// Congestion control (see congestion.go): budgets, in-flight credit
+	// occupancy per directed link and per destination node, delivered
+	// bytes per link (fairness counters), and the condition stalled
+	// senders block on. All nil/empty when congestion is off.
+	cong     *CongProfile
+	cstats   CongStats
+	inflight map[LinkID]uint64
+	ingress  map[int]uint64
+	flow     map[LinkID]uint64
+	congCond *sim.Cond
 
 	// Hot-path freelists (see pool.go) and the pooled delivery records
 	// that replace a per-packet closure in deliverAt.
@@ -214,6 +234,11 @@ func (f *Fabric) Send(proc *sim.Proc, pkt *Packet) error {
 	if pkt.Payload != nil {
 		pkt.Bytes = uint64(len(pkt.Payload))
 	}
+	if f.cong.Active() && pkt.Kind != KindRDMA {
+		// Credit gate before serialization: the sender stalls here until
+		// the link and ingress budgets admit the packet.
+		f.congAdmit(proc, pkt)
+	}
 	src.egress.Use(proc, f.pr.WireTime(pkt.Bytes))
 	src.TxBytes += pkt.Bytes
 	src.TxPackets++
@@ -265,6 +290,7 @@ func runDelivery(a any) {
 		rec.SpanBytes(trace.CatFabric, kindName(pkt.Kind), route,
 			begin, f.e.Now(), pkt.Bytes)
 	}
+	f.congDone(pkt, true)
 	dst.deliver(pkt)
 }
 
@@ -293,12 +319,14 @@ func (f *Fabric) deliverAt(dst *Port, pkt *Packet, begin time.Duration, lat time
 func (f *Fabric) sendFaulty(dst *Port, pkt *Packet, begin time.Duration, lat time.Duration) {
 	if f.faults.downAt(pkt.SrcNode, pkt.DstNode, f.e.Now()) {
 		f.fstats.DownDrops++
+		f.congDone(pkt, false)
 		f.Release(pkt)
 		return
 	}
 	lf := f.faults.linkFor(pkt.SrcNode, pkt.DstNode)
 	if lf.Drop > 0 && f.frng.Float64() < lf.Drop {
 		f.fstats.Dropped++
+		f.congDone(pkt, false)
 		f.Release(pkt)
 		return
 	}
@@ -316,8 +344,10 @@ func (f *Fabric) sendFaulty(dst *Port, pkt *Packet, begin time.Duration, lat tim
 		cp := *pkt
 		clat := lat
 		if i > 0 {
-			// The duplicate trails the original by one extra hop.
+			// The duplicate trails the original by one extra hop. The
+			// original alone carries the congestion credit charge.
 			clat += f.pr.LinkLatency
+			cp.congFree = true
 		}
 		if lf.Corrupt > 0 && f.frng.Float64() < lf.Corrupt {
 			f.fstats.Corrupted++

@@ -26,6 +26,36 @@ func (f *Fabric) EncodeState(e *snapshot.Enc) {
 	e.Printf("pstats bufget=%d bufhit=%d bufput=%d pktget=%d pkthit=%d pktput=%d\n",
 		f.pstats.BufGets, f.pstats.BufHits, f.pstats.BufPuts,
 		f.pstats.PktGets, f.pstats.PktHits, f.pstats.PktPuts)
+	// Congestion-control state is emitted only when a profile is active,
+	// so congestion-off snapshots stay byte-identical to older builds.
+	if f.cong.Active() {
+		e.Printf("cstats marks=%d stalls=%d stalltime=%d\n",
+			f.cstats.Marks, f.cstats.Stalls, int64(f.cstats.StallTime))
+		links := make([]LinkID, 0, len(f.inflight))
+		for l := range f.inflight {
+			links = append(links, l)
+		}
+		sortLinkIDs(links)
+		for _, l := range links {
+			e.Printf("cong inflight src=%d dst=%d bytes=%d\n", l.Src, l.Dst, f.inflight[l])
+		}
+		ings := make([]int, 0, len(f.ingress))
+		for n := range f.ingress {
+			ings = append(ings, n)
+		}
+		sort.Ints(ings)
+		for _, n := range ings {
+			e.Printf("cong ingress node=%d bytes=%d\n", n, f.ingress[n])
+		}
+		links = links[:0]
+		for l := range f.flow {
+			links = append(links, l)
+		}
+		sortLinkIDs(links)
+		for _, l := range links {
+			e.Printf("cong flow src=%d dst=%d bytes=%d\n", l.Src, l.Dst, f.flow[l])
+		}
+	}
 	// Freelist depths: pooled buffers are zeroed and packets cleared on
 	// return, so depth per class is the complete pool state.
 	e.Printf("pool pkts=%d dels=%d\n", len(f.pkts), len(f.dels))
@@ -73,6 +103,18 @@ func EncodePacketState(e *snapshot.Enc, p *Packet) {
 		sum := sha256.Sum256(p.Payload)
 		e.Printf(" payload=%x", sum[:8])
 	}
+	if p.ECN {
+		e.Printf(" ecn=true")
+	}
+}
+
+func sortLinkIDs(links []LinkID) {
+	sort.Slice(links, func(i, j int) bool {
+		if links[i].Src != links[j].Src {
+			return links[i].Src < links[j].Src
+		}
+		return links[i].Dst < links[j].Dst
+	})
 }
 
 // SnapshotState lets an in-flight delivery — a pooled record sitting in

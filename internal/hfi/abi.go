@@ -297,6 +297,10 @@ type HdrqEntry struct {
 	Op       uint32
 	Bytes    uint64
 	PSN      uint32
+	// ECN carries a fabric congestion mark up to PSM (byte 68 of the
+	// wire entry, previously spare; zero when congestion control is off,
+	// keeping encodings byte-identical).
+	ECN bool
 }
 
 // EncodeHdrqEntry serializes an entry into a fresh buffer. Hot paths
@@ -322,6 +326,11 @@ func EncodeHdrqEntryInto(b []byte, e *HdrqEntry) {
 	le.PutUint32(b[52:], e.Op)
 	le.PutUint64(b[56:], e.Bytes)
 	le.PutUint32(b[64:], e.PSN)
+	b[68] = 0
+	if e.ECN {
+		b[68] = 1
+	}
+	b[69], b[70], b[71] = 0, 0, 0
 }
 
 // DecodeHdrqEntry parses an entry.
@@ -352,6 +361,7 @@ func DecodeHdrqEntryInto(e *HdrqEntry, b []byte) error {
 		Op:       le.Uint32(b[52:]),
 		Bytes:    le.Uint64(b[56:]),
 		PSN:      le.Uint32(b[64:]),
+		ECN:      b[68] != 0,
 	}
 	return nil
 }

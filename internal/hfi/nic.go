@@ -227,6 +227,10 @@ func (n *NIC) Lossy() bool { return n.fab.Lossy() }
 // Faults returns the fabric's fault profile (nil when loss-free).
 func (n *NIC) Faults() *fabric.FaultProfile { return n.fab.Faults() }
 
+// Congested reports whether the NIC's fabric runs congestion control;
+// PSM arms its ECN/CNP backoff machinery exactly when this is true.
+func (n *NIC) Congested() bool { return n.fab.Congested() }
+
 // Dual reports whether the NIC has a second rail attached.
 func (n *NIC) Dual() bool { return n.port1 != nil }
 
@@ -617,7 +621,7 @@ func (n *NIC) rxEager(ctx *Context, pkt *fabric.Packet) error {
 		Type: HdrqTypeEager, SrcRank: pkt.Hdr.SrcRank, Tag: pkt.Hdr.Tag,
 		MsgID: pkt.Hdr.MsgID, MsgLen: pkt.Hdr.MsgLen, Offset: pkt.Hdr.Offset,
 		Aux: pkt.Hdr.Aux, EagerIdx: uint32(slot), Op: pkt.Hdr.Op, Bytes: pkt.Bytes,
-		PSN: pkt.Hdr.PSN,
+		PSN: pkt.Hdr.PSN, ECN: pkt.ECN,
 	}
 	return n.postHdrq(ctx, e)
 }

@@ -24,7 +24,12 @@ type Comm struct {
 	Rank int
 	Size int
 	// RanksPerNode lets applications build node-aware decompositions.
+	// Under non-uniform placement (StartJob) it is the rank count on
+	// this rank's own node.
 	RanksPerNode int
+	// Job names the owning job when launched by a scheduler (empty for
+	// plain RunJob worlds).
+	Job string
 	// Prof accumulates per-MPI-call time for this rank.
 	Prof *trace.SyscallProfile
 

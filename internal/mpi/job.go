@@ -33,79 +33,149 @@ type JobResult struct {
 	RankElapsed *trace.Histogram
 }
 
+// JobSpec configures one job launched onto a shared cluster via
+// StartJob. A scheduler overlays several specs — each with its own
+// rank numbering, address book and RMA world — onto the same nodes and
+// engine; their traffic contends on the shared fabric.
+type JobSpec struct {
+	// Name prefixes rank process names ("<Name>:rank<r>") so traces
+	// from concurrent jobs stay distinguishable. Empty keeps the bare
+	// "rank<r>" RunJob has always used.
+	Name string
+	// Placement maps rank r of this job to cluster node Placement[r].
+	Placement []int
+	// Delay is the job's arrival time: every rank sleeps Delay of
+	// virtual time before starting MPI_Init.
+	Delay time.Duration
+	Body  RankFunc
+}
+
+// JobHandle tracks a job started with StartJob. Result is valid only
+// after the engine has run to completion.
+type JobHandle struct {
+	Spec JobSpec
+	// arrival is the virtual time MPI_Init begins (spawn time + Delay).
+	arrival   time.Duration
+	comms     []*Comm
+	errs      []error
+	bodyStart []time.Duration
+	bodyEnd   []time.Duration
+}
+
+// StartJob spawns one rank process per Placement entry without driving
+// the engine: the caller (RunJob, or a scheduler overlaying several
+// jobs) runs the engine and then collects each handle's Result.
+func StartJob(cl *cluster.Cluster, spec JobSpec) *JobHandle {
+	nRanks := len(spec.Placement)
+	book := make(psm.MapBook, nRanks)
+	rma := newRMAWorld()
+	h := &JobHandle{
+		Spec:      spec,
+		arrival:   cl.E.Now() + spec.Delay,
+		comms:     make([]*Comm, nRanks),
+		errs:      make([]error, nRanks),
+		bodyStart: make([]time.Duration, nRanks),
+		bodyEnd:   make([]time.Duration, nRanks),
+	}
+	// Per-node rank counts let applications build node-aware
+	// decompositions even under non-uniform placement.
+	occupancy := make(map[int]int, nRanks)
+	for _, n := range spec.Placement {
+		occupancy[n]++
+	}
+	ready := sim.NewWaitGroup(cl.E)
+	ready.Add(nRanks)
+
+	for r := 0; r < nRanks; r++ {
+		r := r
+		node := cl.Nodes[spec.Placement[r]]
+		rpn := occupancy[spec.Placement[r]]
+		osops := node.NewRankOS(r)
+		name := fmt.Sprintf("rank%d", r)
+		if spec.Name != "" {
+			name = fmt.Sprintf("%s:rank%d", spec.Name, r)
+		}
+		cl.E.Go(name, func(p *sim.Proc) {
+			if spec.Delay > 0 {
+				p.Sleep(spec.Delay)
+			}
+			comm, err := initRank(p, cl, osops, r, nRanks, rpn, book, rma, ready)
+			if err != nil {
+				h.errs[r] = err
+				return
+			}
+			comm.Job = spec.Name
+			h.comms[r] = comm
+			// Post-init barrier: application timing starts here.
+			if err := comm.Barrier(); err != nil {
+				h.errs[r] = err
+				return
+			}
+			h.bodyStart[r] = p.Now()
+			if err := spec.Body(comm); err != nil {
+				h.errs[r] = fmt.Errorf("rank %d: %w", r, err)
+				return
+			}
+			// Completion barrier quiesces outstanding traffic.
+			if err := comm.Barrier(); err != nil {
+				h.errs[r] = err
+				return
+			}
+			h.bodyEnd[r] = p.Now()
+		})
+	}
+	return h
+}
+
+// Comms exposes the per-rank communicators (valid after the engine has
+// drained and Result reported no error) so callers can read endpoint
+// statistics.
+func (h *JobHandle) Comms() []*Comm { return h.comms }
+
+// Result aggregates the finished job's profiles and timings. It must
+// only be called after the engine has drained.
+func (h *JobHandle) Result() (*JobResult, error) {
+	for _, err := range h.errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	nRanks := len(h.comms)
+	res := &JobResult{MPI: trace.NewSyscallProfile(), Ranks: nRanks, RankElapsed: &trace.Histogram{}}
+	var latest, meanSum time.Duration
+	earliest := h.bodyStart[0]
+	for r := 0; r < nRanks; r++ {
+		if h.bodyEnd[r] > latest {
+			latest = h.bodyEnd[r]
+		}
+		if h.bodyStart[r] < earliest {
+			earliest = h.bodyStart[r]
+		}
+		meanSum += h.bodyEnd[r] - h.bodyStart[r]
+		res.RankElapsed.Observe(h.bodyEnd[r] - h.bodyStart[r])
+		res.MPI.Merge(h.comms[r].Prof)
+	}
+	res.Elapsed = latest - earliest
+	res.WallTime = latest - h.arrival
+	res.PerRankElapsed = meanSum / time.Duration(nRanks)
+	return res, nil
+}
+
 // RunJob launches ranksPerNode ranks on every node of the cluster, runs
 // MPI_Init (endpoint creation plus the OS-dependent initialization
 // costs), synchronizes, executes body on every rank and aggregates
 // profiles. It drives the engine to completion.
 func RunJob(cl *cluster.Cluster, ranksPerNode int, body RankFunc) (*JobResult, error) {
 	nRanks := len(cl.Nodes) * ranksPerNode
-	book := make(psm.MapBook, nRanks)
-	rma := newRMAWorld()
-	comms := make([]*Comm, nRanks)
-	errs := make([]error, nRanks)
-	bodyStart := make([]time.Duration, nRanks)
-	bodyEnd := make([]time.Duration, nRanks)
-
-	ready := sim.NewWaitGroup(cl.E)
-	ready.Add(nRanks)
-	start := cl.E.Now()
-
-	for r := 0; r < nRanks; r++ {
-		r := r
-		node := cl.Nodes[r/ranksPerNode]
-		osops := node.NewRankOS(r)
-		cl.E.Go(fmt.Sprintf("rank%d", r), func(p *sim.Proc) {
-			comm, err := initRank(p, cl, osops, r, nRanks, book, rma, ready)
-			if err != nil {
-				errs[r] = err
-				return
-			}
-			comms[r] = comm
-			// Post-init barrier: application timing starts here.
-			if err := comm.Barrier(); err != nil {
-				errs[r] = err
-				return
-			}
-			bodyStart[r] = p.Now()
-			if err := body(comm); err != nil {
-				errs[r] = fmt.Errorf("rank %d: %w", r, err)
-				return
-			}
-			// Completion barrier quiesces outstanding traffic.
-			if err := comm.Barrier(); err != nil {
-				errs[r] = err
-				return
-			}
-			bodyEnd[r] = p.Now()
-		})
+	placement := make([]int, nRanks)
+	for r := range placement {
+		placement[r] = r / ranksPerNode
 	}
+	h := StartJob(cl, JobSpec{Placement: placement, Body: body})
 	if err := cl.E.Run(0); err != nil {
 		return nil, fmt.Errorf("mpi: job execution: %w", err)
 	}
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	res := &JobResult{MPI: trace.NewSyscallProfile(), Ranks: nRanks, RankElapsed: &trace.Histogram{}}
-	var latest, meanSum time.Duration
-	earliest := bodyStart[0]
-	for r := 0; r < nRanks; r++ {
-		if bodyEnd[r] > latest {
-			latest = bodyEnd[r]
-		}
-		if bodyStart[r] < earliest {
-			earliest = bodyStart[r]
-		}
-		meanSum += bodyEnd[r] - bodyStart[r]
-		res.RankElapsed.Observe(bodyEnd[r] - bodyStart[r])
-		res.MPI.Merge(comms[r].Prof)
-	}
-	res.Elapsed = latest - earliest
-	res.WallTime = latest - start
-	res.PerRankElapsed = meanSum / time.Duration(nRanks)
-	return res, nil
+	return h.Result()
 }
 
 // initRank is MPI_Init: PSM endpoint creation (device open, context
@@ -113,7 +183,7 @@ func RunJob(cl *cluster.Cluster, ranksPerNode int, body RankFunc) (*JobResult, e
 // startup costs, which differ per OS configuration (Table 1 shows
 // MPI_Init visibly larger with the PicoDriver because of its kernel-
 // level mapping bootstrap).
-func initRank(p *sim.Proc, cl *cluster.Cluster, osops psm.OSOps, rank, nRanks int,
+func initRank(p *sim.Proc, cl *cluster.Cluster, osops psm.OSOps, rank, nRanks, rpn int,
 	book psm.MapBook, rma *rmaWorld, ready *sim.WaitGroup) (*Comm, error) {
 	initStart := p.Now()
 	ep, err := psm.NewEndpoint(p, osops, rank, book, cl.Cfg.Synthetic)
@@ -142,7 +212,7 @@ func initRank(p *sim.Proc, cl *cluster.Cluster, osops psm.OSOps, rank, nRanks in
 
 	comm := &Comm{
 		EP: ep, P: p, Rank: rank, Size: nRanks,
-		RanksPerNode: nRanks / len(cl.Nodes),
+		RanksPerNode: rpn,
 		Prof:         trace.NewSyscallProfile(),
 		bufCap:       collBufCap,
 		rma:          rma,

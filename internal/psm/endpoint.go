@@ -25,6 +25,10 @@ type Endpoint struct {
 	// is kept out of Stats so no-fault trace digests stay byte-stable.
 	FailoverStats FailoverStats
 
+	// CongStats counts congestion-response activity (see congestion.go);
+	// kept out of Stats for the same digest-stability reason.
+	CongStats CongStats
+
 	fd     Handle
 	CtxID  int
 	nic    *hfi.NIC
@@ -80,6 +84,14 @@ type Endpoint struct {
 	// health drives live fast-path/slow-path switching and dual-rail
 	// failover (nil on a loss-free fabric); see health.go.
 	health *healthMachine
+
+	// Congestion-response state, populated only when the fabric runs
+	// congestion control (congEnabled == nic.Congested()); see
+	// congestion.go. Orthogonal to reliability: a congested fabric need
+	// not be lossy.
+	congEnabled bool
+	cong        map[int]*congCtl
+	cnpOwed     map[int]bool
 
 	// snapLabel is this endpoint's registered snapshot section
 	// (see EncodeState); Close unregisters it.
@@ -258,6 +270,12 @@ func NewEndpoint(p *sim.Proc, os OSOps, rank int, book AddressBook, synthetic bo
 		ep.eng.GoDaemon(fmt.Sprintf("psm-rt-rank%d", rank), func(dp *sim.Proc) {
 			ep.runRetransmit(dp)
 		})
+	}
+	// On a congested fabric, arm the ECN/CNP response machinery.
+	ep.congEnabled = ep.nic.Congested()
+	if ep.congEnabled {
+		ep.cong = make(map[int]*congCtl)
+		ep.cnpOwed = make(map[int]bool)
 	}
 	ep.snapLabel = ep.eng.RegisterState(fmt.Sprintf("psm/rank%d", rank), ep.EncodeState)
 	return ep, nil

@@ -63,6 +63,23 @@ func (ep *Endpoint) Progress(p *sim.Proc) (bool, error) {
 			}
 		}
 	}
+	// Coalesced CNPs: one per peer whose traffic arrived ECN-marked
+	// during this drain. Not gated on reliability — congestion control
+	// runs on loss-free fabrics too.
+	if ep.congEnabled && len(ep.cnpOwed) > 0 {
+		peers := make([]int, 0, len(ep.cnpOwed))
+		for peer := range ep.cnpOwed {
+			peers = append(peers, peer)
+		}
+		sort.Ints(peers)
+		for _, peer := range peers {
+			delete(ep.cnpOwed, peer)
+			ep.CongStats.CnpsSent++
+			if err := ep.sendCtl(p, peer, OpCnp, 0); err != nil {
+				return made, err
+			}
+		}
+	}
 	for {
 		head, err := ep.readStatus(hfi.StatusCQHead)
 		if err != nil {
@@ -107,6 +124,10 @@ func (ep *Endpoint) handleEntry(p *sim.Proc, e *hfi.HdrqEntry) error {
 }
 
 func (ep *Endpoint) handleEagerEntry(p *sim.Proc, e *hfi.HdrqEntry) error {
+	// Congestion marks are observed before sequencing: a mark on a
+	// dropped-as-duplicate or out-of-order packet still signals link
+	// occupancy the sender should back off from.
+	ep.congObserve(int(e.SrcRank), e.Op, e.ECN)
 	// Flow sequencing: accept strictly in order, NAK gaps, re-ACK
 	// duplicates (the retransmit may have raced a lost ACK). ACK/NAK
 	// themselves are unsequenced (PSN 0) and bypass this filter.
@@ -146,6 +167,9 @@ func (ep *Endpoint) handleEagerEntry(p *sim.Proc, e *hfi.HdrqEntry) error {
 		return ep.onNak(p, &ackEntry{peer: int(e.SrcRank), cum: uint32(e.Aux)})
 	case OpEagerFin, OpRdvFin:
 		return ep.onFin(e)
+	case OpCnp:
+		ep.congBackoff(int(e.SrcRank))
+		return nil
 	}
 	return fmt.Errorf("psm: unknown eager opcode %d", e.Op)
 }
@@ -297,6 +321,7 @@ func (ep *Endpoint) onCTS(p *sim.Proc, e *hfi.HdrqEntry) error {
 	if err := ep.proc().WriteAt(tidsVA, payload); err != nil {
 		return err
 	}
+	ep.congPreSDMA(p, sr.peer, winLen)
 	ep.nextCompSeq++
 	cs := ep.nextCompSeq
 	hdr := &hfi.SDMAHeader{

@@ -24,6 +24,17 @@ func (ep *Endpoint) Isend(p *sim.Proc, dst int, tag uint64, buf uproc.VirtAddr, 
 	msgid := uint64(ep.Rank)<<32 | ep.nextMsgSeq
 	ep.Stats.BytesSent += length
 
+	// A congested endpoint polls the wire before each send: loss-free
+	// PIO sends complete immediately, so without this a blocking send
+	// loop would only discover its CNPs at the next receive — long
+	// after the congestion they signal. Congestion-off endpoints skip
+	// it and keep their exact historical event sequence.
+	if ep.congEnabled {
+		if _, err := ep.Progress(p); err != nil {
+			return nil, err
+		}
+	}
+
 	switch {
 	case a.Node == ep.OS.NodeID():
 		if err := ep.sendLocal(p, a, tag, msgid, buf, length); err != nil {
@@ -136,6 +147,7 @@ func (ep *Endpoint) sendPIO(p *sim.Proc, dst int, a Addr, tag, msgid uint64, buf
 				return err
 			}
 		}
+		ep.congPace(p, dst, n)
 		off += n
 		if off >= length {
 			return nil
@@ -191,6 +203,7 @@ func (ep *Endpoint) sendEagerSDMA(p *sim.Proc, dst int, a Addr, tag, msgid uint6
 		ep.armEagerFin(sr)
 		return ep.resendEagerPIO(p, sr)
 	}
+	ep.congPreSDMA(p, dst, length)
 	ep.nextCompSeq++
 	cs := ep.nextCompSeq
 	hdr := &hfi.SDMAHeader{

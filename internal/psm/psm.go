@@ -43,6 +43,12 @@ const (
 	OpNak      uint32 = 11 // Aux = next expected PSN (go-back-N point)
 	OpEagerFin uint32 = 12 // eager-SDMA message fully assembled
 	OpRdvFin   uint32 = 13 // rendezvous message fully placed
+
+	// OpCnp is the congestion-notification packet, sent (unsequenced,
+	// like ACK/NAK) when ECN-marked traffic arrives from a peer; the
+	// peer halves its eager send window (see congestion.go). Used only
+	// when the fabric runs congestion control — lossy or not.
+	OpCnp uint32 = 14
 )
 
 // Handle is an opaque open-device handle as returned by the OS

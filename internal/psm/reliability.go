@@ -580,6 +580,7 @@ func (ep *Endpoint) resendEagerPIO(p *sim.Proc, sr *sendReq) error {
 		if err := ep.sendFlowPkt(p, sr.peer, sr.dst, hdr, payload, n, nil); err != nil {
 			return err
 		}
+		ep.congPace(p, sr.peer, n)
 	}
 	return nil
 }

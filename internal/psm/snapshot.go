@@ -81,6 +81,35 @@ func (ep *Endpoint) EncodeState(e *snapshot.Enc) {
 	}
 	e.Printf("rdv active=%d backlog=%d freeslots=%d\n", ep.activeRdvs, len(ep.rdvBacklog), len(ep.freeRdvSlots))
 
+	// Congestion-response state, emitted only when the fabric runs
+	// congestion control (and before the reliability gate below —
+	// congestion works on loss-free fabrics too). Congestion-off
+	// snapshots stay byte-identical.
+	if ep.congEnabled {
+		cs := &ep.CongStats
+		e.Printf("congstats ecn=%d cnptx=%d cnprx=%d backoffs=%d increases=%d paces=%d\n",
+			cs.EcnSeen, cs.CnpsSent, cs.CnpsRcvd, cs.Backoffs, cs.Increases, cs.PaceSleeps)
+		cpeers := make([]int, 0, len(ep.cong))
+		for p := range ep.cong {
+			cpeers = append(cpeers, p)
+		}
+		sort.Ints(cpeers)
+		for _, p := range cpeers {
+			cc := ep.cong[p]
+			e.Printf("cong peer=%d window=%d clean=%d burst=%d\n", p, cc.window, cc.clean, cc.burst)
+		}
+		cpeers = cpeers[:0]
+		for p, owed := range ep.cnpOwed {
+			if owed {
+				cpeers = append(cpeers, p)
+			}
+		}
+		sort.Ints(cpeers)
+		for _, p := range cpeers {
+			e.Printf("cnpowed peer=%d\n", p)
+		}
+	}
+
 	if !ep.reliable {
 		return
 	}

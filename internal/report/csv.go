@@ -117,6 +117,20 @@ func FailoverCSV(rows []experiments.FailoverRow) string {
 	return b.String()
 }
 
+// TenancyCSV renders the multi-tenant interference rows.
+func TenancyCSV(rows []experiments.TenancyRow) string {
+	var b strings.Builder
+	b.WriteString("os,scenario,victim_p50_us,victim_p99_us,victim_mbps,bulk_mbps," +
+		"marks,stalls,backoffs,fairness\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s,%s,%.3f,%.3f,%.1f,%.1f,%d,%d,%d,%.3f\n",
+			r.OS, r.Scenario,
+			float64(r.VictimP50)/1e3, float64(r.VictimP99)/1e3,
+			r.VictimMBps, r.BulkMBps, r.Marks, r.Stalls, r.Backoffs, r.Fairness)
+	}
+	return b.String()
+}
+
 // BreakdownCSV renders a syscall-share pair.
 func BreakdownCSV(orig, pico experiments.Breakdown) string {
 	var b strings.Builder

@@ -185,6 +185,28 @@ func FailoverTable(rows []experiments.FailoverRow) string {
 	return b.String()
 }
 
+// TenancyTable renders the multi-tenant interference sweep: the latency
+// tenant's round-trip percentiles under each neighbor scenario, the
+// bulk tenants' goodput, and the fabric congestion-control counters
+// that prove the backoff machinery (not luck) kept the tail bounded.
+func TenancyTable(rows []experiments.TenancyRow) string {
+	var b strings.Builder
+	b.WriteString("Tenancy: victim latency vs neighbor placement under fabric congestion control\n")
+	fmt.Fprintf(&b, "%-14s %-8s %10s %10s %10s %10s %7s %7s %8s %8s\n",
+		"os", "scenario", "p50", "p99", "vict MB/s", "bulk MB/s",
+		"marks", "stalls", "backoffs", "fairness")
+	for _, r := range rows {
+		fair := "-"
+		if r.Scenario == "incast" {
+			fair = fmt.Sprintf("%.2f", r.Fairness)
+		}
+		fmt.Fprintf(&b, "%-14s %-8s %10s %10s %10.1f %10.1f %7d %7d %8d %8s\n",
+			r.OS, r.Scenario, r.VictimP50, r.VictimP99,
+			r.VictimMBps, r.BulkMBps, r.Marks, r.Stalls, r.Backoffs, fair)
+	}
+	return b.String()
+}
+
 // lossLabel renders a drop probability as a percentage.
 func lossLabel(loss float64) string {
 	if loss == 0 {

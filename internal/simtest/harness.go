@@ -186,6 +186,7 @@ func runWith(w Workload, o runOpts) (*Report, error) {
 		Seed:           w.Seed,
 		LinuxHugePages: w.LargePages,
 		Faults:         w.Faults.Profile,
+		Congestion:     w.Faults.Congestion,
 	})
 	if err != nil {
 		return nil, err
@@ -496,7 +497,9 @@ func runRank(p *sim.Proc, w Workload, node *cluster.Node, r int,
 	// while the peer progresses — and finally progresses through a grace
 	// window sized to the worst-case in-flight delay, so stray duplicates
 	// and reordered packets land while the context is still alive (the
-	// harness asserts RxDropped == 0 even on a lossy fabric).
+	// harness asserts RxDropped == 0 even on a lossy fabric). Congested
+	// cells take the same grace window: an unsequenced CNP may still be
+	// in flight toward a rank that has otherwise finished.
 	if err := ep.Quiesce(p); err != nil {
 		return err
 	}
@@ -507,7 +510,7 @@ func runRank(p *sim.Proc, w Workload, node *cluster.Node, r int,
 		}
 		p.Sleep(time.Microsecond)
 	}
-	if w.Faults.Profile.Active() {
+	if w.Faults.Profile.Active() || w.Faults.Congestion.Active() {
 		pr := node.NIC.Params()
 		grace := 4 * (pr.LinkLatency + pr.LinkJitter + w.Faults.maxReorderDelay() + 10*time.Microsecond)
 		deadline := p.Now() + grace

@@ -70,6 +70,16 @@ func TestSimHarness(t *testing.T) {
 				runCell(t, cell)
 			})
 		}
+		// Tenancy cells: two concurrent jobs (or an incast fan-in) share
+		// a congestion-controlled fabric; AIMD backoff, CNPs and the
+		// congestion snapshot sections ride the same 3× digest check.
+		for i := 0; i < (*cellsFlag+2)/3; i++ {
+			cell := fmt.Sprintf("%s/tenancy/%d", osType, i)
+			t.Run(cell, func(t *testing.T) {
+				t.Parallel()
+				runCell(t, cell)
+			})
+		}
 	}
 }
 

@@ -117,6 +117,9 @@ type FaultPlan struct {
 	// Profile configures lossy-fabric injection; a non-zero profile
 	// activates PSM's reliability protocol.
 	Profile fabric.FaultProfile
+	// Congestion configures fabric credit/ECN congestion control; an
+	// active profile also arms PSM's AIMD eager-window backoff.
+	Congestion fabric.CongProfile
 }
 
 // maxReorderDelay returns the largest reorder delay any link of the
@@ -196,6 +199,9 @@ func Generate(base int64, cell string) (Workload, error) {
 	}
 	if strings.Contains(cell, "/failover/") {
 		return generateFailover(w), nil
+	}
+	if strings.Contains(cell, "/tenancy/") {
+		return generateTenancy(w), nil
 	}
 	rng := rand.New(rand.NewSource(w.Seed))
 	w.Nodes = 1 + rng.Intn(3)
@@ -391,6 +397,92 @@ func generateFailover(w Workload) Workload {
 	return w
 }
 
+// generateTenancy builds a multi-job congestion cell: two concurrent
+// jobs (or an incast fan-in) share the fabric under an active
+// credit/ECN congestion profile, so the AIMD backoff, CNP wiring, pace
+// gaps and the congestion snapshot sections all ride the same 3×
+// straight/snapshot/restore digest check as every other cell. The
+// trailing index selects a scenario, cycling through three:
+//
+//	0 — packed contention: two jobs, each a rank pair straddling the
+//	    same two nodes, so both streams contend for the shared links
+//	    and the link budget throttles them;
+//	1 — incast: every other node streams into node 0 and the ingress
+//	    budget is the N→1 bottleneck;
+//	2 — congestion under light loss: the packed-contention shape over
+//	    a mildly lossy fabric, so AIMD backoff and the reliability
+//	    protocol's retransmits are exercised together.
+//
+// Sizes stay at or below the eager-SDMA threshold: ECN marks surface
+// through the eager header-queue path. Ring tightening is skipped for
+// the same reason as generateLossy.
+func generateTenancy(w Workload) Workload {
+	rng := rand.New(rand.NewSource(w.Seed))
+	variant := 0
+	if k := strings.LastIndex(w.Cell, "/"); k >= 0 {
+		if n, err := strconv.Atoi(w.Cell[k+1:]); err == nil && n >= 0 {
+			variant = n % 3
+		}
+	}
+	w.Order = OrderMode(rng.Intn(int(orderModes)))
+	w.LargePages = rng.Intn(2) == 0
+
+	if variant == 1 {
+		// Incast: ranks 1..N-1 each stream a few messages into rank 0;
+		// the ingress budget sits below the aggregate so the fan-in
+		// stalls and marks at node 0's ingress.
+		w.Nodes = 3 + rng.Intn(2)
+		w.RanksPerNode = 1
+		w.Faults.Congestion = fabric.CongProfile{
+			LinkBudget: 16 << 10, IngressBudget: 24 << 10, MarkFrac: 0.5,
+		}
+		sizes := []uint64{4096, 16 << 10, 16<<10 + 1, 40 << 10}
+		tag := uint64(100)
+		for src := 1; src < w.Nodes; src++ {
+			n := 2 + rng.Intn(3)
+			for i := 0; i < n; i++ {
+				w.Msgs = append(w.Msgs, Msg{
+					Src: src, Dst: 0,
+					Tag:  tag,
+					Size: sizes[rng.Intn(len(sizes))],
+				})
+				tag++
+			}
+		}
+		return w
+	}
+
+	// Packed contention (variants 0 and 2): job A runs on ranks {0, 2},
+	// job B on ranks {1, 3}; with two ranks per node each job straddles
+	// nodes 0 and 1, so the two jobs' streams share both directed links
+	// and the link budget arbitrates between them.
+	w.Nodes = 2
+	w.RanksPerNode = 2
+	w.Faults.Congestion = fabric.CongProfile{
+		LinkBudget: 16 << 10, IngressBudget: 48 << 10, MarkFrac: 0.5,
+	}
+	if variant == 2 {
+		w.Faults.Profile = fabric.FaultProfile{
+			LinkFaults: fabric.LinkFaults{Drop: 0.002 + 0.008*rng.Float64()},
+		}
+	}
+	sizes := []uint64{4096, 16 << 10, 16<<10 + 1, 40 << 10, 64<<10 - 8}
+	tag := uint64(100)
+	for job := 0; job < 2; job++ {
+		a, b := job, job+2 // rank a on node 0, rank b on node 1
+		n := 3 + rng.Intn(4)
+		for i := 0; i < n; i++ {
+			m := Msg{Src: a, Dst: b, Tag: tag, Size: sizes[rng.Intn(len(sizes))]}
+			if rng.Intn(2) == 0 {
+				m.Src, m.Dst = m.Dst, m.Src
+			}
+			w.Msgs = append(w.Msgs, m)
+			tag++
+		}
+	}
+	return w
+}
+
 // generateTIDFault builds the deliberate RcvArray-exhaustion scenario:
 // two nodes, one rank each, a rendezvous-sized message, and a context
 // limited to 8 TIDs. On Linux (scattered 4K frames) a 300K window
@@ -490,6 +582,10 @@ func (w Workload) Summary() string {
 	}
 	if w.Faults.DualRail {
 		s += fmt.Sprintf(" dualrail(downwindows=%d)", len(w.Faults.Profile.Down))
+	}
+	if w.Faults.Congestion.Active() {
+		s += fmt.Sprintf(" cong(link=%d ingress=%d mark=%.2f)",
+			w.Faults.Congestion.LinkBudget, w.Faults.Congestion.IngressBudget, w.Faults.Congestion.MarkFrac)
 	}
 	return s
 }
