@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet check bench bench-gate simtest trace-smoke verbs-trace-smoke reliability-smoke failover-smoke tenancy-smoke snapshot-smoke artifacts artifacts-paper examples clean
+.PHONY: all build test vet check bench bench-gate simtest trace-smoke verbs-trace-smoke reliability-smoke failover-smoke tenancy-smoke snapshot-smoke shard-smoke artifacts artifacts-paper examples clean
 
 all: build test
 
@@ -128,6 +128,26 @@ snapshot-smoke:
 	rm -rf /tmp/picodriver-snap-a.txt /tmp/picodriver-snap-b.txt /tmp/picodriver-snap-a.json \
 		/tmp/picodriver-snap-b.json /tmp/picodriver-mid.snap \
 		/tmp/picodriver-ckpt-a /tmp/picodriver-ckpt-b /tmp/picodriver.ckpt
+
+# Sharded-engine gate. Three legs: the bigscale sweep runs one seeded
+# UMT2013 workload at Shards=1/2/4 and fails internally on any digest
+# divergence; a user-visible check that a sharded ping-pong run prints
+# the same table as the classic engine; and two same-seed sharded
+# traced runs must serialize byte-identical Chrome traces that pass
+# the tracecheck validator (the shard round-robin makes span emission
+# order a pure function of workload and shard count).
+shard-smoke:
+	rm -rf /tmp/picodriver-shard
+	$(GO) run ./cmd/experiments -only bigscale -out /tmp/picodriver-shard >/dev/null
+	$(GO) run ./cmd/pingpong -sizes 64K -reps 4 | sed 's/-> .*//' > /tmp/picodriver-shard-1.txt
+	$(GO) run ./cmd/pingpong -sizes 64K -reps 4 -shards 2 | sed 's/-> .*//' > /tmp/picodriver-shard-2.txt
+	cmp /tmp/picodriver-shard-1.txt /tmp/picodriver-shard-2.txt
+	$(GO) run ./cmd/profile -what none -nodes 4 -rpn 2 -shards 4 -trace /tmp/picodriver-shard-a.json >/dev/null
+	$(GO) run ./cmd/profile -what none -nodes 4 -rpn 2 -shards 4 -trace /tmp/picodriver-shard-b.json >/dev/null
+	cmp /tmp/picodriver-shard-a.json /tmp/picodriver-shard-b.json
+	$(GO) run ./cmd/tracecheck /tmp/picodriver-shard-a.json
+	rm -rf /tmp/picodriver-shard /tmp/picodriver-shard-1.txt /tmp/picodriver-shard-2.txt \
+		/tmp/picodriver-shard-a.json /tmp/picodriver-shard-b.json
 
 # One testing.B benchmark per paper table/figure, plus ablations.
 # Writes BENCH_pr6.json; BENCH_seed.json is the frozen pre-pooling

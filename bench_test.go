@@ -262,6 +262,30 @@ func BenchmarkTenancy(b *testing.B) {
 	b.ReportMetric(packed.BulkMBps, "hfi-bulk-MB/s")
 }
 
+// BenchmarkSharded runs one UMT2013 point on the sharded engine end to
+// end — partitioned cluster build, conservative window loop,
+// cross-shard packet delivery and barrier rendezvous. Its
+// bench_budget.json ceiling keeps the sharded fast path
+// allocation-clean: a per-window or per-cross-event allocation
+// (thousands of each per run) trips the gate immediately.
+func BenchmarkSharded(b *testing.B) {
+	app, _ := miniapps.ByName("UMT2013")
+	var windows, cross uint64
+	for i := 0; i < b.N; i++ {
+		cl, err := cluster.New(cluster.Config{Nodes: 16, OS: cluster.OSMcKernelHFI,
+			Params: model.Default(), Seed: 1, Synthetic: true, Shards: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := mpi.RunJob(cl, 4, func(c *mpi.Comm) error { return app.Body(c, app) }); err != nil {
+			b.Fatal(err)
+		}
+		windows, cross = cl.Set.Windows, cl.Set.CrossEvents
+	}
+	b.ReportMetric(float64(windows), "windows")
+	b.ReportMetric(float64(cross), "cross-events")
+}
+
 // ---------------------------------------------------------------------
 // Ablation benches (DESIGN.md §4).
 // ---------------------------------------------------------------------

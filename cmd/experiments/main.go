@@ -7,12 +7,18 @@
 //	            [-checkpoint FILE [-resume]]
 //
 // Experiment ids: fig4, fig5a, fig5b, fig6a, fig6b, fig7, table1, fig8,
-// fig9, verbs, reliability, failover, tenancy. With -out, each artifact
-// is also written to DIR/<id>.txt.
+// fig9, verbs, reliability, failover, tenancy, bigscale. With -out, each
+// artifact is also written to DIR/<id>.txt. The bigscale id (the sharded
+// engine's same-seed shard-count sweep) is expensive and only runs when
+// named in -only.
 //
 // -j fans the independent simulation cells of each experiment out over N
 // workers (default: GOMAXPROCS). Artifacts are byte-identical for any
-// -j, including -j 1; only wall-clock changes.
+// -j, including -j 1; only wall-clock changes. -shards partitions every
+// cluster into N engine shards (default 1, the classic single-engine
+// path); artifacts stay identical for any value, only wall-clock moves.
+// The shared -j/-shards/-loss block comes from internal/cliconf, the
+// same run-setup path as every other simulator binary.
 //
 // -checkpoint FILE records each finished experiment's artifacts in a
 // resumable manifest; adding -resume emits already-recorded experiments
@@ -29,22 +35,27 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cliconf"
 	"repro/internal/experiments"
 	"repro/internal/miniapps"
 	"repro/internal/report"
 )
 
-// experimentIDs lists every known id in output order.
+// experimentIDs lists every known id in output order. explicitOnly ids
+// are skipped unless named in -only (too expensive for the default
+// sweep).
 var experimentIDs = []string{
 	"fig4", "fig5a", "fig5b", "fig6a", "fig6b", "fig7", "table1", "fig8", "fig9",
-	"verbs", "reliability", "failover", "tenancy",
+	"verbs", "reliability", "failover", "tenancy", "bigscale",
 }
+
+var explicitOnly = map[string]bool{"bigscale": true}
 
 func main() {
 	scaleFlag := flag.String("scale", "small", "experiment scale: small or paper")
 	onlyFlag := flag.String("only", "", "comma-separated experiment ids (default: all)")
 	outFlag := flag.String("out", "", "directory to write artifacts into")
-	jFlag := flag.Int("j", 0, "parallel simulation jobs (0 = GOMAXPROCS)")
+	shared := cliconf.New()
 	ckptFlag := flag.String("checkpoint", "", "record finished experiments in this resumable manifest")
 	resumeFlag := flag.Bool("resume", false, "with -checkpoint: emit already-recorded experiments from the manifest")
 	flag.Parse()
@@ -80,10 +91,16 @@ func main() {
 			want[id] = true
 		}
 	}
-	selected := func(id string) bool { return len(want) == 0 || want[id] }
+	selected := func(id string) bool {
+		if explicitOnly[id] {
+			return want[id]
+		}
+		return len(want) == 0 || want[id]
+	}
 
-	cfg := experiments.NewConfig(sc, *jFlag)
-	fmt.Fprintf(os.Stderr, "experiments: scale=%s workers=%d\n", sc.Name, cfg.Pool.Workers())
+	cfg := shared.Config(sc)
+	fmt.Fprintf(os.Stderr, "experiments: scale=%s workers=%d shards=%d\n",
+		sc.Name, cfg.Pool.Workers(), *shared.Shards)
 
 	var ckpt *experiments.Checkpoint
 	if *ckptFlag != "" {
@@ -231,6 +248,17 @@ func main() {
 			return "", "", err
 		}
 		return report.TenancyTable(rows), report.TenancyCSV(rows), nil
+	})
+
+	do("bigscale", func() (string, string, error) {
+		rows, err := experiments.Bigscale(cfg, "UMT2013",
+			sc.BigscaleNodes, sc.BigscaleRPN, sc.BigscaleShards)
+		if err != nil {
+			return "", "", err
+		}
+		title := fmt.Sprintf("Sharded engine: UMT2013, %d nodes x %d ranks/node, one seed",
+			sc.BigscaleNodes, sc.BigscaleRPN)
+		return report.BigscaleTable(title, rows), report.BigscaleCSV(rows), nil
 	})
 
 	if len(failed) > 0 {

@@ -4,16 +4,18 @@
 //
 // Usage:
 //
-//	miniapp -app UMT2013 [-nodes 1,2,4,8] [-rpn 16] [-steps N] [-j N]
+//	miniapp -app UMT2013 [-nodes 1,2,4,8] [-rpn 16] [-steps N] [-j N] [-shards N]
+//
+// The shared -j/-shards/-loss block comes from internal/cliconf, the
+// same run-setup path as every other simulator binary.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
+	"repro/internal/cliconf"
 	"repro/internal/experiments"
 	"repro/internal/miniapps"
 	"repro/internal/report"
@@ -25,7 +27,7 @@ func main() {
 	rpnFlag := flag.Int("rpn", 16, "ranks per node (0 = app default)")
 	stepsFlag := flag.Int("steps", 0, "override timestep count (0 = app default)")
 	seedFlag := flag.Int64("seed", 1, "simulation seed")
-	jFlag := flag.Int("j", 0, "parallel simulation jobs (0 = GOMAXPROCS)")
+	shared := cliconf.New()
 	flag.Parse()
 
 	app, err := miniapps.ByName(*appFlag)
@@ -36,19 +38,15 @@ func main() {
 	if *stepsFlag > 0 {
 		app.Steps = *stepsFlag
 	}
-	var nodes []int
-	for _, part := range strings.Split(*nodesFlag, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil || n < 1 {
-			fmt.Fprintf(os.Stderr, "miniapp: bad node count %q\n", part)
-			os.Exit(2)
-		}
-		nodes = append(nodes, n)
+	nodes, err := cliconf.ParseInts(*nodesFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "miniapp:", err)
+		os.Exit(2)
 	}
 	sc := experiments.SmallScale()
 	sc.RanksPerNode = *rpnFlag
 	sc.Seed = *seedFlag
-	pts, err := experiments.AppScaling(experiments.NewConfig(sc, *jFlag), app, nodes)
+	pts, err := experiments.AppScaling(shared.Config(sc), app, nodes)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "miniapp:", err)
 		os.Exit(1)

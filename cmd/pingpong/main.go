@@ -3,8 +3,11 @@
 //
 // Usage:
 //
-//	pingpong [-sizes 1K,64K,4M] [-reps N] [-j N] [-loss 0.02] [-trace out.json]
-//	         [-failover] [-neighbor]
+//	pingpong [-sizes 1K,64K,4M] [-reps N] [-j N] [-shards N] [-loss 0.02]
+//	         [-trace out.json] [-failover] [-neighbor]
+//
+// The shared -j/-shards/-loss/-trace block comes from internal/cliconf,
+// the same run-setup path as every other simulator binary.
 //
 // A nonzero -loss arms the fabric fault model: packets are dropped at
 // the given probability and the PSM reliability layer recovers them,
@@ -18,53 +21,32 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
+	"repro/internal/cliconf"
 	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/report"
 	"repro/internal/trace"
 )
 
-func parseSize(s string) (uint64, error) {
-	s = strings.ToUpper(strings.TrimSpace(s))
-	mult := uint64(1)
-	switch {
-	case strings.HasSuffix(s, "M") || strings.HasSuffix(s, "MB"):
-		mult = 1 << 20
-		s = strings.TrimSuffix(strings.TrimSuffix(s, "B"), "M")
-	case strings.HasSuffix(s, "K") || strings.HasSuffix(s, "KB"):
-		mult = 1 << 10
-		s = strings.TrimSuffix(strings.TrimSuffix(s, "B"), "K")
-	}
-	v, err := strconv.ParseUint(s, 10, 64)
-	return v * mult, err
-}
-
 func main() {
 	sizesFlag := flag.String("sizes", "1K,4K,16K,64K,256K,1M,4M", "message sizes")
 	repsFlag := flag.Int("reps", 4, "timed repetitions per size")
-	jFlag := flag.Int("j", 0, "parallel simulation jobs (0 = GOMAXPROCS)")
-	traceFlag := flag.String("trace", "", "write a Chrome trace of one 64KB McKernel+HFI cell to this file")
-	lossFlag := flag.Float64("loss", 0, "per-packet drop probability (activates the PSM reliability layer)")
 	foFlag := flag.Bool("failover", false, "run the traced dual-rail failover cell (McKernel+HFI1) instead of the bandwidth sweep")
 	nbFlag := flag.Bool("neighbor", false, "run the noisy-neighbor pair (McKernel+HFI1): traced pingpong victim beside a bulk SDMA stream, printing the victim's p50/p99 delta")
+	shared := cliconf.New(cliconf.WithTrace)
 	flag.Parse()
 
 	sc := experiments.SmallScale()
 	sc.PingPongReps = *repsFlag
-	sc.PingPongSizes = nil
-	for _, part := range strings.Split(*sizesFlag, ",") {
-		size, err := parseSize(part)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "pingpong: bad size %q: %v\n", part, err)
-			os.Exit(2)
-		}
-		sc.PingPongSizes = append(sc.PingPongSizes, size)
+	sizes, err := cliconf.ParseSizes(*sizesFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pingpong:", err)
+		os.Exit(2)
 	}
-	cfg := experiments.NewConfig(sc, *jFlag)
-	cfg.Faults.Drop = *lossFlag
+	sc.PingPongSizes = sizes
+	cfg := shared.Config(sc)
+	traceFlag := shared.Trace
 
 	if *foFlag {
 		row, rec, err := experiments.TracedFailover(cfg, cluster.OSMcKernelHFI)

@@ -4,9 +4,12 @@
 //
 // Usage:
 //
-//	profile [-nodes 8] [-rpn 16] [-what table1,fig8,fig9] [-j N]
+//	profile [-nodes 8] [-rpn 16] [-what table1,fig8,fig9] [-j N] [-shards N]
 //	        [-trace out.json] [-trace-app UMT2013] [-trace-os mckernel+hfi]
 //	        [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// The shared -j/-shards/-loss/-trace block comes from internal/cliconf,
+// the same run-setup path as every other simulator binary.
 //
 // The -cpuprofile/-memprofile flags wrap the whole run in runtime/pprof
 // collection so simulator hot paths can be inspected with standard
@@ -22,7 +25,7 @@ import (
 	"runtime/pprof"
 	"strings"
 
-	"repro/internal/cluster"
+	"repro/internal/cliconf"
 	"repro/internal/experiments"
 	"repro/internal/report"
 )
@@ -31,8 +34,7 @@ func main() {
 	nodesFlag := flag.Int("nodes", 8, "compute nodes (the paper profiles on 8)")
 	rpnFlag := flag.Int("rpn", 16, "ranks per node")
 	whatFlag := flag.String("what", "table1,fig8,fig9", "artifacts to produce")
-	jFlag := flag.Int("j", 0, "parallel simulation jobs (0 = GOMAXPROCS)")
-	traceFlag := flag.String("trace", "", "write a Chrome trace-event JSON of one run to this file")
+	shared := cliconf.New(cliconf.WithTrace)
 	traceAppFlag := flag.String("trace-app", "UMT2013", "mini-app for the traced run")
 	traceOSFlag := flag.String("trace-os", "mckernel+hfi", "OS for the traced run: linux, mckernel, mckernel+hfi")
 	cpuProfileFlag := flag.String("cpuprofile", "", "write a runtime/pprof CPU profile of the run to this file")
@@ -70,7 +72,8 @@ func main() {
 	sc := experiments.SmallScale()
 	sc.ProfileNodes = *nodesFlag
 	sc.ProfileRPN = *rpnFlag
-	cfg := experiments.NewConfig(sc, *jFlag)
+	cfg := shared.Config(sc)
+	traceFlag := shared.Trace
 	want := map[string]bool{}
 	for _, w := range strings.Split(*whatFlag, ",") {
 		want[strings.TrimSpace(w)] = true
@@ -95,7 +98,7 @@ func main() {
 	}
 
 	if *traceFlag != "" {
-		os_, err := parseOS(*traceOSFlag)
+		os_, err := cliconf.ParseOS(*traceOSFlag)
 		if err != nil {
 			fatal(err)
 		}
@@ -119,18 +122,6 @@ func main() {
 			res.Elapsed, rec.SpanCount(), *traceFlag)
 		fmt.Println(report.LatencyTable(rec))
 	}
-}
-
-func parseOS(s string) (cluster.OSType, error) {
-	switch strings.ToLower(strings.TrimSpace(s)) {
-	case "linux":
-		return cluster.OSLinux, nil
-	case "mckernel":
-		return cluster.OSMcKernel, nil
-	case "mckernel+hfi", "hfi", "mckernel+hfi1":
-		return cluster.OSMcKernelHFI, nil
-	}
-	return 0, fmt.Errorf("unknown OS %q", s)
 }
 
 func fatal(err error) {

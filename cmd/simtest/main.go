@@ -45,10 +45,12 @@ func main() {
 	}
 	var work []runner.Job[outcome]
 	for _, osType := range cluster.AllOSTypes {
-		extra := (*cells + 2) / 3 // one-sided, lossy, failover and tenancy cells each
-		for i := 0; i < *cells+4*extra; i++ {
+		extra := (*cells + 2) / 3 // one-sided, lossy, failover, tenancy and shard cells each
+		for i := 0; i < *cells+5*extra; i++ {
 			cell := fmt.Sprintf("%s/%d", osType, i)
-			if i >= *cells+3*extra {
+			if i >= *cells+4*extra {
+				cell = fmt.Sprintf("%s/shard/%d", osType, i-*cells-4*extra)
+			} else if i >= *cells+3*extra {
 				cell = fmt.Sprintf("%s/tenancy/%d", osType, i-*cells-3*extra)
 			} else if i >= *cells+2*extra {
 				cell = fmt.Sprintf("%s/failover/%d", osType, i-*cells-2*extra)

@@ -14,6 +14,10 @@
 // serialize the run's Chrome trace; a correct implementation makes
 // both outputs byte-identical, which is what `make snapshot-smoke`
 // asserts.
+//
+// Run setup (-j, -shards, -loss, -trace) comes from the shared
+// cliconf block; with -shards N>1 the checkpoint mode exercises the
+// sharded engine's versioned snapshot sections.
 package main
 
 import (
@@ -21,7 +25,7 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/cluster"
+	"repro/internal/cliconf"
 	"repro/internal/experiments"
 	"repro/internal/trace"
 )
@@ -29,23 +33,17 @@ import (
 func main() {
 	mode := flag.String("mode", "straight", "straight, checkpoint or resume")
 	snap := flag.String("snap", "", "snapshot file (written by checkpoint, read by resume)")
-	tracePath := flag.String("trace", "", "write the run's Chrome trace here (straight/resume)")
 	osFlag := flag.String("os", "McKernel+HFI1", "OS configuration: Linux, McKernel or McKernel+HFI1")
 	size := flag.Uint64("size", 1<<20, "ping-pong message size in bytes")
+	shared := cliconf.New(cliconf.WithTrace)
 	flag.Parse()
+	tracePath := shared.Trace
 
-	var osType cluster.OSType
-	switch *osFlag {
-	case "Linux":
-		osType = cluster.OSLinux
-	case "McKernel":
-		osType = cluster.OSMcKernel
-	case "McKernel+HFI1":
-		osType = cluster.OSMcKernelHFI
-	default:
-		fatal(fmt.Errorf("unknown OS %q", *osFlag))
+	osType, err := cliconf.ParseOS(*osFlag)
+	if err != nil {
+		fatal(err)
 	}
-	cfg := experiments.NewConfig(experiments.SmallScale(), 1)
+	cfg := shared.Config(experiments.SmallScale())
 
 	var rec *trace.Recorder
 	if *tracePath != "" {

@@ -6,6 +6,7 @@ package cluster
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/fabric"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/mlx"
 	"repro/internal/model"
 	"repro/internal/sim"
+	"repro/internal/snapshot"
 	"repro/internal/vas"
 	"repro/internal/verbs"
 )
@@ -51,8 +53,13 @@ func (o OSType) String() string {
 // AllOSTypes lists the three evaluated configurations in paper order.
 var AllOSTypes = []OSType{OSLinux, OSMcKernel, OSMcKernelHFI}
 
-// Config sizes a cluster.
-type Config struct {
+// Spec is the single construction entry point for a simulated machine:
+// it owns the node count, the OS configuration, the model parameters
+// (fabric profile included), RNG seeding, fault/congestion profiles and
+// the shard partition. Every consumer — cluster, simtest, experiments
+// and the cmd/ binaries — builds through New(Spec); none of them wire
+// sim.NewEngine + fabrics by hand.
+type Spec struct {
 	Nodes int
 	OS    OSType
 	// Params are the model constants (model.Default() if zero-valued
@@ -77,18 +84,42 @@ type Config struct {
 	// zero value disables it entirely: no credit gating, no ECN marks,
 	// and byte-identical snapshots/traces to pre-congestion builds.
 	Congestion fabric.CongProfile
+	// Shards partitions the cluster into that many contiguous node
+	// groups, each simulated by its own engine and synchronized
+	// conservatively with the fabric link latency as lookahead
+	// (sim.ShardSet). 0 or 1 builds the classic single-engine machine,
+	// byte-identical to pre-sharding builds. Shards > 1 requires the
+	// loss-free, jitter-free, congestion-free, untraced profile and is
+	// clamped to the node count.
+	Shards int
 }
+
+// Config is the legacy name of Spec, kept for existing callers.
+type Config = Spec
 
 // Cluster is the simulated machine.
 type Cluster struct {
-	E      *sim.Engine
-	Fab    *fabric.Fabric
+	// E is the engine of shard 0 — in the default single-engine
+	// configuration, the only engine. Sharded callers must schedule
+	// node-local work on EngineFor(node) (or via Go) and drive the run
+	// with Cluster.Run, never E.Run.
+	E   *sim.Engine
+	Fab *fabric.Fabric
 	// IBFab is the InfiniBand network the verbs HCAs attach to — a
 	// second adapter per node, independent of the OmniPath fabric.
 	IBFab  *fabric.Fabric
 	Params *model.Params
-	Cfg    Config
+	Cfg    Spec
 	Nodes  []*Node
+
+	// Set drives the sharded configuration (nil when Shards <= 1).
+	Set *sim.ShardSet
+	// Per-shard engines and fabrics, indexed by shard; single-engine
+	// clusters hold one entry each, aliasing E/Fab/IBFab.
+	engines []*sim.Engine
+	fabs    []*fabric.Fabric
+	ibfabs  []*fabric.Fabric
+	shardOf []int // node id -> owning shard
 }
 
 // Node is one compute node.
@@ -119,8 +150,8 @@ type Node struct {
 
 const kernelImageSize = 8 << 20
 
-// New builds and boots the cluster.
-func New(cfg Config) (*Cluster, error) {
+// New builds and boots the cluster described by the spec.
+func New(cfg Spec) (*Cluster, error) {
 	if cfg.Nodes <= 0 {
 		return nil, fmt.Errorf("cluster: need at least one node")
 	}
@@ -130,19 +161,32 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.Faults.Seed == 0 {
 		cfg.Faults.Seed = cfg.Seed
 	}
-	c := &Cluster{
-		E:      sim.NewEngine(cfg.Seed),
-		Params: &cfg.Params,
-		Cfg:    cfg,
+	if cfg.Shards > cfg.Nodes {
+		cfg.Shards = cfg.Nodes
 	}
-	c.Fab = fabric.New(c.E, c.Params)
-	c.IBFab = fabric.New(c.E, c.Params)
-	c.Fab.SetFaults(&c.Cfg.Faults)
-	c.Fab.SetCongestion(&c.Cfg.Congestion)
-	// Snapshot registration: the OmniPath fabric takes the bare label,
-	// the IB fabric the deterministic "#1" suffix.
-	c.E.RegisterState("fabric", c.Fab.EncodeState)
-	c.E.RegisterState("fabric", c.IBFab.EncodeState)
+	c := &Cluster{Cfg: cfg}
+	c.Params = &c.Cfg.Params
+	if cfg.Shards > 1 {
+		if err := c.buildSharded(); err != nil {
+			return nil, err
+		}
+	} else {
+		// Single-engine machine: the classic wiring, byte-identical to
+		// pre-sharding builds.
+		c.E = sim.NewEngine(cfg.Seed)
+		c.Fab = fabric.New(c.E, c.Params)
+		c.IBFab = fabric.New(c.E, c.Params)
+		c.Fab.SetFaults(&c.Cfg.Faults)
+		c.Fab.SetCongestion(&c.Cfg.Congestion)
+		// Snapshot registration: the OmniPath fabric takes the bare
+		// label, the IB fabric the deterministic "#1" suffix.
+		c.E.RegisterState("fabric", c.Fab.EncodeState)
+		c.E.RegisterState("fabric", c.IBFab.EncodeState)
+		c.engines = []*sim.Engine{c.E}
+		c.fabs = []*fabric.Fabric{c.Fab}
+		c.ibfabs = []*fabric.Fabric{c.IBFab}
+		c.shardOf = make([]int, cfg.Nodes)
+	}
 	for i := 0; i < cfg.Nodes; i++ {
 		n, err := c.buildNode(i)
 		if err != nil {
@@ -153,8 +197,103 @@ func New(cfg Config) (*Cluster, error) {
 	return c, nil
 }
 
+// buildSharded assembles the per-shard engines and fabrics and wires
+// cross-shard routing. Cross-shard packet delivery is the only
+// inter-shard event source, so the fabric's (jitter-free) link latency
+// is the exact conservative lookahead.
+func (c *Cluster) buildSharded() error {
+	cfg := &c.Cfg
+	if cfg.Faults.Active() {
+		return fmt.Errorf("cluster: Shards=%d requires a loss-free fabric (fault injection draws from a run-global RNG stream)", cfg.Shards)
+	}
+	if cfg.Congestion.Active() {
+		return fmt.Errorf("cluster: Shards=%d is incompatible with congestion control (credit budgets are shared across links)", cfg.Shards)
+	}
+	if cfg.Params.LinkJitter > 0 {
+		return fmt.Errorf("cluster: Shards=%d requires LinkJitter=0 (jitter draws from the engine RNG in global send order)", cfg.Shards)
+	}
+	if cfg.Params.LinkLatency <= 0 {
+		return fmt.Errorf("cluster: Shards=%d needs a positive LinkLatency as conservative lookahead", cfg.Shards)
+	}
+	set, err := sim.NewShardSet(cfg.Seed, cfg.Shards, cfg.Params.LinkLatency)
+	if err != nil {
+		return err
+	}
+	c.Set = set
+	c.engines = set.Engines()
+	c.E = c.engines[0]
+	// Contiguous block partition: shard i owns nodes [i*N/S, (i+1)*N/S).
+	c.shardOf = make([]int, cfg.Nodes)
+	for s := 0; s < cfg.Shards; s++ {
+		lo, hi := s*cfg.Nodes/cfg.Shards, (s+1)*cfg.Nodes/cfg.Shards
+		for id := lo; id < hi; id++ {
+			c.shardOf[id] = s
+		}
+	}
+	for s := 0; s < cfg.Shards; s++ {
+		eng := c.engines[s]
+		fab := fabric.New(eng, c.Params)
+		ibfab := fabric.New(eng, c.Params)
+		fab.SetFaults(&c.Cfg.Faults)
+		fab.SetCongestion(&c.Cfg.Congestion)
+		eng.RegisterState("fabric", fab.EncodeState)
+		eng.RegisterState("fabric", ibfab.EncodeState)
+		fab.SetRouter(c.router(eng, c.fabsRef()))
+		ibfab.SetRouter(c.router(eng, c.ibfabsRef()))
+		c.fabs = append(c.fabs, fab)
+		c.ibfabs = append(c.ibfabs, ibfab)
+	}
+	c.Fab = c.fabs[0]
+	c.IBFab = c.ibfabs[0]
+	return nil
+}
+
+// fabsRef / ibfabsRef return accessors evaluated at routing time, after
+// every shard's fabrics exist.
+func (c *Cluster) fabsRef() func(shard int) *fabric.Fabric {
+	return func(shard int) *fabric.Fabric { return c.fabs[shard] }
+}
+
+func (c *Cluster) ibfabsRef() func(shard int) *fabric.Fabric {
+	return func(shard int) *fabric.Fabric { return c.ibfabs[shard] }
+}
+
+// crossPkt is the argument record of one routed cross-shard delivery.
+type crossPkt struct {
+	fab *fabric.Fabric
+	pkt *fabric.Packet
+}
+
+// crossDeliver completes a routed flight on the destination shard. A
+// package-level func value, so every delivery shares it (sim.AfterArg
+// convention).
+var crossDeliver = func(a any) {
+	cp := a.(*crossPkt)
+	if err := cp.fab.Deliver(cp.pkt); err != nil {
+		cp.fab.Engine().Fail(err)
+	}
+}
+
+// router builds the cross-shard routing hook for one shard's fabric:
+// resolve the destination shard, then schedule the delivery on its
+// engine through the conservative cross-event path.
+func (c *Cluster) router(src *sim.Engine, fabFor func(shard int) *fabric.Fabric) func(*fabric.Packet, time.Duration) error {
+	return func(pkt *fabric.Packet, lat time.Duration) error {
+		// Port IDs are rail-qualified; rails share the node's shard.
+		node := pkt.DstNode % fabric.RailBase
+		if node < 0 || node >= len(c.shardOf) {
+			return fmt.Errorf("cluster: route to unknown node %d", pkt.DstNode)
+		}
+		dst := c.shardOf[node]
+		c.Set.CrossAfter(src, c.engines[dst], lat, crossDeliver,
+			&crossPkt{fab: fabFor(dst), pkt: pkt})
+		return nil
+	}
+}
+
 func (c *Cluster) buildNode(id int) (*Node, error) {
 	cfg := c.Cfg
+	eng, fab, ibfab := c.EngineFor(id), c.fabs[c.shardOf[id]], c.ibfabs[c.shardOf[id]]
 	n := &Node{ID: id, OS: cfg.OS, pr: c.Params, synthetic: cfg.Synthetic, hugePages: cfg.LinuxHugePages}
 
 	plan, err := ihk.Partition(cfg.Spec)
@@ -193,7 +332,7 @@ func (c *Cluster) buildNode(id int) (*Node, error) {
 	if err := n.LinSpace.LoadImage(kernelImageSize); err != nil {
 		return nil, err
 	}
-	n.Lin = linux.NewKernel(c.E, c.Params, n.LinSpace, linuxCPUs, cfg.Seed*7919+int64(id))
+	n.Lin = linux.NewKernel(eng, c.Params, n.LinSpace, linuxCPUs, cfg.Seed*7919+int64(id))
 	n.appCPUs = append([]int(nil), plan.LWKCPUs...)
 
 	worlds := []*kmem.Space{n.LinSpace}
@@ -210,11 +349,11 @@ func (c *Cluster) buildNode(id int) (*Node, error) {
 			return nil, err
 		}
 		n.Del = ihk.NewDelegator(n.Lin.Pool, c.Params)
-		n.Mck = mckernel.NewKernel(c.E, c.Params, n.LWKSpace, n.Lin, n.Del)
+		n.Mck = mckernel.NewKernel(eng, c.Params, n.LWKSpace, n.Lin, n.Del)
 		worlds = append(worlds, n.LWKSpace)
 	}
 
-	n.NIC, err = hfi.NewNIC(c.E, c.Params, id, n.Phys, c.Fab)
+	n.NIC, err = hfi.NewNIC(eng, c.Params, id, n.Phys, fab)
 	if err != nil {
 		return nil, err
 	}
@@ -228,7 +367,7 @@ func (c *Cluster) buildNode(id int) (*Node, error) {
 
 	// The verbs HCA and its driver: present on every configuration (the
 	// device is the same; only the registration path differs).
-	n.RNIC, err = verbs.NewRNIC(c.E, c.Params, id, n.Phys, c.IBFab, n.LinSpace, cfg.Synthetic)
+	n.RNIC, err = verbs.NewRNIC(eng, c.Params, id, n.Phys, ibfab, n.LinSpace, cfg.Synthetic)
 	if err != nil {
 		return nil, err
 	}
@@ -267,17 +406,96 @@ func (c *Cluster) buildNode(id int) (*Node, error) {
 	// Register this node's per-layer snapshot sections. Labels sort
 	// together per node; short-lived layers (PSM endpoints) register
 	// and unregister themselves instead.
-	c.E.RegisterState(fmt.Sprintf("node%d/mem", id), n.Phys.EncodeState)
-	c.E.RegisterState(fmt.Sprintf("node%d/kmem-linux", id), n.LinSpace.EncodeState)
+	eng.RegisterState(fmt.Sprintf("node%d/mem", id), n.Phys.EncodeState)
+	eng.RegisterState(fmt.Sprintf("node%d/kmem-linux", id), n.LinSpace.EncodeState)
 	if n.LWKSpace != nil {
-		c.E.RegisterState(fmt.Sprintf("node%d/kmem-lwk", id), n.LWKSpace.EncodeState)
+		eng.RegisterState(fmt.Sprintf("node%d/kmem-lwk", id), n.LWKSpace.EncodeState)
 	}
-	c.E.RegisterState(fmt.Sprintf("node%d/linux", id), n.Lin.EncodeState)
-	c.E.RegisterState(fmt.Sprintf("node%d/hfi", id), n.NIC.EncodeState)
-	c.E.RegisterState(fmt.Sprintf("node%d/hfidrv", id), n.Drv.EncodeState)
-	c.E.RegisterState(fmt.Sprintf("node%d/rnic", id), n.RNIC.EncodeState)
-	c.E.RegisterState(fmt.Sprintf("node%d/mlx", id), n.Mlx.EncodeState)
+	eng.RegisterState(fmt.Sprintf("node%d/linux", id), n.Lin.EncodeState)
+	eng.RegisterState(fmt.Sprintf("node%d/hfi", id), n.NIC.EncodeState)
+	eng.RegisterState(fmt.Sprintf("node%d/hfidrv", id), n.Drv.EncodeState)
+	eng.RegisterState(fmt.Sprintf("node%d/rnic", id), n.RNIC.EncodeState)
+	eng.RegisterState(fmt.Sprintf("node%d/mlx", id), n.Mlx.EncodeState)
 	return n, nil
+}
+
+// Shards returns the effective shard count (1 on a single-engine
+// cluster).
+func (c *Cluster) Shards() int { return len(c.engines) }
+
+// Engines returns the per-shard engines in shard order; single-engine
+// clusters return [E].
+func (c *Cluster) Engines() []*sim.Engine { return c.engines }
+
+// ShardOf returns the shard owning the node.
+func (c *Cluster) ShardOf(node int) int { return c.shardOf[node] }
+
+// EngineFor returns the engine simulating the node. Everything local to
+// a node — processes, device callbacks, snapshot sections — must be
+// scheduled here.
+func (c *Cluster) EngineFor(node int) *sim.Engine { return c.engines[c.shardOf[node]] }
+
+// Go spawns a process on the node's engine.
+func (c *Cluster) Go(node int, name string, fn func(p *sim.Proc)) *sim.Proc {
+	return c.EngineFor(node).Go(name, fn)
+}
+
+// Run drives the whole machine to completion (or to limit), regardless
+// of shard count. This is the only correct way to run a cluster; E.Run
+// would run shard 0 alone.
+func (c *Cluster) Run(limit time.Duration) error {
+	if c.Set != nil {
+		return c.Set.Run(limit)
+	}
+	return c.E.Run(limit)
+}
+
+// Now returns the machine's virtual time (the maximum shard clock).
+func (c *Cluster) Now() time.Duration {
+	if c.Set != nil {
+		return c.Set.Now()
+	}
+	return c.E.Now()
+}
+
+// NewRendezvous creates an n-participant cross-shard rendezvous (a
+// plain WaitGroup wrapper on a single-engine cluster).
+func (c *Cluster) NewRendezvous(n int) *sim.Rendezvous {
+	if c.Set != nil {
+		return c.Set.NewRendezvous(n)
+	}
+	return sim.NewRendezvous(c.E, n)
+}
+
+// Machine returns the cluster's snapshot surface: the shard set on a
+// sharded cluster, the standalone engine otherwise. Checkpoint and
+// restore flow through it, so Shards=1 keeps the classic snapshot byte
+// format while sharded clusters get the "shards"-sectioned one.
+func (c *Cluster) Machine() snapshot.Machine {
+	if c.Set != nil {
+		return c.Set
+	}
+	return c.E
+}
+
+// Fabrics returns the per-shard OmniPath fabrics in shard order
+// (single-engine clusters return [Fab]).
+func (c *Cluster) Fabrics() []*fabric.Fabric { return c.fabs }
+
+// Ties sums simultaneity ties over every fabric instance (both rails).
+// A zero total certifies that no two packets from different sources
+// arrived anywhere at the same instant, which makes the run's digest
+// independent of the shard count (see the sharded-engine notes in
+// EXPERIMENTS.md).
+func (c *Cluster) Ties() uint64 {
+	var n uint64
+	for _, f := range c.fabs {
+		n += f.Ties()
+	}
+	for _, f := range c.ibfabs {
+		n += f.Ties()
+	}
+	return n
 }
 
 // AppCPUs returns the node's application core ids.

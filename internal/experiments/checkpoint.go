@@ -137,16 +137,16 @@ func PingPongCheckpoint(cfg Config, os cluster.OSType, size uint64, w io.Writer)
 	if _, err := probe.finish(); err != nil {
 		return 0, err
 	}
-	mid := probe.cl.E.Now() / 2
+	mid := probe.cl.Now() / 2
 
 	c, err := buildPingPong(cfg, os, size, reps, seed, nil)
 	if err != nil {
 		return 0, err
 	}
-	if err := c.cl.E.Run(mid); err != nil {
+	if err := c.cl.Run(mid); err != nil {
 		return 0, err
 	}
-	if err := c.cl.E.Snapshot(w); err != nil {
+	if err := c.cl.Machine().Snapshot(w); err != nil {
 		return 0, err
 	}
 	return mid, nil
@@ -161,7 +161,7 @@ func PingPongResume(cfg Config, os cluster.OSType, size uint64, img []byte, rec 
 	if err != nil {
 		return PingPongCell{}, err
 	}
-	if _, err := snapshot.Restore(img, c.cl.E); err != nil {
+	if _, err := snapshot.Restore(img, c.cl.Machine()); err != nil {
 		return PingPongCell{}, fmt.Errorf("restore: %w", err)
 	}
 	r, err := c.finish()

@@ -55,6 +55,12 @@ type Config struct {
 	// disables it, keeping all pre-congestion artifacts byte-identical;
 	// the tenancy experiment overrides it per cell.
 	Congestion fabric.CongProfile
+	// Shards partitions every cluster the experiments build into that
+	// many conservatively-synchronized engine shards (0 or 1 = the
+	// classic single engine, byte-identical to all prior artifacts).
+	// Sharding requires the loss-free, jitter-free, congestion-free
+	// profile; cluster.New rejects anything else.
+	Shards int
 }
 
 // NewConfig bundles a scale with a worker pool (workers 0 = GOMAXPROCS).
@@ -77,6 +83,7 @@ func (c Config) cluster(nodes int, os cluster.OSType, seed int64, synthetic bool
 	return cluster.New(cluster.Config{
 		Nodes: nodes, OS: os, Params: model.Default(), Seed: seed,
 		Synthetic: synthetic, Faults: c.Faults, Congestion: c.Congestion,
+		Shards: c.Shards,
 	})
 }
 
@@ -115,7 +122,14 @@ type Scale struct {
 	// (0 = defaults: 120 messages, 32K bulk transfers).
 	TenancyMsgs     int
 	TenancyBulkSize uint64
-	Seed            int64
+	// BigscaleNodes/BigscaleRPN size the sharded-engine scaling run
+	// (the bigscale experiment, an explicit-only id in cmd/experiments);
+	// BigscaleShards is its shard-count sweep, Shards=1 first so every
+	// later row has a speedup baseline.
+	BigscaleNodes  int
+	BigscaleRPN    int
+	BigscaleShards []int
+	Seed           int64
 }
 
 // SmallScale is the default: shapes are visible, runtime is modest.
@@ -135,6 +149,9 @@ func SmallScale() Scale {
 		ReliabilitySizes: []uint64{8 << 10, 32 << 10, 256 << 10},
 		FailoverMsgs:     160,
 		FailoverSize:     32 << 10,
+		BigscaleNodes:    128,
+		BigscaleRPN:      4,
+		BigscaleShards:   []int{1, 2, 4},
 		Seed:             1,
 	}
 }
@@ -162,9 +179,19 @@ func PaperScale() Scale {
 		ReliabilitySizes: []uint64{
 			2 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10, 256 << 10,
 		},
-		FailoverMsgs: 400,
-		FailoverSize: 32 << 10,
-		Seed:         1,
+		FailoverMsgs:   400,
+		FailoverSize:   32 << 10,
+		// RPN is 4, not the profile sweep's 32: at 1024 nodes the tie
+		// count (fabric.Ties — same-instant arrivals at one destination
+		// from different sources) grows ~40x between rpn=4 (26 ties) and
+		// rpn=8 (872), and with that many ties the delivery order the
+		// sharded barrier imposes starts to differ observably from the
+		// single-engine send order — rpn=16 fails the digest gate. At
+		// rpn=4 the full shard sweep is digest-identical.
+		BigscaleNodes:  1024,
+		BigscaleRPN:    4,
+		BigscaleShards: []int{1, 2, 4, 8, 16},
+		Seed:           1,
 	}
 }
 
@@ -281,26 +308,30 @@ func buildPingPong(cfg Config, os cluster.OSType, size uint64, reps int, seed in
 	if err != nil {
 		return nil, err
 	}
-	cl.E.SetRecorder(rec)
+	for _, e := range cl.Engines() {
+		e.SetRecorder(rec)
+	}
 	c := &ppCell{cl: cl, reps: reps, hist: &trace.Histogram{}}
 	eps := make([]*psm.Endpoint, 2)
 	book := psm.MapBook{}
-	ready := sim.NewWaitGroup(cl.E)
-	ready.Add(2)
+	// Rank r lives on node r's engine (cl.Go), and the address-book
+	// exchange is a cross-shard rendezvous: on a single-engine cluster
+	// both reduce to exactly the old WaitGroup wiring.
+	ready := cl.NewRendezvous(2)
 	idle := new(int)
 	for r := 0; r < 2; r++ {
 		r := r
 		osops := cl.Nodes[r].NewRankOS(r)
-		cl.E.Go(fmt.Sprintf("pp%d", r), func(p *sim.Proc) {
+		cl.Go(r, fmt.Sprintf("pp%d", r), func(p *sim.Proc) {
 			ep, err := psm.NewEndpoint(p, osops, r, book, !lossy)
 			if err != nil {
 				c.runErr = err
-				ready.Done()
+				ready.Done(p)
 				return
 			}
 			eps[r] = ep
 			book[r] = psm.Addr{Node: osops.NodeID(), Ctx: ep.CtxID}
-			ready.Done()
+			ready.Done(p)
 			ready.Wait(p)
 			buf, err := osops.MmapAnon(p, size)
 			if err != nil {
@@ -379,9 +410,9 @@ func buildPingPong(cfg Config, os cluster.OSType, size uint64, reps int, seed in
 	return c, nil
 }
 
-// finish runs the cell's engine to completion and folds the result.
+// finish runs the cell's cluster to completion and folds the result.
 func (c *ppCell) finish() (ppResult, error) {
-	if err := c.cl.E.Run(0); err != nil {
+	if err := c.cl.Run(0); err != nil {
 		return ppResult{}, err
 	}
 	if c.runErr != nil {
@@ -483,7 +514,9 @@ func TracedRun(cfg Config, appName string, nodes, rpn int, os cluster.OSType) (*
 	if rec == nil {
 		rec = trace.NewRecorder()
 	}
-	cl.E.SetRecorder(rec)
+	for _, e := range cl.Engines() {
+		e.SetRecorder(rec)
+	}
 	res, err := mpi.RunJob(cl, rpn, func(c *mpi.Comm) error { return app.Body(c, app) })
 	if err != nil {
 		return nil, nil, err

@@ -79,6 +79,12 @@ func VerbsSweep(cfg Config) ([]VerbsRow, error) {
 // fabric fault injection (the HCA's hardware retransmission is below
 // the model), so the data-path numbers hold even on a lossy profile.
 func verbsCellRun(cfg Config, os cluster.OSType, size uint64, reps int, seed int64) (verbsCell, error) {
+	// The cell is one process driving both nodes' HCAs directly, which
+	// has no legal cross-shard decomposition — reject rather than let a
+	// shard-0 process touch devices homed on another engine.
+	if cfg.Shards > 1 {
+		return verbsCell{}, fmt.Errorf("verbs: single-process cell cannot run with Shards=%d", cfg.Shards)
+	}
 	cl, err := cfg.cluster(2, os, seed, true)
 	if err != nil {
 		return verbsCell{}, err

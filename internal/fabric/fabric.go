@@ -98,6 +98,10 @@ type Port struct {
 	// delivery time, so that jittered latencies never reorder packets
 	// on a src→dst route.
 	lastArrival map[int]time.Duration
+	// lastRxAt/lastRxSrc remember the previous arrival so the fabric
+	// can count simultaneity ties (see Fabric.Ties).
+	lastRxAt  time.Duration
+	lastRxSrc int
 	// routes caches the per-destination flight-span track name so the
 	// hot path never rebuilds the "wire:src->dst" string.
 	routes map[int]string
@@ -123,6 +127,16 @@ type Fabric struct {
 	pr    *model.Params
 	ports map[int]*Port
 
+	// route, when set, carries packets whose destination port is not
+	// attached to this instance: sharded clusters build one Fabric per
+	// shard and route cross-shard traffic through it. It is handed the
+	// packet after egress serialization, together with the link latency
+	// still to be applied; the receiving side completes the flight with
+	// Deliver. Cross-fabric routing composes only with the loss-free,
+	// jitter-free, congestion-free profile (the cluster validates this),
+	// so the routed path never consults the fault or congestion state.
+	route func(pkt *Packet, lat time.Duration) error
+
 	faults *FaultProfile
 	frng   *xrand.Rand
 	fstats FaultStats
@@ -144,6 +158,14 @@ type Fabric struct {
 	pkts   []*Packet
 	dels   []*delivery
 	pstats PoolStats
+
+	// ties counts simultaneity ties: packets from different source
+	// nodes arriving at the same destination at the same virtual
+	// instant. Their relative order is a history artifact of the event
+	// schedule, so a sharded run is digest-identical to the unsharded
+	// one exactly when the workload produces zero ties (the bigscale
+	// experiment asserts this).
+	ties uint64
 }
 
 // New creates an empty fabric.
@@ -198,13 +220,61 @@ func (f *Fabric) Attach(node int, deliver func(*Packet)) (*Port, error) {
 	if _, dup := f.ports[node]; dup {
 		return nil, fmt.Errorf("fabric: node %d already attached", node)
 	}
-	p := &Port{Node: node, egress: sim.NewResource(f.e, 1), deliver: deliver}
+	p := &Port{Node: node, egress: sim.NewResource(f.e, 1), deliver: deliver, lastRxSrc: -1}
 	f.ports[node] = p
 	return p, nil
 }
 
 // Nodes returns the number of attached ports.
 func (f *Fabric) Nodes() int { return len(f.ports) }
+
+// Ties returns the simultaneity-tie count: arrivals that landed at a
+// destination at the same virtual instant as the previous arrival from
+// a different source node. Zero ties certifies the run's delivery order
+// is free of same-instant ordering artifacts.
+func (f *Fabric) Ties() uint64 { return f.ties }
+
+// TxTotals sums egress traffic over every attached port. The totals are
+// part of the bigscale experiment's cross-shard-identity digest.
+func (f *Fabric) TxTotals() (bytes, packets uint64) {
+	for _, p := range f.ports {
+		bytes += p.TxBytes
+		packets += p.TxPackets
+	}
+	return bytes, packets
+}
+
+// noteRx updates dst's arrival bookkeeping and the tie counter.
+func (f *Fabric) noteRx(dst *Port, pkt *Packet) {
+	now := f.e.Now()
+	if now == dst.lastRxAt && pkt.SrcNode != dst.lastRxSrc && dst.lastRxSrc >= 0 {
+		f.ties++
+	}
+	dst.lastRxAt, dst.lastRxSrc = now, pkt.SrcNode
+}
+
+// Engine returns the engine this fabric schedules on.
+func (f *Fabric) Engine() *sim.Engine { return f.e }
+
+// SetRouter installs the cross-fabric routing hook (see the route
+// field). Passing nil restores the single-fabric behavior where an
+// unattached destination is a send error.
+func (f *Fabric) SetRouter(fn func(pkt *Packet, lat time.Duration) error) { f.route = fn }
+
+// Deliver hands an arriving packet to its destination port. It is the
+// receive half of a routed cross-fabric send and must run in this
+// fabric's engine at the packet's arrival time; it mirrors the tail of
+// a local delivery (minus flight-span emission and congestion credit
+// return, both inactive whenever routing is configured).
+func (f *Fabric) Deliver(pkt *Packet) error {
+	dst, ok := f.ports[pkt.DstNode]
+	if !ok {
+		return fmt.Errorf("fabric: destination node %d not attached", pkt.DstNode)
+	}
+	f.noteRx(dst, pkt)
+	dst.deliver(pkt)
+	return nil
+}
 
 // kindName labels flight spans by receive-side handling.
 func kindName(k PacketKind) string {
@@ -229,7 +299,19 @@ func (f *Fabric) Send(proc *sim.Proc, pkt *Packet) error {
 	}
 	dst, ok := f.ports[pkt.DstNode]
 	if !ok {
-		return fmt.Errorf("fabric: destination node %d not attached", pkt.DstNode)
+		if f.route == nil {
+			return fmt.Errorf("fabric: destination node %d not attached", pkt.DstNode)
+		}
+		// Cross-fabric send: pay egress serialization on the local link
+		// exactly like the attached path, then hand the packet and its
+		// remaining flight latency to the router.
+		if pkt.Payload != nil {
+			pkt.Bytes = uint64(len(pkt.Payload))
+		}
+		src.egress.Use(proc, f.pr.WireTime(pkt.Bytes))
+		src.TxBytes += pkt.Bytes
+		src.TxPackets++
+		return f.route(pkt, f.pr.LinkLatency)
 	}
 	if pkt.Payload != nil {
 		pkt.Bytes = uint64(len(pkt.Payload))
@@ -291,6 +373,7 @@ func runDelivery(a any) {
 			begin, f.e.Now(), pkt.Bytes)
 	}
 	f.congDone(pkt, true)
+	f.noteRx(dst, pkt)
 	dst.deliver(pkt)
 }
 

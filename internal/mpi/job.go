@@ -71,7 +71,7 @@ func StartJob(cl *cluster.Cluster, spec JobSpec) *JobHandle {
 	rma := newRMAWorld()
 	h := &JobHandle{
 		Spec:      spec,
-		arrival:   cl.E.Now() + spec.Delay,
+		arrival:   cl.Now() + spec.Delay,
 		comms:     make([]*Comm, nRanks),
 		errs:      make([]error, nRanks),
 		bodyStart: make([]time.Duration, nRanks),
@@ -83,8 +83,7 @@ func StartJob(cl *cluster.Cluster, spec JobSpec) *JobHandle {
 	for _, n := range spec.Placement {
 		occupancy[n]++
 	}
-	ready := sim.NewWaitGroup(cl.E)
-	ready.Add(nRanks)
+	ready := cl.NewRendezvous(nRanks)
 
 	for r := 0; r < nRanks; r++ {
 		r := r
@@ -95,7 +94,7 @@ func StartJob(cl *cluster.Cluster, spec JobSpec) *JobHandle {
 		if spec.Name != "" {
 			name = fmt.Sprintf("%s:rank%d", spec.Name, r)
 		}
-		cl.E.Go(name, func(p *sim.Proc) {
+		cl.Go(spec.Placement[r], name, func(p *sim.Proc) {
 			if spec.Delay > 0 {
 				p.Sleep(spec.Delay)
 			}
@@ -172,7 +171,7 @@ func RunJob(cl *cluster.Cluster, ranksPerNode int, body RankFunc) (*JobResult, e
 		placement[r] = r / ranksPerNode
 	}
 	h := StartJob(cl, JobSpec{Placement: placement, Body: body})
-	if err := cl.E.Run(0); err != nil {
+	if err := cl.Run(0); err != nil {
 		return nil, fmt.Errorf("mpi: job execution: %w", err)
 	}
 	return h.Result()
@@ -184,11 +183,11 @@ func RunJob(cl *cluster.Cluster, ranksPerNode int, body RankFunc) (*JobResult, e
 // MPI_Init visibly larger with the PicoDriver because of its kernel-
 // level mapping bootstrap).
 func initRank(p *sim.Proc, cl *cluster.Cluster, osops psm.OSOps, rank, nRanks, rpn int,
-	book psm.MapBook, rma *rmaWorld, ready *sim.WaitGroup) (*Comm, error) {
+	book psm.MapBook, rma *rmaWorld, ready *sim.Rendezvous) (*Comm, error) {
 	initStart := p.Now()
 	ep, err := psm.NewEndpoint(p, osops, rank, book, cl.Cfg.Synthetic)
 	if err != nil {
-		ready.Done()
+		ready.Done(p)
 		return nil, fmt.Errorf("rank %d init: %w", rank, err)
 	}
 	// Runtime init: configuration reads, shared-memory setup, PMI
@@ -219,17 +218,17 @@ func initRank(p *sim.Proc, cl *cluster.Cluster, osops psm.OSOps, rank, nRanks, r
 	}
 	comm.sendBuf, err = osops.MmapAnon(p, collBufCap)
 	if err != nil {
-		ready.Done()
+		ready.Done(p)
 		return nil, err
 	}
 	comm.recvBuf, err = osops.MmapAnon(p, collBufCap)
 	if err != nil {
-		ready.Done()
+		ready.Done(p)
 		return nil, err
 	}
 	book[rank] = psm.Addr{Node: osops.NodeID(), Ctx: ep.CtxID}
 	comm.Prof.Add("MPI_Init", p.Now()-initStart)
-	ready.Done()
+	ready.Done(p)
 	ready.Wait(p)
 	return comm, nil
 }

@@ -49,6 +49,19 @@ func ScalingCSV(pts []experiments.ScalingPoint) string {
 	return b.String()
 }
 
+// BigscaleCSV renders the sharded-engine sweep as one row per shard
+// count (wall/virtual in seconds).
+func BigscaleCSV(rows []experiments.BigscaleRow) string {
+	var b strings.Builder
+	b.WriteString("shards,wall_seconds,virtual_seconds,windows,ties,cross_events,speedup,digest\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%d,%.3f,%.6f,%d,%d,%d,%.3f,%016x\n",
+			r.Shards, r.Wall.Seconds(), r.Virt.Seconds(),
+			r.Windows, r.Ties, r.Cross, r.Speedup, r.Digest)
+	}
+	return b.String()
+}
+
 // Table1CSV renders the communication profile rows.
 func Table1CSV(profiles []experiments.AppProfile) string {
 	var b strings.Builder

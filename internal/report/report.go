@@ -120,6 +120,22 @@ func Table1(profiles []experiments.AppProfile) string {
 	return b.String()
 }
 
+// BigscaleTable renders the sharded-engine scaling sweep: one row per
+// shard count, all rows digest-identical by construction (Bigscale
+// fails otherwise).
+func BigscaleTable(title string, rows []experiments.BigscaleRow) string {
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	fmt.Fprintf(&b, "%-7s %12s %12s %9s %6s %10s %12s %18s\n",
+		"shards", "wall", "virtual", "windows", "ties", "cross-ev", "speedup", "digest")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-7d %12s %12s %9d %6d %10d %11.2fx %18s\n",
+			r.Shards, r.Wall.Round(time.Millisecond), r.Virt.Round(time.Microsecond),
+			r.Windows, r.Ties, r.Cross, r.Speedup, fmt.Sprintf("%016x", r.Digest))
+	}
+	return b.String()
+}
+
 // VerbsTable renders the RDMA registration-vs-data-path sweep: per
 // message size, the memory-registration latency under each OS
 // configuration next to the mean RDMA WRITE/READ post-to-completion

@@ -38,6 +38,24 @@ type Engine struct {
 	rnd    uint64 // cheap deterministic counter for Rng-free jitter
 	rec    *trace.Recorder
 	states []regState // snapshot section encoders, registration order
+
+	// Sharded-mode wiring (nil/zero on a standalone engine): the set this
+	// engine is a shard of, its shard index, and the per-shard emission
+	// counter that orders its outbound cross-shard events. See shard.go.
+	set      *ShardSet
+	shard    int
+	crossSeq uint64
+
+	// Direct-dispatch mode (sharded engines only): a blocking or
+	// finishing process hands the token straight to the next runnable
+	// process instead of bouncing through the engine goroutine, and
+	// callback events execute inline on whichever goroutine holds the
+	// token. Event order is identical to the classic loop — the same
+	// heap pops in the same (at, seq) order — only the number of
+	// goroutine switches changes (one per process event instead of
+	// two). bound is the current window's exclusive time bound.
+	direct bool
+	bound  time.Duration
 }
 
 // regState is one registered snapshot contributor.
@@ -81,6 +99,10 @@ func NewEngine(seed int64) *Engine {
 
 // Now returns the current virtual time.
 func (e *Engine) Now() time.Duration { return e.now }
+
+// Seq returns the number of events scheduled on this engine so far (it
+// is also the snapshot header's sequence counter).
+func (e *Engine) Seq() uint64 { return e.seq }
 
 // SetRecorder attaches a span recorder. Instrumented layers read it
 // through Recorder(); a nil recorder (the default) disables tracing at
@@ -192,6 +214,10 @@ func (e *Engine) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
 			}
 			e.live--
 			delete(e.procs, p)
+			if e.direct {
+				e.handoff()
+				return
+			}
 			e.parked <- struct{}{}
 		}()
 		fn(p)
@@ -209,9 +235,58 @@ func (e *Engine) runProc(p *Proc) {
 // block parks the calling process until it is woken via wake.
 func (p *Proc) block(state string) {
 	p.state = state
-	p.e.parked <- struct{}{}
+	e := p.e
+	if e.direct {
+		switch q := e.step(); q {
+		case p:
+			// The next event is this process's own resumption (a sleep
+			// nothing else interleaves with): the park/unpark pair would
+			// be a self-handoff, so skip it entirely.
+		case nil:
+			e.parked <- struct{}{}
+			<-p.resume
+		default:
+			q.resume <- struct{}{}
+			<-p.resume
+		}
+		p.state = ""
+		return
+	}
+	e.parked <- struct{}{}
 	<-p.resume
 	p.state = ""
+}
+
+// step executes queued events strictly before the window bound until it
+// reaches a process resumption, which it returns for the caller to hand
+// the token to (nil: the window is drained or a failure is pending).
+// Callback events run inline on the calling goroutine; dispatch order
+// is exactly the classic loop's (same heap, same pops).
+func (e *Engine) step() *Proc {
+	for len(e.heap) > 0 && e.heap[0].at < e.bound && e.failv == nil {
+		ev := e.heap.pop()
+		e.now = ev.at
+		switch ev.kind {
+		case evProc:
+			return ev.p
+		case evArg:
+			ev.afn(ev.arg)
+		default:
+			ev.fn()
+		}
+	}
+	return nil
+}
+
+// handoff passes the engine token onward when the calling goroutine is
+// done with it: directly to the next runnable process, or back to the
+// window driver once the window is drained.
+func (e *Engine) handoff() {
+	if q := e.step(); q != nil {
+		q.resume <- struct{}{}
+	} else {
+		e.parked <- struct{}{}
+	}
 }
 
 // wake schedules p to resume at the current virtual time.
@@ -269,6 +344,12 @@ func (d *DeadlockError) Error() string {
 // Run(t) followed by Run(0) reaches exactly the same final state as a
 // single Run(0).
 func (e *Engine) Run(limit time.Duration) error {
+	if e.direct {
+		// A sharded engine's block() dispatches against the window
+		// bound; running it outside ShardSet.Run would dispatch against
+		// a stale bound and silently corrupt the schedule.
+		panic("sim: Run called on a sharded engine (drive it with ShardSet.Run)")
+	}
 	for len(e.heap) > 0 {
 		// Peek before popping: the first event past the limit must stay
 		// in the heap for a later resumed Run to execute.

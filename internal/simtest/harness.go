@@ -134,6 +134,20 @@ func Check(w Workload) (*Report, error) {
 		return nil, fmt.Errorf("simtest: snapshot equivalence violated: straight digest %s, restored-from-%v digest %s",
 			r1.Digest, r1.VirtualTime/2, r3.Digest)
 	}
+	// Shard-aware cells additionally run unsharded: the shard count is
+	// an execution strategy, so the digest must not depend on it.
+	if w.Shards > 1 {
+		w1 := w
+		w1.Shards = 1
+		ru, err := Run(w1)
+		if err != nil {
+			return nil, fmt.Errorf("simtest: Shards=1 rerun of shard cell failed: %w", err)
+		}
+		if ru.Digest != r1.Digest {
+			return nil, fmt.Errorf("simtest: shard-count dependence: digest %s at Shards=%d vs %s at Shards=1",
+				r1.Digest, w.Shards, ru.Digest)
+		}
+	}
 	return r1, nil
 }
 
@@ -187,13 +201,16 @@ func runWith(w Workload, o runOpts) (*Report, error) {
 		LinuxHugePages: w.LargePages,
 		Faults:         w.Faults.Profile,
 		Congestion:     w.Faults.Congestion,
+		Shards:         w.Shards,
 	})
 	if err != nil {
 		return nil, err
 	}
 	rec := trace.NewRecorder()
-	if !o.traceFromRestore {
-		cl.E.SetRecorder(rec)
+	if !o.traceFromRestore && !w.Untraced {
+		for _, e := range cl.Engines() {
+			e.SetRecorder(rec)
+		}
 	}
 	// Pin balance is measured against the post-boot baseline: McKernel
 	// ranks pin their anonymous memory at mmap time, so only the delta
@@ -207,36 +224,45 @@ func runWith(w Workload, o runOpts) (*Report, error) {
 	eps := make([]*psm.Endpoint, ranks)
 	rankErr := make([]error, ranks)
 	sums := make([][]byte, len(w.Msgs))
-	ready := sim.NewWaitGroup(cl.E)
-	ready.Add(ranks)
-	done := sim.NewWaitGroup(cl.E)
-	done.Add(ranks)
+	// On a single-engine cluster the rendezvous are plain WaitGroups
+	// (byte-identical wiring); on a sharded one they are the barrier-
+	// injected cross-shard kind. drained replaces the shared-counter
+	// idle spin for shard-aware cells: a counter polled across shards
+	// is not a legal cross-shard signal.
+	ready := cl.NewRendezvous(ranks)
+	done := cl.NewRendezvous(ranks)
+	var drained *sim.Rendezvous
+	if w.Shards > 0 {
+		drained = cl.NewRendezvous(ranks)
+	}
 	descs := make([]rmaDesc, ranks)
 	idle := new(int)
 	for r := 0; r < ranks; r++ {
 		r := r
 		node := cl.Nodes[r/w.RanksPerNode]
-		cl.E.Go(fmt.Sprintf("simtest/rank%d", r), func(p *sim.Proc) {
+		cl.Go(r/w.RanksPerNode, fmt.Sprintf("simtest/rank%d", r), func(p *sim.Proc) {
 			if w.RMA {
 				rankErr[r] = runRankRMA(p, w, node, r, descs, ready, done, sums)
 			} else {
-				rankErr[r] = runRank(p, w, node, r, book, eps, ready, done, idle, sums)
+				rankErr[r] = runRank(p, w, node, r, book, eps, ready, done, drained, idle, sums)
 			}
 		})
 	}
 	var engineErr error
 	if len(o.restore) > 0 {
-		if _, rerr := snapshot.Restore(o.restore, cl.E); rerr != nil {
+		if _, rerr := snapshot.Restore(o.restore, cl.Machine()); rerr != nil {
 			engineErr = fmt.Errorf("restore: %w", rerr)
 		} else if o.traceFromRestore {
-			cl.E.SetRecorder(rec)
+			for _, e := range cl.Engines() {
+				e.SetRecorder(rec)
+			}
 		}
 	}
 	if engineErr == nil && o.snapshotAt > 0 {
-		engineErr = cl.E.Run(o.snapshotAt)
+		engineErr = cl.Run(o.snapshotAt)
 		if engineErr == nil && o.snapOut != nil {
 			var buf bytes.Buffer
-			if serr := cl.E.Snapshot(&buf); serr != nil {
+			if serr := cl.Machine().Snapshot(&buf); serr != nil {
 				engineErr = fmt.Errorf("snapshot at %v: %w", o.snapshotAt, serr)
 			} else {
 				*o.snapOut = buf.Bytes()
@@ -244,7 +270,7 @@ func runWith(w Workload, o runOpts) (*Report, error) {
 		}
 	}
 	if engineErr == nil {
-		engineErr = cl.E.Run(0)
+		engineErr = cl.Run(0)
 	}
 	if o.traceOut != "" {
 		if werr := os.WriteFile(o.traceOut, rec.ChromeTraceJSON(), 0o644); werr != nil && engineErr == nil {
@@ -262,7 +288,7 @@ func runWith(w Workload, o runOpts) (*Report, error) {
 	}
 	if len(fails) > 0 {
 		if o.failNow != nil {
-			*o.failNow = cl.E.Now()
+			*o.failNow = cl.Now()
 		}
 		return nil, fmt.Errorf("simtest: %s", strings.Join(fails, "; "))
 	}
@@ -309,7 +335,7 @@ func runWith(w Workload, o runOpts) (*Report, error) {
 	return &Report{
 		Workload:    w,
 		Digest:      traceDigest(cl, eps, sums, rec),
-		VirtualTime: cl.E.Now(),
+		VirtualTime: cl.Now(),
 		Messages:    len(w.Msgs),
 		Spans:       rec.SpanCount(),
 		Faults:      cl.Fab.FaultStats(),
@@ -323,7 +349,7 @@ func runWith(w Workload, o runOpts) (*Report, error) {
 // every one of these.
 func traceDigest(cl *cluster.Cluster, eps []*psm.Endpoint, sums [][]byte, rec *trace.Recorder) string {
 	h := sha256.New()
-	fmt.Fprintf(h, "vt=%d\n", cl.E.Now())
+	fmt.Fprintf(h, "vt=%d\n", cl.Now())
 	fmt.Fprintf(h, "faults %+v\n", cl.Fab.FaultStats())
 	for _, n := range cl.Nodes {
 		fmt.Fprintf(h, "node%d rx=%d sdma=%d full=%d irq=%d tx=%d tidp=%d tidc=%d crc=%d stale=%d sdmaerr=%d\n",
@@ -351,7 +377,7 @@ func traceDigest(cl *cluster.Cluster, eps []*psm.Endpoint, sums [][]byte, rec *t
 // the cell's order mode, verify every received payload byte-for-byte,
 // then tear everything down.
 func runRank(p *sim.Proc, w Workload, node *cluster.Node, r int,
-	book psm.MapBook, eps []*psm.Endpoint, ready, done *sim.WaitGroup, idle *int, sums [][]byte) error {
+	book psm.MapBook, eps []*psm.Endpoint, ready, done, drained *sim.Rendezvous, idle *int, sums [][]byte) error {
 	last := p.Now()
 	mono := func(stage string) error {
 		now := p.Now()
@@ -368,7 +394,7 @@ func runRank(p *sim.Proc, w Workload, node *cluster.Node, r int,
 	}
 	eps[r] = ep
 	book[r] = psm.Addr{Node: node.ID, Ctx: ep.CtxID}
-	ready.Done()
+	ready.Done(p)
 	ready.Wait(p)
 	if err := mono("init"); err != nil {
 		return err
@@ -488,7 +514,7 @@ func runRank(p *sim.Proc, w Workload, node *cluster.Node, r int,
 		sum := sha256.Sum256(got)
 		sums[i] = sum[:8]
 	}
-	done.Done()
+	done.Done(p)
 	done.Wait(p)
 
 	// Lossy-fabric drain: each rank first quiesces its own flows (every
@@ -503,12 +529,22 @@ func runRank(p *sim.Proc, w Workload, node *cluster.Node, r int,
 	if err := ep.Quiesce(p); err != nil {
 		return err
 	}
-	*idle++
-	for *idle < w.Nodes*w.RanksPerNode {
-		if _, err := ep.Progress(p); err != nil {
-			return err
+	if w.Shards > 0 {
+		// Shard-aware cells rendezvous instead of polling the shared
+		// counter: how many poll iterations a rank runs before the last
+		// rank increments *idle depends on cross-shard interleaving, and
+		// the digest must not. Quiesce above guarantees every flow is
+		// fully acknowledged, so the rendezvous is at a quiescent point.
+		drained.Done(p)
+		drained.Wait(p)
+	} else {
+		*idle++
+		for *idle < w.Nodes*w.RanksPerNode {
+			if _, err := ep.Progress(p); err != nil {
+				return err
+			}
+			p.Sleep(time.Microsecond)
 		}
-		p.Sleep(time.Microsecond)
 	}
 	if w.Faults.Profile.Active() || w.Faults.Congestion.Active() {
 		pr := node.NIC.Params()
@@ -568,7 +604,7 @@ func rmaLayout(w Workload, r int) (total uint64, off map[int]uint64) {
 // (initiator completions imply remote placement), verify the window
 // byte-for-byte, then tear the HCA state down explicitly.
 func runRankRMA(p *sim.Proc, w Workload, node *cluster.Node, r int,
-	descs []rmaDesc, ready, done *sim.WaitGroup, sums [][]byte) error {
+	descs []rmaDesc, ready, done *sim.Rendezvous, sums [][]byte) error {
 	last := p.Now()
 	mono := func(stage string) error {
 		now := p.Now()
@@ -581,37 +617,37 @@ func runRankRMA(p *sim.Proc, w Workload, node *cluster.Node, r int,
 	osops := node.NewRankOS(r)
 	vops, ok := osops.(verbs.OSOps)
 	if !ok {
-		ready.Done()
+		ready.Done(p)
 		return fmt.Errorf("rank OS %T does not expose the verbs HCA", osops)
 	}
 	u, err := verbs.Open(p, vops)
 	if err != nil {
-		ready.Done()
+		ready.Done(p)
 		return err
 	}
 	winSize, off := rmaLayout(w, r)
 	win, err := osops.MmapAnon(p, winSize)
 	if err != nil {
-		ready.Done()
+		ready.Done(p)
 		return err
 	}
 	mrWin, err := u.RegMR(p, win, winSize,
 		mlx.AccessLocalWrite|mlx.AccessRemoteWrite)
 	if err != nil {
-		ready.Done()
+		ready.Done(p)
 		return err
 	}
 	qpT, err := u.CreateQP(p, verbs.QPConfig{})
 	if err != nil {
-		ready.Done()
+		ready.Done(p)
 		return err
 	}
 	if err := qpT.ToInit(p); err != nil {
-		ready.Done()
+		ready.Done(p)
 		return err
 	}
 	if err := qpT.ToRTRAnySource(p); err != nil {
-		ready.Done()
+		ready.Done(p)
 		return err
 	}
 	descs[r] = rmaDesc{node: node.ID, qpn: qpT.QPN, rkey: mrWin.LKey, base: uint64(win)}
@@ -629,21 +665,21 @@ func runRankRMA(p *sim.Proc, w Workload, node *cluster.Node, r int,
 	}
 	stage, err := osops.MmapAnon(p, sendSize)
 	if err != nil {
-		ready.Done()
+		ready.Done(p)
 		return err
 	}
 	for _, i := range sends {
 		if err := osops.Proc().WriteAt(stage+uproc.VirtAddr(sendOff[i]), payloadFor(w, i)); err != nil {
-			ready.Done()
+			ready.Done(p)
 			return err
 		}
 	}
 	mrStage, err := u.RegMR(p, stage, sendSize, mlx.AccessLocalWrite)
 	if err != nil {
-		ready.Done()
+		ready.Done(p)
 		return err
 	}
-	ready.Done()
+	ready.Done(p)
 	ready.Wait(p)
 	if err := mono("init"); err != nil {
 		return err
@@ -694,7 +730,7 @@ func runRankRMA(p *sim.Proc, w Workload, node *cluster.Node, r int,
 	if err := mono("completion"); err != nil {
 		return err
 	}
-	done.Done()
+	done.Done(p)
 	done.Wait(p)
 
 	// Byte-exact placement against the in-memory reference.

@@ -80,6 +80,19 @@ func TestSimHarness(t *testing.T) {
 				runCell(t, cell)
 			})
 		}
+		// Shard cells: the same battery on a sharded engine (Shards=4).
+		// Check additionally reruns each at Shards=1 and fails on any
+		// digest difference, so these cells certify the conservative
+		// parallel engine is observationally identical to the sequential
+		// one — and the sharded run's snapshot/restore leg covers the
+		// versioned ShardSet snapshot sections.
+		for i := 0; i < (*cellsFlag+2)/3; i++ {
+			cell := fmt.Sprintf("%s/shard/%d", osType, i)
+			t.Run(cell, func(t *testing.T) {
+				t.Parallel()
+				runCell(t, cell)
+			})
+		}
 	}
 }
 

@@ -88,6 +88,18 @@ type Workload struct {
 	// default).
 	RendezvousWindow uint64
 
+	// Shards > 0 marks a shard-aware cell: the cluster is split into
+	// that many engine shards (1 = classic single engine), the ranks
+	// synchronize through cross-shard rendezvous instead of the
+	// shared-counter drain spin, and Check additionally runs the cell
+	// at Shards=1 requiring an identical digest. Zero keeps the
+	// original single-engine wiring byte-for-byte.
+	Shards int
+	// Untraced disables the span recorder. Shard cells set it: span
+	// interleaving across engines depends on the shard count, and the
+	// digest must not.
+	Untraced bool
+
 	// Faults gathers every fault-injection knob of the workload.
 	Faults FaultPlan
 
@@ -202,6 +214,9 @@ func Generate(base int64, cell string) (Workload, error) {
 	}
 	if strings.Contains(cell, "/tenancy/") {
 		return generateTenancy(w), nil
+	}
+	if strings.Contains(cell, "/shard/") {
+		return generateShard(w), nil
 	}
 	rng := rand.New(rand.NewSource(w.Seed))
 	w.Nodes = 1 + rng.Intn(3)
@@ -483,6 +498,42 @@ func generateTenancy(w Workload) Workload {
 	return w
 }
 
+// generateShard builds a sharded-engine comparison cell: plain
+// loss-free point-to-point traffic over enough nodes for a four-way
+// partition. Check runs it at both Shards=4 and Shards=1 and requires
+// the digests to match, which is the harness-level statement of the
+// sharded engine's contract (the shard count is an execution strategy,
+// never a model change). Tracing stays off — span interleaving across
+// engines depends on the shard count — and so do jitter, faults and
+// congestion, which cluster.New rejects for sharded runs.
+func generateShard(w Workload) Workload {
+	rng := rand.New(rand.NewSource(w.Seed))
+	w.Shards = 4
+	w.Untraced = true
+	w.Nodes = 4 + rng.Intn(3)
+	w.RanksPerNode = 1 + rng.Intn(2)
+	w.Order = OrderMode(rng.Intn(int(orderModes)))
+	w.LargePages = rng.Intn(2) == 0
+	if rng.Intn(2) == 0 {
+		w.RendezvousWindow = 128 << 10
+	}
+	ranks := w.Nodes * w.RanksPerNode
+	nmsg := 4 + rng.Intn(9)
+	for i := 0; i < nmsg; i++ {
+		src := rng.Intn(ranks)
+		dst := rng.Intn(ranks - 1)
+		if dst >= src {
+			dst++
+		}
+		w.Msgs = append(w.Msgs, Msg{
+			Src: src, Dst: dst,
+			Tag:  uint64(100 + i),
+			Size: sizeClasses[rng.Intn(len(sizeClasses))],
+		})
+	}
+	return w
+}
+
 // generateTIDFault builds the deliberate RcvArray-exhaustion scenario:
 // two nodes, one rank each, a rendezvous-sized message, and a context
 // limited to 8 TIDs. On Linux (scattered 4K frames) a 300K window
@@ -586,6 +637,9 @@ func (w Workload) Summary() string {
 	if w.Faults.Congestion.Active() {
 		s += fmt.Sprintf(" cong(link=%d ingress=%d mark=%.2f)",
 			w.Faults.Congestion.LinkBudget, w.Faults.Congestion.IngressBudget, w.Faults.Congestion.MarkFrac)
+	}
+	if w.Shards > 0 {
+		s += fmt.Sprintf(" shards=%d", w.Shards)
 	}
 	return s
 }
